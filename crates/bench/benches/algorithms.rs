@@ -1,0 +1,68 @@
+//! Criterion timing of each bisection algorithm on fixed workloads.
+//!
+//! Complements the `repro` binary: `repro` reports the paper's
+//! best-of-two cut/time protocol; these benches give statistically
+//! robust per-algorithm timings used in EXPERIMENTS.md for the speed
+//! claims (Observation 4: KL much faster than SA; Observation 2: CKL
+//! faster than KL on sparse graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bisect_core::bisector::Bisector;
+use bisect_core::compaction::Compacted;
+use bisect_core::fm::FiducciaMattheyses;
+use bisect_core::greedy::GreedyGrowth;
+use bisect_core::kl::KernighanLin;
+use bisect_core::multilevel::Multilevel;
+use bisect_core::sa::SimulatedAnnealing;
+use bisect_core::spectral::SpectralBisector;
+use bisect_gen::rng::LaggedFibonacci;
+use bisect_gen::{gbreg, special};
+use bisect_graph::Graph;
+use rand::SeedableRng;
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    let mut rng = LaggedFibonacci::seed_from_u64(1989);
+    let params = gbreg::GbregParams::new(1000, 8, 3).expect("valid parameters");
+    let planted = gbreg::sample(&mut rng, &params).expect("construction succeeds");
+    vec![
+        ("grid24", special::grid(24, 24)),
+        ("ladder256", special::ladder(256)),
+        ("btree510", special::binary_tree(510)),
+        ("gbreg1000d3", planted),
+    ]
+}
+
+fn algorithms() -> Vec<(&'static str, Box<dyn Bisector>)> {
+    vec![
+        ("KL", Box::new(KernighanLin::new())),
+        ("FM", Box::new(FiducciaMattheyses::new())),
+        ("SA", Box::new(SimulatedAnnealing::quick())),
+        ("CKL", Box::new(Compacted::new(KernighanLin::new()))),
+        ("CSA", Box::new(Compacted::new(SimulatedAnnealing::quick()))),
+        ("ML-KL", Box::new(Multilevel::new(KernighanLin::new()))),
+        ("Spectral", Box::new(SpectralBisector::new())),
+        ("Greedy", Box::new(GreedyGrowth::new())),
+    ]
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    for (wname, g) in workloads() {
+        let mut group = c.benchmark_group(wname);
+        group.sample_size(10);
+        for (aname, algo) in algorithms() {
+            group.bench_with_input(BenchmarkId::from_parameter(aname), &g, |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = LaggedFibonacci::seed_from_u64(seed);
+                    std::hint::black_box(algo.bisect(g, &mut rng).cut())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! One Criterion bench per paper table: times a representative cell of
+//! each table so that regressions in any experiment path are caught.
+//! The full tables themselves are produced by the `repro` binary
+//! (`cargo run -p bisect-bench --release --bin repro`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bisect_bench::experiments;
+use bisect_bench::profile::Profile;
+
+fn bench_tables(c: &mut Criterion) {
+    let profile = Profile::smoke();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    for &id in experiments::ALL_IDS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let result =
+                    experiments::run(id, &profile).expect("experiment ids are valid");
+                std::hint::black_box(result.tables.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Reproduce the paper's tables.
+//!
+//! ```text
+//! repro [OPTIONS] [EXPERIMENT...]
+//!
+//! EXPERIMENT   any of: table1 ladder grid btree g2set gnp gbreg obs1 obs4
+//!              (default: all)
+//!
+//! OPTIONS
+//!   --profile <smoke|quick|paper>   grid scale (default quick)
+//!   --seed <N>                      base seed (default 1989)
+//!   --starts <N>                    random starts per run (default 2)
+//!   --replicates <N>                graphs per random setting (default: profile's)
+//!   --csv <DIR>                     also write each table as CSV into DIR
+//!   --help                          this text
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use bisect_bench::experiments::{self, ALL_IDS};
+use bisect_bench::profile::{Profile, Scale};
+
+struct Options {
+    profile: Profile,
+    csv_dir: Option<std::path::PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut scale = Scale::Quick;
+    let mut seed = 1989u64;
+    let mut starts: Option<usize> = None;
+    let mut replicates: Option<usize> = None;
+    let mut csv_dir = None;
+    let mut experiments = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--profile" => {
+                let value = args.next().ok_or("--profile needs a value")?;
+                scale = value.parse()?;
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                seed = value.parse().map_err(|_| format!("invalid seed `{value}`"))?;
+            }
+            "--starts" => {
+                let value = args.next().ok_or("--starts needs a value")?;
+                starts =
+                    Some(value.parse().map_err(|_| format!("invalid starts `{value}`"))?);
+            }
+            "--replicates" => {
+                let value = args.next().ok_or("--replicates needs a value")?;
+                replicates =
+                    Some(value.parse().map_err(|_| format!("invalid replicates `{value}`"))?);
+            }
+            "--csv" => {
+                let value = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(std::path::PathBuf::from(value));
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (see --help)"));
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    let mut profile = match scale {
+        Scale::Smoke => Profile::smoke(),
+        Scale::Quick => Profile::quick(),
+        Scale::Paper => Profile::paper(),
+    };
+    profile.seed = seed;
+    if let Some(s) = starts {
+        profile.starts = s.max(1);
+    }
+    if let Some(r) = replicates {
+        profile.replicates = r.max(1);
+    }
+    if experiments.is_empty() {
+        experiments = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Some(Options { profile, csv_dir, experiments }))
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            print!("{}", HELP);
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "# Reproduction of Bui/Heigham/Jones/Leighton DAC'89 — profile {:?}, seed {}, {} starts, {} replicates\n",
+        options.profile.scale, options.profile.seed, options.profile.starts,
+        options.profile.replicates,
+    );
+    for id in &options.experiments {
+        let result = match experiments::run(id, &options.profile) {
+            Ok(result) => result,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("## {} — {}\n", result.id, result.title);
+        for (i, table) in result.tables.iter().enumerate() {
+            println!("{table}");
+            if let Some(dir) = &options.csv_dir {
+                if let Err(e) = write_csv(dir, &result.id, i, table) {
+                    eprintln!("error writing CSV: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_csv(
+    dir: &std::path::Path,
+    id: &str,
+    index: usize,
+    table: &bisect_bench::Table,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}_{index}.csv"));
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "# {}", table.title())?;
+    file.write_all(table.to_csv().as_bytes())
+}
+
+const HELP: &str = "\
+repro — regenerate the tables of the DAC'89 graph bisection paper
+
+USAGE
+  repro [OPTIONS] [EXPERIMENT...]
+
+EXPERIMENTS (default: all)
+  table1   Table 1: compaction improvement on grid/ladder/binary tree
+  ladder   Appendix: ladder graphs
+  grid     Appendix: grid graphs
+  btree    Appendix: binary trees
+  g2set    Appendix: G2set(2n, pA, pB, b), degrees 2.5-4
+  gnp      Appendix: Gnp(2n, p)
+  gbreg    Appendix: Gbreg(2n, b, d), d in {3, 4}
+  obs1     Observation 1: degree 3 vs 4 quality cliff
+  obs4     Observation 4: KL vs SA head to head
+  models   Model diagnostics: why Gbreg was introduced (extension)
+  klpasses KL pass-by-pass convergence on a ladder (extension)
+  netlist  Hypergraph FM vs clique approximation (extension)
+  satune   SA schedule tuning sweep (extension)
+  winrate  KL vs SA head-to-head win rate at degree 2.5-3.5 (§VI claim)
+
+OPTIONS
+  --profile <smoke|quick|paper>   grid scale (default quick)
+  --seed <N>                      base seed (default 1989)
+  --starts <N>                    random starts per run (default 2)
+  --replicates <N>                graphs per random setting
+  --csv <DIR>                     also write each table as CSV into DIR
+  --help                          this text
+";

@@ -1,0 +1,164 @@
+//! The experiments of the paper's evaluation, one function per table
+//! (see `DESIGN.md` §3 for the experiment ↔ paper artifact index).
+
+use std::time::Duration;
+
+use crate::profile::Profile;
+use crate::runner::QuadAverage;
+use crate::table::{fmt_cut, fmt_duration, fmt_percent, Table};
+
+pub mod analysis;
+pub mod observations;
+pub mod random;
+pub mod special;
+
+/// Output of one experiment: a set of rendered tables.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. `"gbreg"`).
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// The tables, in the paper's order.
+    pub tables: Vec<Table>,
+}
+
+/// All experiment ids, in the order the paper presents them
+/// (`models`, `klpasses`, `netlist`, `satune`, and `winrate` are this
+/// reproduction's analysis extensions).
+pub const ALL_IDS: &[&str] = &[
+    "table1", "ladder", "grid", "btree", "g2set", "gnp", "gbreg", "obs1", "obs4", "models",
+    "klpasses", "netlist", "satune", "winrate",
+];
+
+/// Runs the experiment with the given id.
+///
+/// # Errors
+///
+/// Returns a message listing the valid ids when `id` is unknown.
+pub fn run(id: &str, profile: &Profile) -> Result<ExperimentResult, String> {
+    match id {
+        "table1" => Ok(special::table1(profile)),
+        "ladder" => Ok(special::family(profile, special::Family::Ladder)),
+        "grid" => Ok(special::family(profile, special::Family::Grid)),
+        "btree" => Ok(special::family(profile, special::Family::BinaryTree)),
+        "g2set" => Ok(random::g2set(profile)),
+        "gnp" => Ok(random::gnp(profile)),
+        "gbreg" => Ok(random::gbreg(profile)),
+        "obs1" => Ok(observations::obs1(profile)),
+        "obs4" => Ok(observations::obs4(profile)),
+        "winrate" => Ok(observations::winrate(profile)),
+        "models" => Ok(analysis::models(profile)),
+        "klpasses" => Ok(analysis::klpasses(profile)),
+        "netlist" => Ok(analysis::netlist(profile)),
+        "satune" => Ok(analysis::satune(profile)),
+        other => Err(format!("unknown experiment `{other}`; valid ids: {}", ALL_IDS.join(", "))),
+    }
+}
+
+/// Column headers shared by all four-algorithm tables (the appendix
+/// layout: per algorithm its cut and time, plus the paper's two derived
+/// columns per algorithm family).
+pub(crate) fn quad_headers(label: &str) -> Vec<String> {
+    [
+        label, "bsa", "t_sa", "bcsa", "t_csa", "SA impr", "SA spdup", "bkl", "t_kl", "bckl",
+        "t_ckl", "KL impr", "KL spdup",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Renders one averaged setting as a row in the appendix layout.
+pub(crate) fn quad_row(label: String, avg: &QuadAverage) -> Vec<String> {
+    let [sa, csa, kl, ckl] = avg.cuts;
+    let [t_sa, t_csa, t_kl, t_ckl] = avg.times;
+    vec![
+        label,
+        fmt_cut(sa),
+        fmt_duration(t_sa),
+        fmt_cut(csa),
+        fmt_duration(t_csa),
+        fmt_percent(improvement(sa, csa)),
+        fmt_percent(speedup(t_sa, t_csa)),
+        fmt_cut(kl),
+        fmt_duration(t_kl),
+        fmt_cut(ckl),
+        fmt_duration(t_ckl),
+        fmt_percent(improvement(kl, ckl)),
+        fmt_percent(speedup(t_kl, t_ckl)),
+    ]
+}
+
+/// `(standard − compacted)/standard × 100` on mean cuts; 0 when the
+/// standard cut is 0.
+pub(crate) fn improvement(standard: f64, compacted: f64) -> f64 {
+    if standard == 0.0 {
+        0.0
+    } else {
+        (standard - compacted) / standard * 100.0
+    }
+}
+
+/// `(t_woc − t_c)/t_woc × 100`; 0 when the baseline time is 0.
+pub(crate) fn speedup(without: Duration, with: Duration) -> f64 {
+    let t = without.as_secs_f64();
+    if t == 0.0 {
+        0.0
+    } else {
+        (t - with.as_secs_f64()) / t * 100.0
+    }
+}
+
+/// Derives a per-instance seed from the profile seed and a context path
+/// (experiment, size, setting, replicate …), SplitMix64-style so nearby
+/// paths give unrelated streams.
+pub(crate) fn derive_seed(base: u64, parts: &[u64]) -> u64 {
+    let mut state = base;
+    for &p in parts {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(p);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        state = z ^ (z >> 31);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_lists_valid_ones() {
+        let err = run("bogus", &Profile::quick()).unwrap_err();
+        assert!(err.contains("gbreg"));
+        assert!(err.contains("table1"));
+    }
+
+    #[test]
+    fn derive_seed_is_path_sensitive() {
+        assert_ne!(derive_seed(1, &[1, 2]), derive_seed(1, &[2, 1]));
+        assert_ne!(derive_seed(1, &[1]), derive_seed(2, &[1]));
+        assert_eq!(derive_seed(7, &[3, 4]), derive_seed(7, &[3, 4]));
+    }
+
+    #[test]
+    fn improvement_and_speedup_edge_cases() {
+        assert_eq!(improvement(0.0, 5.0), 0.0);
+        assert_eq!(improvement(10.0, 1.0), 90.0);
+        assert_eq!(speedup(Duration::ZERO, Duration::from_secs(1)), 0.0);
+        assert_eq!(speedup(Duration::from_secs(2), Duration::from_secs(1)), 50.0);
+    }
+
+    #[test]
+    fn quad_headers_match_row_width() {
+        let headers = quad_headers("b");
+        let avg = QuadAverage {
+            cuts: [1.0, 2.0, 3.0, 4.0],
+            times: [Duration::from_millis(1); 4],
+            count: 1,
+        };
+        assert_eq!(quad_row("x".into(), &avg).len(), headers.len());
+    }
+}

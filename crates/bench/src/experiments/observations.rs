@@ -1,0 +1,218 @@
+//! Observation experiments: the qualitative claims of §VI rendered as
+//! tables.
+//!
+//! * **Observation 1** — KL and SA degrade sharply from degree 4 to
+//!   degree 3 on `Gbreg`; degree-4 instances are solved to the planted
+//!   width and faster.
+//! * **Observation 4** — KL is faster than SA and usually better,
+//!   except on binary trees and ladder graphs where SA wins.
+
+use bisect_gen::rng::LaggedFibonacci;
+use bisect_gen::{gbreg, special};
+use rand::SeedableRng;
+
+use super::{derive_seed, ExperimentResult};
+use crate::profile::Profile;
+use crate::runner::Suite;
+use crate::table::{fmt_duration, Table};
+
+/// Observation 1: the degree-3 vs degree-4 cliff on `Gbreg`. Rows per
+/// degree report found/planted cut ratios and times for all four
+/// algorithms.
+pub fn obs1(profile: &Profile) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let size = *profile.random_model_sizes().last().expect("profile has sizes");
+    let b0 = profile.gbreg_widths()[profile.gbreg_widths().len() / 2];
+    let mut table = Table::new(
+        format!("Observation 1: Gbreg({size}, b≈{b0}, d) quality cliff (cut / planted b)"),
+        ["d", "b", "SA ratio", "CSA ratio", "KL ratio", "CKL ratio", "KL passes", "t_SA", "t_KL"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for d in [3usize, 4] {
+        let b = super::random::feasible_width(size / 2, d, b0);
+        let params = gbreg::GbregParams::new(size, b, d).expect("feasible parameters");
+        let mut ratios = [0.0f64; 4];
+        let mut t_sa = std::time::Duration::ZERO;
+        let mut t_kl = std::time::Duration::ZERO;
+        let mut kl_passes = 0usize;
+        for rep in 0..profile.replicates {
+            let seed = derive_seed(profile.seed, &[50, d as u64, rep as u64]);
+            let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
+            let g = gbreg::sample(&mut gen_rng, &params).expect("construction succeeds");
+            let (sa, csa, kl, ckl) = suite.run(&g, profile.starts, seed ^ 0xABCD);
+            for (i, r) in [&sa, &csa, &kl, &ckl].iter().enumerate() {
+                ratios[i] += r.cut as f64 / b as f64;
+            }
+            t_sa += sa.elapsed;
+            t_kl += kl.elapsed;
+            // Pass count behind the speed difference ("it takes fewer
+            // passes for the algorithms to converge on degree 4").
+            let init = bisect_core::seed::random_balanced(&g, &mut gen_rng);
+            let (_, passes) =
+                bisect_core::kl::KernighanLin::new().refine_with_passes(&g, init);
+            kl_passes += passes;
+        }
+        let n = profile.replicates as f64;
+        table.push_row(vec![
+            d.to_string(),
+            b.to_string(),
+            format!("{:.1}x", ratios[0] / n),
+            format!("{:.1}x", ratios[1] / n),
+            format!("{:.1}x", ratios[2] / n),
+            format!("{:.1}x", ratios[3] / n),
+            format!("{:.1}", kl_passes as f64 / n),
+            fmt_duration(t_sa / profile.replicates as u32),
+            fmt_duration(t_kl / profile.replicates as u32),
+        ]);
+    }
+    ExperimentResult {
+        id: "obs1".into(),
+        title: "Observation 1: algorithms improve as average degree increases".into(),
+        tables: vec![table],
+    }
+}
+
+/// Observation 4: KL vs SA head to head — speed everywhere, quality on
+/// special graphs (SA wins on trees and ladders).
+pub fn obs4(profile: &Profile) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let mut table = Table::new(
+        "Observation 4: KL vs SA (uncompacted, best of starts)",
+        ["graph", "bkl", "bsa", "t_KL", "t_SA", "SA/KL time", "quality winner"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    let grid_side = *profile.grid_sides().last().expect("profile has grid sizes");
+    let rungs = *profile.ladder_rungs().last().expect("profile has ladder sizes");
+    let tree = *profile.tree_sizes().last().expect("profile has tree sizes");
+    let workloads: Vec<(String, bisect_graph::Graph)> = vec![
+        (format!("grid {grid_side}x{grid_side}"), special::grid(grid_side, grid_side)),
+        (format!("ladder 2x{rungs}"), special::ladder(rungs)),
+        (format!("binary tree {tree}"), special::binary_tree(tree)),
+    ];
+    for (i, (label, g)) in workloads.iter().enumerate() {
+        let seed = derive_seed(profile.seed, &[60, i as u64]);
+        let (sa, _, kl, _) = suite.run(g, profile.starts, seed);
+        let time_ratio = if kl.elapsed.as_secs_f64() > 0.0 {
+            sa.elapsed.as_secs_f64() / kl.elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        let winner = match kl.cut.cmp(&sa.cut) {
+            std::cmp::Ordering::Less => "KL",
+            std::cmp::Ordering::Greater => "SA",
+            std::cmp::Ordering::Equal => "tie",
+        };
+        table.push_row(vec![
+            label.clone(),
+            kl.cut.to_string(),
+            sa.cut.to_string(),
+            fmt_duration(kl.elapsed),
+            fmt_duration(sa.elapsed),
+            format!("{time_ratio:.1}x"),
+            winner.into(),
+        ]);
+    }
+    ExperimentResult {
+        id: "obs4".into(),
+        title: "Observation 4: KL is faster; SA wins trees and ladders".into(),
+        tables: vec![table],
+    }
+}
+
+/// §VI head-to-head claim: "On graphs of average degree of 2.5 to 3.5,
+/// when a noticeable difference was observed in the quality of the
+/// bisection returned, the Kernighan-Lin procedure had the better
+/// bisection sixty percent of the time." Counts KL-better / SA-better /
+/// tie over a `G2set` corpus at those degrees.
+pub fn winrate(profile: &Profile) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let size = *profile.random_model_sizes().first().expect("profile has sizes");
+    let mut table = Table::new(
+        format!("KL vs SA quality head-to-head on G2set({size}, ·, ·, b), best of starts"),
+        ["deg", "KL better", "SA better", "tie", "KL share of decided"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for &degree in &[2.5f64, 3.0, 3.5] {
+        let mut kl_wins = 0usize;
+        let mut sa_wins = 0usize;
+        let mut ties = 0usize;
+        let instances = (profile.replicates * 4).max(4);
+        for rep in 0..instances {
+            let b = profile.g2set_widths()[rep % profile.g2set_widths().len()];
+            let Ok(params) =
+                bisect_gen::g2set::G2setParams::with_average_degree(size, degree, b)
+            else {
+                continue;
+            };
+            let seed = derive_seed(profile.seed, &[80, degree.to_bits(), rep as u64]);
+            let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
+            let g = bisect_gen::g2set::sample(&mut gen_rng, &params);
+            let (sa, _, kl, _) = suite.run(&g, profile.starts, seed ^ 0xABCD);
+            match kl.cut.cmp(&sa.cut) {
+                std::cmp::Ordering::Less => kl_wins += 1,
+                std::cmp::Ordering::Greater => sa_wins += 1,
+                std::cmp::Ordering::Equal => ties += 1,
+            }
+        }
+        let decided = kl_wins + sa_wins;
+        let share = if decided == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", kl_wins as f64 / decided as f64 * 100.0)
+        };
+        table.push_row(vec![
+            format!("{degree}"),
+            kl_wins.to_string(),
+            sa_wins.to_string(),
+            ties.to_string(),
+            share,
+        ]);
+    }
+    ExperimentResult {
+        id: "winrate".into(),
+        title: "§VI head-to-head: KL wins ~60% of decided instances at degree 2.5-3.5".into(),
+        tables: vec![table],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winrate_rows_and_consistency() {
+        let result = winrate(&Profile::smoke());
+        assert_eq!(result.tables[0].rows().len(), 3);
+        for row in result.tables[0].rows() {
+            let kl: usize = row[1].parse().unwrap();
+            let sa: usize = row[2].parse().unwrap();
+            let tie: usize = row[3].parse().unwrap();
+            assert!(kl + sa + tie >= 4);
+        }
+    }
+
+    #[test]
+    fn obs1_rows_per_degree() {
+        let result = obs1(&Profile::smoke());
+        assert_eq!(result.tables[0].rows().len(), 2);
+        assert_eq!(result.tables[0].rows()[0][0], "3");
+        assert_eq!(result.tables[0].rows()[1][0], "4");
+    }
+
+    #[test]
+    fn obs4_covers_three_workloads() {
+        let result = obs4(&Profile::smoke());
+        assert_eq!(result.tables[0].rows().len(), 3);
+        let winners: Vec<&str> =
+            result.tables[0].rows().iter().map(|r| r.last().unwrap().as_str()).collect();
+        for w in winners {
+            assert!(["KL", "SA", "tie"].contains(&w));
+        }
+    }
+}

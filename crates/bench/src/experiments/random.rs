@@ -1,0 +1,165 @@
+//! Random-model experiments: the appendix's `G2set`, `Gnp`, and `Gbreg`
+//! tables for 2000- and 5000-vertex graphs (sizes scale with the
+//! profile).
+
+use bisect_gen::rng::LaggedFibonacci;
+use bisect_gen::{g2set, gbreg, gnp};
+use rand::SeedableRng;
+
+use super::{derive_seed, quad_headers, quad_row, ExperimentResult};
+use crate::profile::Profile;
+use crate::runner::{QuadAverage, Suite};
+use crate::table::Table;
+
+/// The appendix `G2set(2n, pA, pB, b)` tables: one sub-table per
+/// (vertex count, average degree), rows swept over the planted cross
+/// count `b`.
+pub fn g2set(profile: &Profile) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let mut tables = Vec::new();
+    for &size in &profile.random_model_sizes() {
+        for &degree in &profile.g2set_degrees() {
+            let mut table = Table::new(
+                format!("G2set({size}, pA, pB, b) with average degree {degree}"),
+                quad_headers("b"),
+            );
+            for &b in &profile.g2set_widths() {
+                let Ok(params) = g2set::G2setParams::with_average_degree(size, degree, b) else {
+                    continue; // b alone exceeds this degree's edge budget
+                };
+                let mut avg = QuadAverage::default();
+                for rep in 0..profile.replicates {
+                    let seed = derive_seed(
+                        profile.seed,
+                        &[20, size as u64, degree.to_bits(), b as u64, rep as u64],
+                    );
+                    let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
+                    let g = g2set::sample(&mut gen_rng, &params);
+                    avg.add(&suite.run(&g, profile.starts, seed ^ 0xABCD));
+                }
+                table.push_row(quad_row(b.to_string(), &avg.finish()));
+            }
+            tables.push(table);
+        }
+    }
+    ExperimentResult {
+        id: "g2set".into(),
+        title: "Appendix: G2set(2n, pA, pB, b) tables".into(),
+        tables,
+    }
+}
+
+/// The appendix `Gnp(2n, p)` tables: one sub-table per vertex count,
+/// rows swept over expected average degree (each entry averaged over
+/// `2·replicates + 1` graphs, the paper's 7).
+pub fn gnp(profile: &Profile) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let mut tables = Vec::new();
+    for &size in &profile.random_model_sizes() {
+        let mut table = Table::new(format!("Gnp({size}, p)"), quad_headers("deg"));
+        for &degree in &profile.gnp_degrees() {
+            let params = gnp::GnpParams::with_average_degree(size, degree)
+                .expect("profile degrees are feasible");
+            let mut avg = QuadAverage::default();
+            for rep in 0..profile.gnp_replicates() {
+                let seed =
+                    derive_seed(profile.seed, &[30, size as u64, degree.to_bits(), rep as u64]);
+                let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
+                let g = gnp::sample(&mut gen_rng, &params);
+                avg.add(&suite.run(&g, profile.starts, seed ^ 0xABCD));
+            }
+            table.push_row(quad_row(format!("{degree}"), &avg.finish()));
+        }
+        tables.push(table);
+    }
+    ExperimentResult { id: "gnp".into(), title: "Appendix: Gnp(2n, p) tables".into(), tables }
+}
+
+/// The appendix `Gbreg(2n, b, d)` tables: one sub-table per (vertex
+/// count, degree ∈ {3, 4}), rows swept over the planted width `b`
+/// (averaged over `replicates` graphs, the paper's 3). The planted
+/// width is adjusted by one when parity demands it (`n·d − b` must be
+/// even).
+pub fn gbreg(profile: &Profile) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let mut tables = Vec::new();
+    for &size in &profile.random_model_sizes() {
+        for d in [3usize, 4] {
+            let mut table =
+                Table::new(format!("Gbreg({size}, b, {d})"), quad_headers("b"));
+            for &b0 in &profile.gbreg_widths() {
+                let b = feasible_width(size / 2, d, b0);
+                let params = gbreg::GbregParams::new(size, b, d)
+                    .expect("profile widths are feasible after parity adjustment");
+                let mut avg = QuadAverage::default();
+                for rep in 0..profile.replicates {
+                    let seed = derive_seed(
+                        profile.seed,
+                        &[40, size as u64, d as u64, b as u64, rep as u64],
+                    );
+                    let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
+                    let g = gbreg::sample(&mut gen_rng, &params)
+                        .expect("Gbreg construction succeeds for the paper's parameters");
+                    avg.add(&suite.run(&g, profile.starts, seed ^ 0xABCD));
+                }
+                table.push_row(quad_row(b.to_string(), &avg.finish()));
+            }
+            tables.push(table);
+        }
+    }
+    ExperimentResult {
+        id: "gbreg".into(),
+        title: "Appendix: Gbreg(2n, b, d) tables".into(),
+        tables,
+    }
+}
+
+/// Adjusts a requested planted width to the parity `n·d − b ≡ 0 (mod
+/// 2)` requires, bumping by one when needed.
+pub(crate) fn feasible_width(n_half: usize, d: usize, b: usize) -> usize {
+    if (n_half * d).wrapping_sub(b).is_multiple_of(2) {
+        b
+    } else {
+        b + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_width_parity() {
+        // n·d even: b unchanged.
+        assert_eq!(feasible_width(500, 4, 8), 8);
+        // n·d odd: even b bumps to odd.
+        assert_eq!(feasible_width(251, 3, 8), 9);
+        assert_eq!(feasible_width(251, 3, 9), 9);
+    }
+
+    #[test]
+    fn gbreg_tables_cover_sizes_and_degrees() {
+        let profile = Profile::smoke();
+        let result = gbreg(&profile);
+        // one size × degrees {3,4}
+        assert_eq!(result.tables.len(), 2);
+        for t in &result.tables {
+            assert_eq!(t.rows().len(), profile.gbreg_widths().len());
+        }
+    }
+
+    #[test]
+    fn gnp_tables_have_degree_rows() {
+        let profile = Profile::smoke();
+        let result = gnp(&profile);
+        assert_eq!(result.tables.len(), 1);
+        assert_eq!(result.tables[0].rows().len(), profile.gnp_degrees().len());
+    }
+
+    #[test]
+    fn g2set_tables_per_degree() {
+        let profile = Profile::smoke();
+        let result = g2set(&profile);
+        assert_eq!(result.tables.len(), profile.g2set_degrees().len());
+    }
+}

@@ -1,0 +1,166 @@
+//! Special-graph experiments: Table 1 and the appendix's ladder, grid,
+//! and binary-tree tables.
+
+use bisect_gen::special;
+use bisect_graph::Graph;
+
+use super::{derive_seed, improvement, quad_headers, quad_row, ExperimentResult};
+use crate::profile::Profile;
+use crate::runner::{QuadAverage, Suite};
+use crate::table::Table;
+
+/// The three special families of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// `N×N` grid graphs (appendix "Grid graphs"; optimal cut `N`).
+    Grid,
+    /// Ladder graphs with `2k` vertices (appendix "Ladder graphs";
+    /// optimal cut 2).
+    Ladder,
+    /// Complete binary trees (appendix "Binary trees"; optimal cut 1
+    /// when a subtree holds exactly half the vertices, ≤ O(log n)
+    /// always).
+    BinaryTree,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::Grid => "Grid",
+            Family::Ladder => "Ladder",
+            Family::BinaryTree => "Binary tree",
+        }
+    }
+
+    fn sizes(self, profile: &Profile) -> Vec<usize> {
+        match self {
+            Family::Grid => profile.grid_sides(),
+            Family::Ladder => profile.ladder_rungs(),
+            Family::BinaryTree => profile.tree_sizes(),
+        }
+    }
+
+    fn build(self, size: usize) -> Graph {
+        match self {
+            Family::Grid => special::grid(size, size),
+            Family::Ladder => special::ladder(size),
+            Family::BinaryTree => special::binary_tree(size),
+        }
+    }
+
+    fn label(self, size: usize) -> String {
+        match self {
+            Family::Grid => format!("{size}x{size}"),
+            Family::Ladder => format!("2x{size}"),
+            Family::BinaryTree => format!("{size}"),
+        }
+    }
+
+    fn id(self) -> u64 {
+        match self {
+            Family::Grid => 1,
+            Family::Ladder => 2,
+            Family::BinaryTree => 3,
+        }
+    }
+}
+
+/// One appendix special-graph table: rows are instance sizes, columns
+/// the standard four-algorithm layout.
+pub fn family(profile: &Profile, family: Family) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let mut table = Table::new(
+        format!("{} graphs (best of {} starts)", family.name(), profile.starts),
+        quad_headers("size"),
+    );
+    for size in family.sizes(profile) {
+        let g = family.build(size);
+        let seed = derive_seed(profile.seed, &[family.id(), size as u64]);
+        let mut avg = QuadAverage::default();
+        avg.add(&suite.run(&g, profile.starts, seed));
+        let avg = avg.finish();
+        table.push_row(quad_row(family.label(size), &avg));
+    }
+    ExperimentResult {
+        id: match family {
+            Family::Grid => "grid",
+            Family::Ladder => "ladder",
+            Family::BinaryTree => "btree",
+        }
+        .into(),
+        title: format!("Appendix: {} graphs", family.name()),
+        tables: vec![table],
+    }
+}
+
+/// Table 1: average percentage improvement in cut size from compaction
+/// on grids, ladders, and binary trees, for KL and SA (best of two
+/// starts).
+pub fn table1(profile: &Profile) -> ExperimentResult {
+    let suite = Suite::for_profile(profile);
+    let mut table = Table::new(
+        "Table 1: bisection width improvement made by compaction (best of starts)",
+        vec!["Graph type".into(), "over KL".into(), "over SA".into()],
+    );
+    for fam in [Family::Grid, Family::Ladder, Family::BinaryTree] {
+        let mut kl_improvements = Vec::new();
+        let mut sa_improvements = Vec::new();
+        for size in fam.sizes(profile) {
+            let g = fam.build(size);
+            let seed = derive_seed(profile.seed, &[10 + fam.id(), size as u64]);
+            let (sa, csa, kl, ckl) = suite.run(&g, profile.starts, seed);
+            kl_improvements.push(improvement(kl.cut as f64, ckl.cut as f64));
+            sa_improvements.push(improvement(sa.cut as f64, csa.cut as f64));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        table.push_row(vec![
+            fam.name().into(),
+            format!("{:.0}%", mean(&kl_improvements)),
+            format!("{:.0}%", mean(&sa_improvements)),
+        ]);
+    }
+    ExperimentResult {
+        id: "table1".into(),
+        title: "Table 1: cut improvement made by compaction".into(),
+        tables: vec![table],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile() -> Profile {
+        Profile::smoke()
+    }
+
+    #[test]
+    fn family_builders_match_sizes() {
+        assert_eq!(Family::Grid.build(5).num_vertices(), 25);
+        assert_eq!(Family::Ladder.build(5).num_vertices(), 10);
+        assert_eq!(Family::BinaryTree.build(7).num_vertices(), 7);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Family::Grid.label(8), "8x8");
+        assert_eq!(Family::Ladder.label(8), "2x8");
+        assert_eq!(Family::BinaryTree.label(63), "63");
+    }
+
+    #[test]
+    fn ladder_experiment_has_row_per_size() {
+        let profile = tiny_profile();
+        let result = family(&profile, Family::Ladder);
+        assert_eq!(result.id, "ladder");
+        assert_eq!(result.tables.len(), 1);
+        assert_eq!(result.tables[0].rows().len(), profile.ladder_rungs().len());
+    }
+
+    #[test]
+    fn table1_has_three_rows() {
+        let result = table1(&tiny_profile());
+        assert_eq!(result.tables[0].rows().len(), 3);
+        assert_eq!(result.tables[0].rows()[0][0], "Grid");
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness for the DAC'89 bisection study.
+//!
+//! Regenerates every table of the paper's evaluation (Table 1 plus the
+//! appendix tables) with the same row/column structure: for each
+//! workload, the cut found by simulated annealing (SA), compacted SA
+//! (CSA), Kernighan-Lin (KL) and compacted KL (CKL), their run times,
+//! the relative cut improvement `(b_x − b_cx)/b_x × 100`, and the
+//! relative speedup `(t_woc − t_c)/t_woc × 100`.
+//!
+//! Entry points:
+//!
+//! * the `repro` binary (`cargo run -p bisect-bench --release --bin
+//!   repro -- --help`) prints any experiment as a text table and can
+//!   emit CSV;
+//! * [`experiments`] exposes each experiment programmatically;
+//! * the Criterion benches (`benches/`) time the individual algorithms
+//!   and the ablations of DESIGN.md.
+//!
+//! Run protocol (matching §VI): every algorithm runs from
+//! [`Profile::starts`] random starts (paper: 2) and reports the best
+//! cut and the *total* time across starts; random-model settings are
+//! averaged over [`Profile::replicates`] graphs (paper: 3 for `Gbreg`,
+//! 7 for `Gnp`, 1 otherwise).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod profile;
+pub mod runner;
+pub mod table;
+
+pub use profile::{Profile, Scale};
+pub use runner::{AlgoResult, Suite};
+pub use table::Table;

@@ -1,0 +1,202 @@
+//! Run protocol: best-of-k starts with total timing, and the standard
+//! four-algorithm suite (SA, CSA, KL, CKL) of the paper's tables.
+
+use std::time::{Duration, Instant};
+
+use bisect_core::bisector::Bisector;
+use bisect_core::compaction::Compacted;
+use bisect_core::kl::KernighanLin;
+use bisect_core::sa::{Schedule, SimulatedAnnealing};
+use bisect_gen::rng::LaggedFibonacci;
+use bisect_graph::Graph;
+use rand::SeedableRng;
+
+use crate::profile::{Profile, Scale};
+
+/// Outcome of running one algorithm on one graph: best cut over the
+/// starts and total elapsed time (the paper's protocol: "all timing
+/// results will be the total time it took the procedure to complete
+/// both starting configurations").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgoResult {
+    /// Algorithm name (e.g. `"CKL"`).
+    pub name: String,
+    /// Best cut over the starts.
+    pub cut: u64,
+    /// Total wall-clock time across the starts.
+    pub elapsed: Duration,
+}
+
+/// Runs `algo` from `starts` random starts; returns best cut and total
+/// time. Deterministic given `seed` (randomness comes from the
+/// lagged-Fibonacci generator the paper used).
+pub fn run_best_of(algo: &dyn Bisector, g: &Graph, starts: usize, seed: u64) -> AlgoResult {
+    let mut rng = LaggedFibonacci::seed_from_u64(seed);
+    let begin = Instant::now();
+    let mut best: Option<u64> = None;
+    for _ in 0..starts.max(1) {
+        let p = algo.bisect(g, &mut rng);
+        debug_assert!(p.is_balanced(g));
+        let cut = p.cut();
+        if best.is_none_or(|b| cut < b) {
+            best = Some(cut);
+        }
+    }
+    AlgoResult {
+        name: algo.name(),
+        cut: best.expect("at least one start"),
+        elapsed: begin.elapsed(),
+    }
+}
+
+/// The four algorithms every table compares, constructed to match the
+/// profile (the paper profile uses a longer annealing schedule).
+pub struct Suite {
+    /// Simulated annealing (Figure 1).
+    pub sa: SimulatedAnnealing,
+    /// Compacted simulated annealing (§V).
+    pub csa: Compacted<SimulatedAnnealing>,
+    /// Kernighan-Lin (Figure 2).
+    pub kl: KernighanLin,
+    /// Compacted Kernighan-Lin (§V).
+    pub ckl: Compacted<KernighanLin>,
+}
+
+impl Suite {
+    /// Builds the suite for a profile.
+    pub fn for_profile(profile: &Profile) -> Suite {
+        let sa = match profile.scale {
+            Scale::Smoke | Scale::Quick => SimulatedAnnealing::new().with_schedule(Schedule {
+                sizefactor: 4,
+                cooling: 0.9,
+                max_temperatures: 150,
+                ..Schedule::default()
+            }),
+            Scale::Paper => SimulatedAnnealing::new(),
+        };
+        Suite {
+            sa: sa.clone(),
+            csa: Compacted::new(sa),
+            kl: KernighanLin::new(),
+            ckl: Compacted::new(KernighanLin::new()),
+        }
+    }
+
+    /// Runs all four algorithms on `g`; returns `(sa, csa, kl, ckl)`.
+    /// Each algorithm gets its own deterministic seed stream derived
+    /// from `seed`.
+    pub fn run(
+        &self,
+        g: &Graph,
+        starts: usize,
+        seed: u64,
+    ) -> (AlgoResult, AlgoResult, AlgoResult, AlgoResult) {
+        (
+            run_best_of(&self.sa, g, starts, seed ^ 0x5a5a_0001),
+            run_best_of(&self.csa, g, starts, seed ^ 0x5a5a_0002),
+            run_best_of(&self.kl, g, starts, seed ^ 0x5a5a_0003),
+            run_best_of(&self.ckl, g, starts, seed ^ 0x5a5a_0004),
+        )
+    }
+}
+
+/// Averages of the four-algorithm results over several graphs of one
+/// parameter setting (the paper averages 3 `Gbreg` graphs per setting,
+/// 7 for `Gnp`).
+#[derive(Debug, Clone, Default)]
+pub struct QuadAverage {
+    /// Mean best cut per algorithm, in suite order (SA, CSA, KL, CKL).
+    pub cuts: [f64; 4],
+    /// Mean total time per algorithm.
+    pub times: [Duration; 4],
+    /// Number of graphs averaged.
+    pub count: usize,
+}
+
+impl QuadAverage {
+    /// Adds one graph's results.
+    pub fn add(&mut self, results: &(AlgoResult, AlgoResult, AlgoResult, AlgoResult)) {
+        let list = [&results.0, &results.1, &results.2, &results.3];
+        for (i, r) in list.iter().enumerate() {
+            self.cuts[i] += r.cut as f64;
+            self.times[i] += r.elapsed;
+        }
+        self.count += 1;
+    }
+
+    /// Finalizes the means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no results were added.
+    pub fn finish(mut self) -> QuadAverage {
+        assert!(self.count > 0, "no results to average");
+        for c in &mut self.cuts {
+            *c /= self.count as f64;
+        }
+        for t in &mut self.times {
+            *t /= self.count as u32;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_core::bisector::RandomBisector;
+    use bisect_gen::special;
+
+    #[test]
+    fn run_best_of_is_deterministic_in_cut() {
+        let g = special::grid(6, 6);
+        let a = run_best_of(&RandomBisector::new(), &g, 3, 42);
+        let b = run_best_of(&RandomBisector::new(), &g, 3, 42);
+        assert_eq!(a.cut, b.cut);
+        assert_eq!(a.name, "Random");
+    }
+
+    #[test]
+    fn more_starts_never_worse() {
+        let g = special::cycle(30);
+        let one = run_best_of(&RandomBisector::new(), &g, 1, 7);
+        let many = run_best_of(&RandomBisector::new(), &g, 20, 7);
+        assert!(many.cut <= one.cut);
+    }
+
+    #[test]
+    fn suite_runs_all_four() {
+        let g = special::grid(6, 6);
+        let suite = Suite::for_profile(&Profile::quick());
+        let (sa, csa, kl, ckl) = suite.run(&g, 1, 3);
+        assert_eq!(sa.name, "SA");
+        assert_eq!(csa.name, "CSA");
+        assert_eq!(kl.name, "KL");
+        assert_eq!(ckl.name, "CKL");
+        for r in [&sa, &csa, &kl, &ckl] {
+            assert!(r.cut <= 36, "{} cut {}", r.name, r.cut);
+        }
+    }
+
+    #[test]
+    fn quad_average_means() {
+        let mk = |cut| AlgoResult {
+            name: "X".into(),
+            cut,
+            elapsed: Duration::from_millis(10),
+        };
+        let mut avg = QuadAverage::default();
+        avg.add(&(mk(2), mk(4), mk(6), mk(8)));
+        avg.add(&(mk(4), mk(8), mk(10), mk(12)));
+        let avg = avg.finish();
+        assert_eq!(avg.cuts, [3.0, 6.0, 8.0, 10.0]);
+        assert_eq!(avg.times[0], Duration::from_millis(10));
+        assert_eq!(avg.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no results")]
+    fn empty_average_panics() {
+        let _ = QuadAverage::default().finish();
+    }
+}

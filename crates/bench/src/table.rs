@@ -1,0 +1,206 @@
+//! Plain-text and CSV table rendering in the paper's layout.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A rendered experiment table.
+///
+/// # Example
+///
+/// ```
+/// use bisect_bench::Table;
+///
+/// let mut t = Table::new("demo", vec!["x".into(), "y".into()]);
+/// t.push_row(vec!["1".into(), "2".into()]);
+/// let shown = t.to_string();
+/// assert!(shown.contains("demo"));
+/// assert!(shown.contains("| 1 | 2 |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Table {
+        Table { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The body rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders as CSV (header row first, comma-separated, quotes around
+    /// cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let hline = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{:-<1$}+", "", w + 2)?;
+            }
+            writeln!(f)
+        };
+        hline(f)?;
+        write!(f, "|")?;
+        for (header, width) in self.headers.iter().zip(&widths).take(cols) {
+            write!(f, " {header:>width$} |")?;
+        }
+        writeln!(f)?;
+        hline(f)?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, " {:>1$} |", cell, widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        hline(f)
+    }
+}
+
+/// Formats a duration compactly (`1.23s`, `45.6ms`, `789µs`).
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Formats a mean cut: integer when whole, one decimal otherwise.
+pub fn fmt_cut(cut: f64) -> String {
+    if (cut - cut.round()).abs() < 1e-9 {
+        format!("{}", cut.round() as i64)
+    } else {
+        format!("{cut:.1}")
+    }
+}
+
+/// Formats a percentage with sign.
+pub fn fmt_percent(p: f64) -> String {
+    format!("{p:+.0}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("T", vec!["col".into(), "x".into()]);
+        t.push_row(vec!["1".into(), "222222".into()]);
+        t.push_row(vec!["33".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.contains("|   1 | 222222 |"), "{s}");
+        assert!(s.contains("|  33 |      4 |"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn row_length_checked() {
+        let mut t = Table::new("T", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a\n\"x,y\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(45)), "45.0ms");
+        assert_eq!(fmt_duration(Duration::from_micros(789)), "789µs");
+    }
+
+    #[test]
+    fn cut_formats() {
+        assert_eq!(fmt_cut(4.0), "4");
+        assert_eq!(fmt_cut(4.33), "4.3");
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(fmt_percent(90.4), "+90%");
+        assert_eq!(fmt_percent(-12.0), "-12%");
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Table::new("T", vec!["a".into()]);
+        assert_eq!(t.title(), "T");
+        assert_eq!(t.headers(), &["a".to_string()]);
+        assert!(t.rows().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! The common interface of all bisection algorithms.
+//!
+//! A [`Bisector`] produces a balanced bisection of a graph from scratch;
+//! a [`Refiner`] is a bisector that can also *improve a given starting
+//! bisection* — the property the compaction heuristic exploits (§V step
+//! 5: "use `(A, B)` as the starting configuration for the bisection
+//! procedure on the original graph"). Kernighan-Lin and simulated
+//! annealing are refiners; compacted and multilevel algorithms, and the
+//! one-shot baselines (random, greedy, spectral, exact), are plain
+//! bisectors.
+//!
+//! [`best_of`] reproduces the paper's evaluation protocol: run from `k`
+//! independent random starts and keep the smallest cut ("all bisection
+//! results reported here will be based on the best solution of the two
+//! trials").
+
+use bisect_graph::Graph;
+use rand::RngCore;
+
+use crate::partition::Bisection;
+use crate::seed;
+
+/// An algorithm that bisects a graph.
+///
+/// Implementations must return a *balanced* bisection (per
+/// [`Bisection::is_balanced`]) whose maintained cut is consistent with
+/// the graph.
+pub trait Bisector {
+    /// Human-readable name used in experiment tables (e.g. `"KL"`,
+    /// `"CSA"`).
+    fn name(&self) -> String;
+
+    /// Computes a balanced bisection of `g`, drawing any randomness from
+    /// `rng`.
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection;
+}
+
+/// A bisector that improves a supplied starting bisection (local
+/// search). The default [`Bisector::bisect`] of a refiner starts from a
+/// uniformly random balanced bisection, matching the paper's protocol.
+pub trait Refiner: Bisector {
+    /// Improves `init`, returning a bisection whose cut is no larger.
+    /// The returned bisection preserves balance (implementations keep
+    /// the side sizes of `init` or restore balance before returning).
+    fn refine(&self, g: &Graph, init: Bisection, rng: &mut dyn RngCore) -> Bisection;
+}
+
+/// Runs `bisector` from `starts` independent attempts and returns the
+/// bisection with the smallest cut (ties: first found). The paper uses
+/// `starts = 2`.
+///
+/// # Panics
+///
+/// Panics if `starts == 0`.
+pub fn best_of<B: Bisector + ?Sized>(
+    bisector: &B,
+    g: &Graph,
+    starts: usize,
+    rng: &mut dyn RngCore,
+) -> Bisection {
+    assert!(starts > 0, "need at least one start");
+    let mut best: Option<Bisection> = None;
+    for _ in 0..starts {
+        let candidate = bisector.bisect(g, rng);
+        if best.as_ref().is_none_or(|b| candidate.cut() < b.cut()) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one start ran")
+}
+
+/// The trivial bisector: a uniformly random balanced bisection with no
+/// improvement. The baseline every heuristic must beat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomBisector;
+
+impl RandomBisector {
+    /// Creates the random bisector.
+    pub fn new() -> RandomBisector {
+        RandomBisector
+    }
+}
+
+impl Bisector for RandomBisector {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        seed::random_balanced(g, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bisector_balanced() {
+        let g = bisect_gen::special::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = RandomBisector::new().bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn best_of_improves_over_single() {
+        let g = bisect_gen::special::cycle(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let single = RandomBisector::new().bisect(&g, &mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let best = best_of(&RandomBisector::new(), &g, 50, &mut rng);
+        assert!(best.cut() <= single.cut());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one start")]
+    fn best_of_zero_starts_panics() {
+        let g = bisect_gen::special::cycle(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = best_of(&RandomBisector::new(), &g, 0, &mut rng);
+    }
+
+    #[test]
+    fn bisector_is_object_safe() {
+        let boxed: Box<dyn Bisector> = Box::new(RandomBisector::new());
+        assert_eq!(boxed.name(), "Random");
+        let g = bisect_gen::special::path(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = best_of(boxed.as_ref(), &g, 2, &mut rng);
+        assert!(p.is_balanced(&g));
+    }
+}

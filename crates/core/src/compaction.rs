@@ -1,0 +1,234 @@
+//! The compaction heuristic (§V of the paper, from \[BCLS87\]) — the
+//! paper's contribution. Wrapping Kernighan-Lin gives **CKL**, wrapping
+//! simulated annealing gives **CSA**.
+//!
+//! Bisection using compaction works on a graph `G = (V, E)` as follows
+//! (quoting the paper):
+//!
+//! 1. Form a maximum random matching `M` of the graph `G`.
+//! 2. Form a new graph `G'` by contracting the edges in the random
+//!    matching `M`.
+//! 3. Run the bisection heuristic on `G'` to obtain the bisection
+//!    `(A', B')`.
+//! 4. Uncompact the edges to obtain the original graph and create an
+//!    initial bisection `(A, B)` from `(A', B')`.
+//! 5. Use `(A, B)` as the starting configuration for the bisection
+//!    procedure on the original graph.
+//!
+//! Contraction roughly doubles the average degree, moving the instance
+//! into the regime where KL and SA work well (Observation 1); the
+//! projected bisection then gives the fine-level search a strong start.
+//!
+//! Two deviations from the letter of the paper, both required for
+//! correctness on weighted coarse graphs: the coarse-level starting
+//! bisection is balanced by vertex *weight* (so that step 4 projects to
+//! a nearly vertex-balanced fine bisection), and the projected bisection
+//! is explicitly rebalanced before step 5 (projection can be off by one
+//! unit when the matching leaves singletons).
+
+use bisect_graph::{contraction, matching, Graph};
+use rand::RngCore;
+
+use crate::bisector::{Bisector, Refiner};
+use crate::partition::{rebalance, Bisection};
+use crate::seed;
+
+/// Which maximal matching the contraction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchingKind {
+    /// Random vertex visiting order, random free neighbor (the paper's
+    /// "maximum random matching").
+    #[default]
+    Random,
+    /// Random vertex order, heaviest free neighbor (multilevel-style);
+    /// for the `ablate-matching` benchmark.
+    HeavyEdge,
+    /// Random *edge* order greedy matching.
+    EdgeOrder,
+}
+
+impl MatchingKind {
+    fn run(self, g: &Graph, rng: &mut dyn RngCore) -> matching::Matching {
+        match self {
+            MatchingKind::Random => matching::random_maximal(g, rng),
+            MatchingKind::HeavyEdge => matching::heavy_edge(g, rng),
+            MatchingKind::EdgeOrder => matching::random_edge_order(g, rng),
+        }
+    }
+}
+
+/// The compaction wrapper: `Compacted::new(KernighanLin::new())` is the
+/// paper's CKL, `Compacted::new(SimulatedAnnealing::new())` is CSA.
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::{bisector::Bisector, compaction::Compacted, kl::KernighanLin};
+/// use bisect_gen::special;
+/// use rand::SeedableRng;
+///
+/// let g = special::binary_tree(62);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ckl = Compacted::new(KernighanLin::new());
+/// assert_eq!(ckl.name(), "CKL");
+/// let p = ckl.bisect(&g, &mut rng);
+/// assert!(p.is_balanced(&g));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compacted<B> {
+    inner: B,
+    matching_kind: MatchingKind,
+}
+
+impl<B: Refiner> Compacted<B> {
+    /// Wraps `inner` with one level of compaction using the random
+    /// maximal matching of the paper.
+    pub fn new(inner: B) -> Compacted<B> {
+        Compacted { inner, matching_kind: MatchingKind::default() }
+    }
+
+    /// Selects a different matching strategy (for ablations).
+    pub fn with_matching_kind(mut self, matching_kind: MatchingKind) -> Compacted<B> {
+        self.matching_kind = matching_kind;
+        self
+    }
+
+    /// The wrapped refiner.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Refiner> Bisector for Compacted<B> {
+    fn name(&self) -> String {
+        format!("C{}", self.inner.name())
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        // Step 1: random maximal matching.
+        let m = self.matching_kind.run(g, rng);
+        if m.is_empty() {
+            // Nothing to contract (edgeless or trivial graph).
+            return self.inner.bisect(g, rng);
+        }
+        // Step 2: contract.
+        let c = contraction::contract_matching(g, &m);
+        let coarse = c.coarse();
+        // Step 3: bisect G' (weight-balanced start, then the inner
+        // heuristic).
+        let coarse_init = seed::weight_balanced_random(coarse, rng);
+        let coarse_bisection = self.inner.refine(coarse, coarse_init, rng);
+        // Step 4: uncompact / project, restore exact balance.
+        let mut projected =
+            Bisection::from_sides(g, c.project_sides(coarse_bisection.sides()))
+                .expect("projection has one side entry per fine vertex");
+        rebalance(g, &mut projected);
+        // Step 5: refine on the original graph from the projected start.
+        let refined = self.inner.refine(g, projected, rng);
+        debug_assert!(refined.is_balanced(g));
+        refined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisector::best_of;
+    use crate::kl::KernighanLin;
+    use crate::sa::SimulatedAnnealing;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names() {
+        assert_eq!(Compacted::new(KernighanLin::new()).name(), "CKL");
+        assert_eq!(Compacted::new(SimulatedAnnealing::new()).name(), "CSA");
+    }
+
+    #[test]
+    fn ckl_balanced_and_consistent() {
+        let g = special::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Compacted::new(KernighanLin::new()).bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn csa_balanced_and_consistent() {
+        let g = special::ladder(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Compacted::new(SimulatedAnnealing::quick()).bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn edgeless_graph_falls_through() {
+        let g = bisect_graph::Graph::empty(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Compacted::new(KernighanLin::new()).bisect(&g, &mut rng);
+        assert_eq!(p.cut(), 0);
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn ckl_beats_kl_on_binary_tree() {
+        // Observation 3: compaction improves KL by ~56% on binary
+        // trees. Check CKL ≤ KL (best of 2 each) on a 254-node tree.
+        let g = special::binary_tree(254);
+        let mut rng = StdRng::seed_from_u64(1989);
+        let kl = best_of(&KernighanLin::new(), &g, 2, &mut rng);
+        let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng);
+        assert!(ckl.cut() <= kl.cut(), "CKL {} > KL {}", ckl.cut(), kl.cut());
+    }
+
+    #[test]
+    fn ckl_near_optimal_on_sparse_planted_gbreg() {
+        // Observation 2's regime: degree-3 Gbreg where plain heuristics
+        // struggle. CKL should land close to the planted width.
+        let params = bisect_gen::gbreg::GbregParams::new(300, 6, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = bisect_gen::gbreg::sample(&mut rng, &params).unwrap();
+        let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng);
+        assert!(ckl.cut() <= 12, "CKL cut {} vs planted 6", ckl.cut());
+    }
+
+    #[test]
+    fn matching_kinds_all_work() {
+        let g = special::grid(6, 6);
+        for kind in [MatchingKind::Random, MatchingKind::HeavyEdge, MatchingKind::EdgeOrder] {
+            let mut rng = StdRng::seed_from_u64(4);
+            let p = Compacted::new(KernighanLin::new())
+                .with_matching_kind(kind)
+                .bisect(&g, &mut rng);
+            assert!(p.is_balanced(&g), "{kind:?}");
+            assert_eq!(p.cut(), p.recompute_cut(&g), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn inner_accessor() {
+        let ckl = Compacted::new(KernighanLin::new());
+        assert_eq!(ckl.inner().name(), "KL");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = special::grid(6, 6);
+        let ckl = Compacted::new(KernighanLin::new());
+        let a = ckl.bisect(&g, &mut StdRng::seed_from_u64(5));
+        let b = ckl.bisect(&g, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn odd_vertex_count_graph() {
+        let g = special::binary_tree(31);
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = Compacted::new(KernighanLin::new()).bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.count_imbalance(), 1);
+    }
+}

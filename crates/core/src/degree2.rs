@@ -1,0 +1,351 @@
+//! Exact polynomial-time bisection of graphs with maximum degree 2.
+//!
+//! The paper remarks that degree-2 `Gbreg` instances "must consist only
+//! of a collection of chordless cycles. As such the optimal bisection is
+//! ≤ 2 … one could solve the problem exactly in time `O(n²)` for these
+//! graphs." This module implements that solver for *any* graph of
+//! maximum degree 2 (disjoint unions of simple paths and cycles):
+//!
+//! * cut **0** — some subset of whole components sums to `⌈n/2⌉`
+//!   (subset-sum over component sizes);
+//! * else cut **1** — fill the remainder with a *prefix* of some path
+//!   component (one edge cut);
+//! * else cut **2** — fill the remainder with an arc of a cycle (or a
+//!   middle segment of a path), always possible.
+//!
+//! Each subset-sum pass is `O(#components · n)` and at most
+//! `#components + 1` passes run — `O(n²)` total, as the paper says.
+
+use bisect_graph::{Graph, VertexId};
+
+use crate::partition::Bisection;
+
+/// Whether every vertex of `g` has degree at most 2 (so the graph is a
+/// disjoint union of simple paths, cycles, and isolated vertices).
+pub fn is_degree_at_most_two(g: &Graph) -> bool {
+    g.vertices().all(|v| g.degree(v) <= 2)
+}
+
+/// Computes an *optimal* bisection of a maximum-degree-2 graph.
+/// Returns `None` if some vertex has degree greater than 2 or the
+/// graph has non-unit edge multiplicities (a contracted multigraph).
+///
+/// The returned bisection is balanced and its cut is the true bisection
+/// width (0, 1, or 2 — it cannot exceed 2 for such graphs when at least
+/// one component must be split).
+pub fn bisect_degree2(g: &Graph) -> Option<Bisection> {
+    if !is_degree_at_most_two(g) || !g.is_unit_weighted() {
+        return None;
+    }
+    let n = g.num_vertices();
+    let target = n.div_ceil(2);
+    let components = trace_components(g);
+    let sizes: Vec<usize> = components.iter().map(|c| c.vertices.len()).collect();
+
+    // Cut 0: whole components only.
+    if let Some(chosen) = subset_sum(&sizes, None, target) {
+        return Some(build(g, &components, &chosen, None));
+    }
+
+    // Cut 1: whole components plus a prefix of one excluded path.
+    for (skip, comp) in components.iter().enumerate() {
+        if comp.is_cycle {
+            continue;
+        }
+        if let Some((chosen, j)) = subset_sum_below(&sizes, Some(skip), target) {
+            let r = target - j;
+            if r > 0 && r < comp.vertices.len() {
+                return Some(build(g, &components, &chosen, Some((skip, r))));
+            }
+        }
+    }
+
+    // Cut 2: whole components plus an arc of any excluded component.
+    // The maximal reachable sum j* leaves every unused component larger
+    // than the remainder, so this always completes.
+    let (chosen, j) = subset_sum_below(&sizes, None, target).expect("0 is always reachable");
+    let r = target - j;
+    let split = chosen
+        .iter()
+        .enumerate()
+        .position(|(i, &used)| !used && sizes[i] > r)
+        .expect("maximality of j* guarantees an oversized unused component");
+    Some(build(g, &components, &chosen, Some((split, r))))
+}
+
+/// One path or cycle component with its vertices in walk order.
+struct Component {
+    vertices: Vec<VertexId>,
+    is_cycle: bool,
+}
+
+/// Traces each component of a max-degree-2 graph into walk order
+/// (paths from one endpoint to the other; cycles from an arbitrary
+/// start).
+fn trace_components(g: &Graph) -> Vec<Component> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    // Paths first: start walks at degree-<2 vertices.
+    for start in g.vertices() {
+        if seen[start as usize] || g.degree(start) == 2 {
+            continue;
+        }
+        components.push(walk(g, start, &mut seen, false));
+    }
+    // Remaining unseen vertices all have degree 2: cycles.
+    for start in g.vertices() {
+        if seen[start as usize] {
+            continue;
+        }
+        components.push(walk(g, start, &mut seen, true));
+    }
+    components
+}
+
+fn walk(g: &Graph, start: VertexId, seen: &mut [bool], is_cycle: bool) -> Component {
+    let mut vertices = vec![start];
+    seen[start as usize] = true;
+    let mut current = start;
+    loop {
+        let next = g
+            .neighbors(current)
+            .iter()
+            .copied()
+            .find(|&u| !seen[u as usize]);
+        match next {
+            Some(u) => {
+                seen[u as usize] = true;
+                vertices.push(u);
+                current = u;
+            }
+            None => break,
+        }
+    }
+    Component { vertices, is_cycle }
+}
+
+/// 0/1 subset sum with reconstruction: a subset of `sizes` (excluding
+/// index `skip`) summing to exactly `target`, as a used-flags vector.
+fn subset_sum(sizes: &[usize], skip: Option<usize>, target: usize) -> Option<Vec<bool>> {
+    let (reachable, parent) = subset_sum_table(sizes, skip, target);
+    reachable[target].then(|| reconstruct(sizes, &parent, target))
+}
+
+/// The largest reachable sum `j ≤ target` and a subset achieving it.
+fn subset_sum_below(
+    sizes: &[usize],
+    skip: Option<usize>,
+    target: usize,
+) -> Option<(Vec<bool>, usize)> {
+    let (reachable, parent) = subset_sum_table(sizes, skip, target);
+    let j = (0..=target).rev().find(|&j| reachable[j])?;
+    Some((reconstruct(sizes, &parent, j), j))
+}
+
+/// Standard DP; `parent[j]` records the item that first reached `j`.
+fn subset_sum_table(
+    sizes: &[usize],
+    skip: Option<usize>,
+    target: usize,
+) -> (Vec<bool>, Vec<usize>) {
+    let mut reachable = vec![false; target + 1];
+    let mut parent = vec![usize::MAX; target + 1];
+    reachable[0] = true;
+    for (i, &size) in sizes.iter().enumerate() {
+        if Some(i) == skip || size > target {
+            continue;
+        }
+        for j in (size..=target).rev() {
+            if !reachable[j] && reachable[j - size] {
+                reachable[j] = true;
+                parent[j] = i;
+            }
+        }
+    }
+    (reachable, parent)
+}
+
+fn reconstruct(sizes: &[usize], parent: &[usize], mut j: usize) -> Vec<bool> {
+    let mut used = vec![false; sizes.len()];
+    while j > 0 {
+        let i = parent[j];
+        debug_assert_ne!(i, usize::MAX, "reachable sums have parents");
+        debug_assert!(!used[i], "0/1 DP uses each item once");
+        used[i] = true;
+        j -= sizes[i];
+    }
+    used
+}
+
+/// Assembles the side assignment: chosen whole components on side A,
+/// plus (optionally) the first `r` walk-order vertices of component
+/// `split` — a path prefix (1 cut edge) or cycle arc (2 cut edges).
+fn build(
+    g: &Graph,
+    components: &[Component],
+    chosen: &[bool],
+    split: Option<(usize, usize)>,
+) -> Bisection {
+    let mut side = vec![true; g.num_vertices()];
+    for (comp, _) in components.iter().zip(chosen).filter(|&(_, &used)| used) {
+        for &v in &comp.vertices {
+            side[v as usize] = false;
+        }
+    }
+    if let Some((index, r)) = split {
+        for &v in components[index].vertices.iter().take(r) {
+            side[v as usize] = false;
+        }
+    }
+    Bisection::from_sides(g, side).expect("side vector covers every vertex")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::minimum_bisection;
+    use bisect_gen::special;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_higher_degree() {
+        assert!(bisect_degree2(&special::star(5)).is_none());
+        assert!(bisect_degree2(&special::grid(3, 3)).is_none());
+        assert!(!is_degree_at_most_two(&special::binary_tree(7)));
+    }
+
+    #[test]
+    fn rejects_weighted_graphs() {
+        let mut b = bisect_graph::GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 2).unwrap();
+        assert!(bisect_degree2(&b.build()).is_none());
+    }
+
+    #[test]
+    fn single_cycle_cut_two() {
+        let g = special::cycle(12);
+        let p = bisect_degree2(&g).unwrap();
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), 2);
+    }
+
+    #[test]
+    fn single_path_cut_one() {
+        let g = special::path(10);
+        let p = bisect_degree2(&g).unwrap();
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), 1);
+    }
+
+    #[test]
+    fn even_split_of_cycles_cut_zero() {
+        let g = special::cycle_collection(4, 5);
+        let p = bisect_degree2(&g).unwrap();
+        assert_eq!(p.cut(), 0);
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn path_fills_remainder_cut_one() {
+        // A 6-cycle plus a 4-path: n = 10, target 5. No whole subset
+        // sums to 5; the path prefix of length 5-4=1... 4-path excluded
+        // leaves {6}: max j below 5 is 0 -> r=5 too big for the path.
+        // Cycle excluded leaves {4}: j=4, r=1 < 6 but that split is the
+        // cycle -> cut 2? No: splitting the *path* needs the other
+        // subset to reach j with r < 4: exclude path, j from {6} is 0,
+        // r=5 ≥ 4. So optimum here is 2 via a cycle arc... verify
+        // against brute force instead of guessing.
+        let mut b = bisect_graph::GraphBuilder::new(10);
+        for i in 0..6u32 {
+            b.add_edge(i, (i + 1) % 6).unwrap();
+        }
+        for i in 6..9u32 {
+            b.add_edge(i, i + 1).unwrap();
+        }
+        let g = b.build();
+        let p = bisect_degree2(&g).unwrap();
+        let exact = minimum_bisection(&g).unwrap();
+        assert_eq!(p.cut(), exact.cut());
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_allow_cut_zero() {
+        // A 5-cycle plus 5 isolated vertices: isolate side fills half.
+        let mut b = bisect_graph::GraphBuilder::new(10);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5).unwrap();
+        }
+        let g = b.build();
+        let p = bisect_degree2(&g).unwrap();
+        assert_eq!(p.cut(), 0);
+    }
+
+    #[test]
+    fn odd_vertex_count() {
+        let g = special::path(7);
+        let p = bisect_degree2(&g).unwrap();
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), 1);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let g = bisect_graph::Graph::empty(0);
+        assert_eq!(bisect_degree2(&g).unwrap().cut(), 0);
+        let g = bisect_graph::Graph::empty(3);
+        assert_eq!(bisect_degree2(&g).unwrap().cut(), 0);
+    }
+
+    #[test]
+    fn matches_branch_and_bound_on_random_unions() {
+        // Random unions of paths and cycles, checked against the
+        // exponential exact solver.
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let mut sizes = Vec::new();
+            let mut total = 0usize;
+            while total < 14 {
+                let len = rng.gen_range(1..=6usize);
+                let cyc = len >= 3 && rng.gen::<bool>();
+                sizes.push((len, cyc));
+                total += len;
+            }
+            let mut b = bisect_graph::GraphBuilder::new(total);
+            let mut base = 0u32;
+            for &(len, cyc) in &sizes {
+                for i in 1..len as u32 {
+                    b.add_edge(base + i - 1, base + i).unwrap();
+                }
+                if cyc {
+                    b.add_edge(base + len as u32 - 1, base).unwrap();
+                }
+                base += len as u32;
+            }
+            let g = b.build();
+            let fast = bisect_degree2(&g).unwrap();
+            let slow = minimum_bisection(&g).unwrap();
+            assert_eq!(fast.cut(), slow.cut(), "trial {trial}, sizes {sizes:?}");
+            assert!(fast.is_balanced(&g));
+        }
+    }
+
+    #[test]
+    fn gbreg_degree2_instances_solved_optimally() {
+        let params = bisect_gen::gbreg::GbregParams::new(200, 4, 2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let g = bisect_gen::gbreg::sample(&mut rng, &params).unwrap();
+        let p = bisect_degree2(&g).unwrap();
+        assert!(p.cut() <= 2, "paper: optimal bisection of degree-2 Gbreg is <= 2");
+    }
+
+    #[test]
+    fn large_instance_is_fast() {
+        let g = special::cycle_collection(100, 37); // 3700 vertices
+        let p = bisect_degree2(&g).unwrap();
+        assert!(p.cut() <= 2);
+        assert!(p.is_balanced(&g));
+    }
+}

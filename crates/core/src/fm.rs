@@ -1,0 +1,279 @@
+//! The Fiduccia-Mattheyses (FM) refinement heuristic (DAC 1982) — the
+//! linear-time successor of Kernighan-Lin, included as an extension and
+//! ablation baseline (`ablate-*` benches): it moves *single* vertices
+//! under a balance constraint instead of swapping pairs, and keeps
+//! vertices in constant-time *gain buckets* instead of re-scanning
+//! pairs.
+//!
+//! One pass: every vertex starts unlocked with its current gain. At
+//! each step the best-gain unlocked vertex whose move keeps the
+//! imbalance within tolerance is (virtually) moved and locked, the
+//! running cut change is recorded, and its neighbors' gains are
+//! updated. After all moves, the best balanced prefix is applied if it
+//! improves the cut. Passes repeat to a fixpoint.
+
+use bisect_graph::{Graph, VertexId};
+use rand::RngCore;
+
+use crate::bisector::{Bisector, Refiner};
+use crate::gain::GainBuckets;
+use crate::partition::{Bisection, Side};
+use crate::seed;
+
+/// The FM bisection algorithm.
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::{bisector::Bisector, fm::FiducciaMattheyses};
+/// use bisect_gen::special;
+/// use rand::SeedableRng;
+///
+/// let g = special::grid(8, 8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = FiducciaMattheyses::new().bisect(&g, &mut rng);
+/// assert!(p.is_balanced(&g));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiducciaMattheyses {
+    max_passes: usize,
+}
+
+impl Default for FiducciaMattheyses {
+    fn default() -> FiducciaMattheyses {
+        FiducciaMattheyses::new()
+    }
+}
+
+impl FiducciaMattheyses {
+    /// FM with passes run to a fixpoint (bounded by a safety cap).
+    pub fn new() -> FiducciaMattheyses {
+        FiducciaMattheyses { max_passes: 64 }
+    }
+
+    /// Limits the number of passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_passes == 0`.
+    pub fn with_max_passes(mut self, max_passes: usize) -> FiducciaMattheyses {
+        assert!(max_passes > 0, "at least one pass is required");
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Runs one FM pass in place; returns the cut improvement (0 at a
+    /// fixpoint). The bisection must be balanced on entry and stays
+    /// balanced.
+    pub fn pass(&self, g: &Graph, p: &mut Bisection) -> u64 {
+        let n = g.num_vertices();
+        if n < 2 {
+            return 0;
+        }
+        let max_weight = g.vertices().map(|v| g.vertex_weight(v)).max().unwrap_or(1);
+        let base_tol = if g.is_unit_weighted() {
+            g.total_vertex_weight() % 2
+        } else {
+            max_weight
+        };
+        // During the pass a single move may overshoot balance by one
+        // vertex: moving weight w changes the side *difference* by 2w,
+        // so the classic FM criterion allows a difference up to twice
+        // the largest vertex weight.
+        let pass_tol = base_tol.max(2 * max_weight);
+
+        let max_wdeg = g
+            .vertices()
+            .map(|v| g.weighted_degree(v))
+            .max()
+            .unwrap_or(0)
+            .min(i64::MAX as u64) as i64;
+        let mut buckets =
+            [GainBuckets::new(n, max_wdeg), GainBuckets::new(n, max_wdeg)];
+        for v in g.vertices() {
+            buckets[p.side(v).index()].insert(v, p.gain(g, v));
+        }
+
+        let mut work = p.clone();
+        let mut locked = vec![false; n];
+        let mut moves: Vec<VertexId> = Vec::with_capacity(n);
+        let mut cumulative: Vec<i64> = Vec::with_capacity(n);
+        let mut balanced_after: Vec<bool> = Vec::with_capacity(n);
+        let mut running = 0i64;
+
+        for _ in 0..n {
+            // Candidate per side: its best-gain unlocked vertex, kept
+            // only if moving it respects the pass tolerance.
+            let mut choice: Option<(i64, Side)> = None;
+            for side in [Side::A, Side::B] {
+                let Some((gain, v)) = buckets[side.index()].peek_best() else { continue };
+                let w = g.vertex_weight(v) as i64;
+                let imb = work.weight(Side::A) as i64 - work.weight(Side::B) as i64;
+                let new_imb = if side == Side::A { imb - 2 * w } else { imb + 2 * w };
+                if new_imb.unsigned_abs() > pass_tol {
+                    continue;
+                }
+                // Prefer higher gain; tie-break toward the heavier side
+                // (drives the state back toward balance).
+                let heavier = work.weight(side) >= work.weight(side.other());
+                match choice {
+                    Some((bg, bside)) => {
+                        let better = gain > bg
+                            || (gain == bg
+                                && heavier
+                                && work.weight(bside) < work.weight(side));
+                        if better {
+                            choice = Some((gain, side));
+                        }
+                    }
+                    None => choice = Some((gain, side)),
+                }
+            }
+            let Some((gain, side)) = choice else { break };
+            let (_, v) = buckets[side.index()].pop_best().expect("peeked nonempty");
+            locked[v as usize] = true;
+            work.move_vertex(g, v);
+            running += gain;
+            moves.push(v);
+            cumulative.push(running);
+            balanced_after.push(work.weight_imbalance() <= base_tol);
+
+            for (u, w) in g.neighbors_weighted(v) {
+                if locked[u as usize] {
+                    continue;
+                }
+                // v left `side`: for u still on `side` the edge became
+                // external (+2w); for u on the other side it became
+                // internal (−2w).
+                let delta = if work.side(u) == side { 2 * w as i64 } else { -2 * (w as i64) };
+                let b = &mut buckets[work.side(u).index()];
+                let cur = b.gain_of(u);
+                b.update(u, cur + delta);
+            }
+        }
+
+        // Best prefix that ends balanced with positive improvement.
+        let mut best: Option<(usize, i64)> = None;
+        for (i, (&c, &ok)) in cumulative.iter().zip(balanced_after.iter()).enumerate() {
+            if ok && c > 0 && best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((i, c));
+            }
+        }
+        let Some((k, best_gain)) = best else { return 0 };
+        let before = p.cut();
+        for &v in &moves[..=k] {
+            p.move_vertex(g, v);
+        }
+        debug_assert_eq!(p.cut(), p.recompute_cut(g));
+        debug_assert_eq!(before - p.cut(), best_gain as u64);
+        before - p.cut()
+    }
+}
+
+impl Bisector for FiducciaMattheyses {
+    fn name(&self) -> String {
+        "FM".into()
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        let init = seed::random_balanced(g, rng);
+        self.refine(g, init, rng)
+    }
+}
+
+impl Refiner for FiducciaMattheyses {
+    fn refine(&self, g: &Graph, mut init: Bisection, _rng: &mut dyn RngCore) -> Bisection {
+        for _ in 0..self.max_passes {
+            if self.pass(g, &mut init) == 0 {
+                break;
+            }
+        }
+        init
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pass_never_increases_cut_and_keeps_balance() {
+        let g = special::grid(6, 6);
+        let fm = FiducciaMattheyses::new();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = seed::random_balanced(&g, &mut rng);
+            let before = p.cut();
+            let improvement = fm.pass(&g, &mut p);
+            assert_eq!(before - p.cut(), improvement, "seed {seed}");
+            assert!(p.is_balanced(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solves_cycle_with_best_of() {
+        let g = special::cycle(24);
+        let mut rng = StdRng::seed_from_u64(0);
+        let best = crate::bisector::best_of(&FiducciaMattheyses::new(), &g, 5, &mut rng);
+        assert_eq!(best.cut(), 2);
+    }
+
+    #[test]
+    fn comparable_to_kl_on_grid() {
+        let g = special::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(12);
+        let fm = crate::bisector::best_of(&FiducciaMattheyses::new(), &g, 5, &mut rng);
+        assert!(fm.cut() <= 14, "FM cut {}", fm.cut());
+    }
+
+    #[test]
+    fn odd_vertex_count() {
+        let g = special::binary_tree(31);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = FiducciaMattheyses::new().bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn weighted_coarse_graph() {
+        use bisect_graph::{contraction, matching};
+        let g = special::grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = matching::random_maximal(&g, &mut rng);
+        let c = contraction::contract_matching(&g, &m);
+        let coarse = c.coarse();
+        let init = seed::weight_balanced_random(coarse, &mut rng);
+        let p = FiducciaMattheyses::new().refine(coarse, init, &mut rng);
+        assert!(p.is_balanced(coarse));
+        assert_eq!(p.cut(), p.recompute_cut(coarse));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 0..4usize {
+            let g = bisect_graph::Graph::empty(n);
+            let p = FiducciaMattheyses::new().bisect(&g, &mut rng);
+            assert_eq!(p.cut(), 0);
+        }
+    }
+
+    #[test]
+    fn fixpoint_returns_zero() {
+        let g = special::grid(4, 4);
+        let fm = FiducciaMattheyses::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = fm.bisect(&g, &mut rng);
+        assert_eq!(fm.pass(&g, &mut p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let _ = FiducciaMattheyses::new().with_max_passes(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Bucket-array gain structure shared by the graph and netlist FM
+//! refiners (Fiduccia-Mattheyses' constant-time data structure).
+
+use bisect_graph::VertexId;
+
+/// Bucket-array priority structure over vertices/cells keyed by gain:
+/// all operations O(1) amortized (plus bucket-range scans bounded by
+/// the gain radius).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct GainBuckets {
+    offset: i64,
+    buckets: Vec<Vec<VertexId>>,
+    /// Position of each element inside its bucket; `u32::MAX` = absent.
+    pos: Vec<u32>,
+    gain: Vec<i64>,
+    max_idx: usize,
+    len: usize,
+}
+
+impl GainBuckets {
+    /// A structure for elements `0..num_elements` with gains in
+    /// `[-max_gain_abs, max_gain_abs]`.
+    pub(crate) fn new(num_elements: usize, max_gain_abs: i64) -> GainBuckets {
+        let width = (2 * max_gain_abs + 1).max(1) as usize;
+        GainBuckets {
+            offset: max_gain_abs,
+            buckets: vec![Vec::new(); width],
+            pos: vec![u32::MAX; num_elements],
+            gain: vec![0; num_elements],
+            max_idx: 0,
+            len: 0,
+        }
+    }
+
+    fn index(&self, gain: i64) -> usize {
+        let idx = gain + self.offset;
+        debug_assert!(
+            idx >= 0 && (idx as usize) < self.buckets.len(),
+            "gain {gain} out of range ±{}",
+            self.offset
+        );
+        idx as usize
+    }
+
+    pub(crate) fn contains(&self, v: VertexId) -> bool {
+        self.pos[v as usize] != u32::MAX
+    }
+
+    pub(crate) fn gain_of(&self, v: VertexId) -> i64 {
+        debug_assert!(self.contains(v));
+        self.gain[v as usize]
+    }
+
+    pub(crate) fn insert(&mut self, v: VertexId, gain: i64) {
+        debug_assert!(!self.contains(v));
+        let idx = self.index(gain);
+        self.pos[v as usize] = self.buckets[idx].len() as u32;
+        self.gain[v as usize] = gain;
+        self.buckets[idx].push(v);
+        self.max_idx = self.max_idx.max(idx);
+        self.len += 1;
+    }
+
+    pub(crate) fn remove(&mut self, v: VertexId) {
+        debug_assert!(self.contains(v));
+        let idx = self.index(self.gain[v as usize]);
+        let p = self.pos[v as usize] as usize;
+        let bucket = &mut self.buckets[idx];
+        bucket.swap_remove(p);
+        if let Some(&moved) = bucket.get(p) {
+            self.pos[moved as usize] = p as u32;
+        }
+        self.pos[v as usize] = u32::MAX;
+        self.len -= 1;
+    }
+
+    pub(crate) fn update(&mut self, v: VertexId, new_gain: i64) {
+        self.remove(v);
+        self.insert(v, new_gain);
+    }
+
+    pub(crate) fn adjust(&mut self, v: VertexId, delta: i64) {
+        if delta != 0 {
+            let cur = self.gain_of(v);
+            self.update(v, cur + delta);
+        }
+    }
+
+    pub(crate) fn peek_best(&mut self) -> Option<(i64, VertexId)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.max_idx].is_empty() {
+            debug_assert!(self.max_idx > 0, "len > 0 but all buckets empty");
+            self.max_idx -= 1;
+        }
+        let v = *self.buckets[self.max_idx].last().expect("bucket nonempty");
+        Some((self.max_idx as i64 - self.offset, v))
+    }
+
+    pub(crate) fn pop_best(&mut self) -> Option<(i64, VertexId)> {
+        let (gain, v) = self.peek_best()?;
+        self.remove(v);
+        Some((gain, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let mut b = GainBuckets::new(4, 3);
+        b.insert(0, -2);
+        b.insert(1, 3);
+        b.insert(2, 0);
+        assert_eq!(b.peek_best(), Some((3, 1)));
+        assert_eq!(b.pop_best(), Some((3, 1)));
+        assert_eq!(b.peek_best(), Some((0, 2)));
+        b.update(0, 2);
+        assert_eq!(b.peek_best(), Some((2, 0)));
+        b.remove(2);
+        b.remove(0);
+        assert_eq!(b.peek_best(), None);
+    }
+
+    #[test]
+    fn same_gain_all_retrievable() {
+        let mut b = GainBuckets::new(3, 1);
+        b.insert(0, 1);
+        b.insert(1, 1);
+        b.insert(2, 1);
+        let mut got: Vec<_> = std::iter::from_fn(|| b.pop_best().map(|(_, v)| v)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn adjust_moves_between_buckets() {
+        let mut b = GainBuckets::new(2, 5);
+        b.insert(0, 0);
+        b.insert(1, 1);
+        b.adjust(0, 4);
+        assert_eq!(b.peek_best(), Some((4, 0)));
+        b.adjust(0, -8);
+        assert_eq!(b.peek_best(), Some((1, 1)));
+        assert_eq!(b.gain_of(0), -4);
+    }
+
+    #[test]
+    fn zero_adjust_is_noop() {
+        let mut b = GainBuckets::new(1, 2);
+        b.insert(0, 1);
+        b.adjust(0, 0);
+        assert_eq!(b.gain_of(0), 1);
+    }
+}

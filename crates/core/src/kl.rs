@@ -1,0 +1,475 @@
+//! The Kernighan-Lin graph bisection heuristic (§III, Figure 2 of the
+//! paper; originally Kernighan & Lin, Bell System Tech. J. 1970).
+//!
+//! One *pass* over a bisection `(A, B)`:
+//!
+//! 1. Compute the gain `g_v` of every vertex.
+//! 2. Repeatedly choose the unlocked pair `(a, b)`, `a ∈ A`, `b ∈ B`,
+//!    maximizing `g_ab = g_a + g_b − 2δ(a, b)`; lock the pair, record
+//!    the running total, and update the gains of unlocked vertices as
+//!    if the pair had been swapped.
+//! 3. After `min(|A|, |B|)` pairs, swap the prefix of pairs whose
+//!    cumulative gain is maximal (if positive).
+//!
+//! Passes repeat until a pass yields no improvement (or a configured
+//! pass limit is hit). One pass never increases the cut, and side sizes
+//! are preserved exactly — swaps are balanced by construction.
+//!
+//! Pair selection is the expensive step. The default
+//! [`PairSelection::SortedPruning`] keeps per-side gain orders
+//! (`BTreeSet<(gain, vertex)>`) and scans candidate pairs in decreasing
+//! `g_a + g_b`, stopping as soon as no remaining pair can beat the best
+//! found — since `g_ab ≤ g_a + g_b`, the scan is exact, and because
+//! locking a pair only perturbs the gains of its *neighbors*, the
+//! orders are cheap to maintain on sparse graphs.
+//! [`PairSelection::Exhaustive`] is the literal `O(|A|·|B|)` scan of
+//! Figure 2, kept for the `ablate-klpair` benchmark; the two make
+//! identical selections (ties broken the same way), so they produce
+//! identical cut trajectories.
+
+use std::collections::BTreeSet;
+
+use bisect_graph::{Graph, VertexId};
+use rand::RngCore;
+
+use crate::bisector::{Bisector, Refiner};
+use crate::partition::{Bisection, Side};
+use crate::seed;
+
+/// How each pass picks the pair with maximal `g_ab`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairSelection {
+    /// Scan pairs in decreasing `g_a + g_b` order and stop at the exact
+    /// optimum (default; asymptotically much faster on sparse graphs).
+    #[default]
+    SortedPruning,
+    /// Evaluate every unlocked pair, as written in Figure 2.
+    Exhaustive,
+}
+
+/// The Kernighan-Lin bisection algorithm.
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::{bisector::Bisector, kl::KernighanLin};
+/// use bisect_gen::special;
+/// use rand::SeedableRng;
+///
+/// let g = special::grid(8, 8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = KernighanLin::new().bisect(&g, &mut rng);
+/// assert!(p.is_balanced(&g));
+/// assert!(p.cut() <= 16); // random is ~64; KL gets close to 8
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernighanLin {
+    max_passes: usize,
+    pair_selection: PairSelection,
+}
+
+impl Default for KernighanLin {
+    fn default() -> KernighanLin {
+        KernighanLin::new()
+    }
+}
+
+impl KernighanLin {
+    /// KL with the default configuration: run passes to a fixpoint
+    /// (bounded by a generous safety cap) using sorted-pruning pair
+    /// selection.
+    pub fn new() -> KernighanLin {
+        KernighanLin { max_passes: 64, pair_selection: PairSelection::default() }
+    }
+
+    /// Limits the number of passes ("the procedure may have a fixed
+    /// number of passes or it can run until no improvement is
+    /// possible").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_passes == 0`.
+    pub fn with_max_passes(mut self, max_passes: usize) -> KernighanLin {
+        assert!(max_passes > 0, "at least one pass is required");
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Selects the pair-selection strategy.
+    pub fn with_pair_selection(mut self, pair_selection: PairSelection) -> KernighanLin {
+        self.pair_selection = pair_selection;
+        self
+    }
+
+    /// Runs one KL pass in place. Returns the cut improvement achieved
+    /// (0 when the pass is a fixpoint). Side sizes are preserved.
+    pub fn pass(&self, g: &Graph, p: &mut Bisection) -> u64 {
+        let n = g.num_vertices();
+        let k_max = p.count(Side::A).min(p.count(Side::B));
+        if k_max == 0 {
+            return 0;
+        }
+
+        let mut gains: Vec<i64> = (0..n as VertexId).map(|v| p.gain(g, v)).collect();
+        let mut locked = vec![false; n];
+        // Ordered candidate sets per side (only used by SortedPruning).
+        let mut sets: [BTreeSet<(i64, VertexId)>; 2] = [BTreeSet::new(), BTreeSet::new()];
+        if self.pair_selection == PairSelection::SortedPruning {
+            for v in g.vertices() {
+                sets[p.side(v).index()].insert((gains[v as usize], v));
+            }
+        }
+
+        let mut sequence: Vec<(VertexId, VertexId)> = Vec::with_capacity(k_max);
+        let mut cumulative: Vec<i64> = Vec::with_capacity(k_max);
+        let mut running = 0i64;
+
+        for _ in 0..k_max {
+            let chosen = match self.pair_selection {
+                PairSelection::SortedPruning => best_pair_sorted(g, &sets),
+                PairSelection::Exhaustive => best_pair_exhaustive(g, p, &gains, &locked),
+            };
+            let Some((gain_ab, a, b)) = chosen else { break };
+
+            // Lock the pair.
+            for v in [a, b] {
+                locked[v as usize] = true;
+                if self.pair_selection == PairSelection::SortedPruning {
+                    sets[p.side(v).index()].remove(&(gains[v as usize], v));
+                }
+            }
+            running += gain_ab;
+            sequence.push((a, b));
+            cumulative.push(running);
+
+            // Update gains of unlocked neighbors of a and b, relative to
+            // the virtual swap of (a, b).
+            for (moved, other) in [(a, b), (b, a)] {
+                let moved_side = p.side(moved);
+                for (x, w) in g.neighbors_weighted(moved) {
+                    if locked[x as usize] || x == other {
+                        continue;
+                    }
+                    let delta =
+                        if p.side(x) == moved_side { 2 * w as i64 } else { -2 * (w as i64) };
+                    if delta == 0 {
+                        continue;
+                    }
+                    if self.pair_selection == PairSelection::SortedPruning {
+                        let set = &mut sets[p.side(x).index()];
+                        set.remove(&(gains[x as usize], x));
+                        gains[x as usize] += delta;
+                        set.insert((gains[x as usize], x));
+                    } else {
+                        gains[x as usize] += delta;
+                    }
+                }
+            }
+        }
+
+        // Best prefix.
+        let Some((best_idx, &best_gain)) = cumulative
+            .iter()
+            .enumerate()
+            .max_by(|(i, x), (j, y)| x.cmp(y).then(j.cmp(i)))
+        else {
+            return 0;
+        };
+        if best_gain <= 0 {
+            return 0;
+        }
+        let cut_before = p.cut();
+        for &(a, b) in &sequence[..=best_idx] {
+            p.swap(g, a, b);
+        }
+        debug_assert_eq!(p.cut(), p.recompute_cut(g));
+        debug_assert_eq!(cut_before - p.cut(), best_gain as u64);
+        cut_before - p.cut()
+    }
+}
+
+/// Exact best pair via descending `(g_a + g_b)` scan with pruning.
+fn best_pair_sorted(
+    g: &Graph,
+    sets: &[BTreeSet<(i64, VertexId)>; 2],
+) -> Option<(i64, VertexId, VertexId)> {
+    let (set_a, set_b) = (&sets[0], &sets[1]);
+    let &(gb_max, _) = set_b.iter().next_back()?;
+    let mut best: Option<(i64, VertexId, VertexId)> = None;
+    for &(ga, a) in set_a.iter().rev() {
+        if let Some((bg, _, _)) = best {
+            if ga + gb_max <= bg {
+                break;
+            }
+        }
+        for &(gb, b) in set_b.iter().rev() {
+            if let Some((bg, _, _)) = best {
+                if ga + gb <= bg {
+                    break;
+                }
+            }
+            let actual = ga + gb - 2 * g.edge_weight(a, b).unwrap_or(0) as i64;
+            if best.is_none_or(|(bg, _, _)| actual > bg) {
+                best = Some((actual, a, b));
+            }
+        }
+    }
+    best
+}
+
+/// Literal Figure 2 pair selection: evaluate every unlocked pair. Ties
+/// are broken exactly as the sorted scan breaks them (largest
+/// `(g_a, a)`, then largest `(g_b, b)`), so the two strategies make
+/// identical selections.
+fn best_pair_exhaustive(
+    g: &Graph,
+    p: &Bisection,
+    gains: &[i64],
+    locked: &[bool],
+) -> Option<(i64, VertexId, VertexId)> {
+    let mut best: Option<(i64, i64, VertexId, i64, VertexId)> = None;
+    for a in g.vertices().filter(|&v| !locked[v as usize] && p.side(v) == Side::A) {
+        for b in g.vertices().filter(|&v| !locked[v as usize] && p.side(v) == Side::B) {
+            let (ga, gb) = (gains[a as usize], gains[b as usize]);
+            let actual = ga + gb - 2 * g.edge_weight(a, b).unwrap_or(0) as i64;
+            let key = (actual, ga, a, gb, b);
+            if best.is_none_or(|k| key > k) {
+                best = Some(key);
+            }
+        }
+    }
+    best.map(|(actual, _, a, _, b)| (actual, a, b))
+}
+
+impl KernighanLin {
+    /// As [`Refiner::refine`], additionally returning the number of
+    /// passes that achieved an improvement — the quantity behind
+    /// Observation 1's "it takes fewer passes for the algorithms to
+    /// converge on degree 4 graphs".
+    pub fn refine_with_passes(&self, g: &Graph, mut init: Bisection) -> (Bisection, usize) {
+        let mut productive = 0;
+        for _ in 0..self.max_passes {
+            if self.pass(g, &mut init) == 0 {
+                break;
+            }
+            productive += 1;
+        }
+        (init, productive)
+    }
+}
+
+impl Bisector for KernighanLin {
+    fn name(&self) -> String {
+        "KL".into()
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        let init = seed::random_balanced(g, rng);
+        self.refine(g, init, rng)
+    }
+}
+
+impl Refiner for KernighanLin {
+    fn refine(&self, g: &Graph, init: Bisection, _rng: &mut dyn RngCore) -> Bisection {
+        self.refine_with_passes(g, init).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(g: &Graph, seed: u64) -> Bisection {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KernighanLin::new().bisect(g, &mut rng)
+    }
+
+    #[test]
+    fn pass_never_increases_cut() {
+        let g = special::grid(6, 6);
+        let kl = KernighanLin::new();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = seed::random_balanced(&g, &mut rng);
+            let before = p.cut();
+            let improvement = kl.pass(&g, &mut p);
+            assert_eq!(before - p.cut(), improvement);
+            assert!(p.cut() <= before);
+            assert_eq!(p.cut(), p.recompute_cut(&g));
+        }
+    }
+
+    #[test]
+    fn preserves_side_counts() {
+        let g = special::grid(5, 4);
+        let p = run(&g, 3);
+        assert_eq!(p.count(Side::A), 10);
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn solves_even_cycle_optimally() {
+        // Bisection width of C_20 is 2; KL from random starts finds it
+        // at least from some seeds — require best-of-5 to be exact.
+        let g = special::cycle(20);
+        let mut rng = StdRng::seed_from_u64(0);
+        let best =
+            crate::bisector::best_of(&KernighanLin::new(), &g, 5, &mut rng);
+        assert_eq!(best.cut(), 2);
+    }
+
+    #[test]
+    fn near_optimal_on_grid() {
+        // 8×8 grid has bisection width 8.
+        let g = special::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let best = crate::bisector::best_of(&KernighanLin::new(), &g, 5, &mut rng);
+        assert!(best.cut() <= 12, "cut {}", best.cut());
+    }
+
+    #[test]
+    fn fixpoint_pass_returns_zero() {
+        let g = special::grid(4, 4);
+        let kl = KernighanLin::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = kl.bisect(&g, &mut rng);
+        assert_eq!(kl.pass(&g, &mut p), 0);
+    }
+
+    #[test]
+    fn exhaustive_matches_sorted_pruning() {
+        let sorted = KernighanLin::new();
+        let exhaustive =
+            KernighanLin::new().with_pair_selection(PairSelection::Exhaustive);
+        for (rows, cols) in [(4, 5), (6, 3), (2, 8)] {
+            let g = special::grid(rows, cols);
+            for seed in 0..5 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let init = seed::random_balanced(&g, &mut rng);
+                let mut a = init.clone();
+                let mut b = init;
+                let ga = sorted.pass(&g, &mut a);
+                let gb = exhaustive.pass(&g, &mut b);
+                assert_eq!(ga, gb, "grid {rows}x{cols} seed {seed}");
+                assert_eq!(a.cut(), b.cut());
+            }
+        }
+    }
+
+    #[test]
+    fn handles_weighted_coarse_graph() {
+        use bisect_graph::{contraction, matching};
+        let g = special::grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = matching::random_maximal(&g, &mut rng);
+        let c = contraction::contract_matching(&g, &m);
+        let coarse = c.coarse();
+        let init = seed::weight_balanced_random(coarse, &mut rng);
+        let counts = (init.count(Side::A), init.count(Side::B));
+        let refined = KernighanLin::new().refine(coarse, init, &mut rng);
+        assert_eq!((refined.count(Side::A), refined.count(Side::B)), counts);
+        assert_eq!(refined.cut(), refined.recompute_cut(coarse));
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_crash() {
+        for n in 0..5 {
+            let g = special::path(n.max(1));
+            let mut rng = StdRng::seed_from_u64(1);
+            let p = KernighanLin::new().bisect(&g, &mut rng);
+            assert_eq!(p.cut(), p.recompute_cut(&g));
+        }
+        let g = bisect_graph::Graph::empty(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = KernighanLin::new().bisect(&g, &mut rng);
+        assert_eq!(p.cut(), 0);
+    }
+
+    #[test]
+    fn refine_is_monotone() {
+        let g = special::binary_tree(31);
+        let mut rng = StdRng::seed_from_u64(9);
+        let init = seed::random_balanced(&g, &mut rng);
+        let before = init.cut();
+        let refined = KernighanLin::new().refine(&g, init, &mut rng);
+        assert!(refined.cut() <= before);
+    }
+
+    #[test]
+    fn max_passes_limits_work() {
+        let g = special::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(13);
+        let init = seed::random_balanced(&g, &mut rng);
+        let one_pass = KernighanLin::new().with_max_passes(1);
+        let refined = one_pass.refine(&g, init.clone(), &mut rng);
+        let kl_full = KernighanLin::new();
+        let full = kl_full.refine(&g, init, &mut rng);
+        assert!(full.cut() <= refined.cut());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let _ = KernighanLin::new().with_max_passes(0);
+    }
+
+    #[test]
+    fn known_failure_mode_on_ladder_sometimes() {
+        // The paper notes KL "is known to fail badly" on ladders: from
+        // random starts it often lands above the optimal cut of 2. We
+        // only check it runs and is balanced; quality is benchmarked.
+        let g = special::ladder(32);
+        let p = run(&g, 21);
+        assert!(p.is_balanced(&g));
+        assert!(p.cut() >= 2);
+    }
+
+    #[test]
+    fn refine_with_passes_counts_productive_passes() {
+        let g = special::ladder(64);
+        let mut rng = StdRng::seed_from_u64(17);
+        let init = seed::random_balanced(&g, &mut rng);
+        let kl = KernighanLin::new();
+        let (refined, passes) = kl.refine_with_passes(&g, init.clone());
+        assert!(passes >= 1, "a random start on a ladder always improves");
+        assert!(refined.cut() < init.cut());
+        // A fixpoint input takes zero productive passes.
+        let (_, passes2) = kl.refine_with_passes(&g, refined);
+        assert_eq!(passes2, 0);
+    }
+
+    #[test]
+    fn degree4_needs_fewer_passes_than_degree3() {
+        // Observation 1's speed mechanism, averaged over seeds.
+        let mut total = [0usize; 2];
+        for (i, d) in [3usize, 4].into_iter().enumerate() {
+            let params = bisect_gen::gbreg::GbregParams::new(300, 6, d).unwrap();
+            for seed in 0..10u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = bisect_gen::gbreg::sample(&mut rng, &params).unwrap();
+                let init = seed::random_balanced(&g, &mut rng);
+                let (_, passes) = KernighanLin::new().refine_with_passes(&g, init);
+                total[i] += passes;
+            }
+        }
+        assert!(
+            total[1] <= total[0],
+            "degree 4 should need no more passes: d3 {} vs d4 {}",
+            total[0],
+            total[1]
+        );
+    }
+
+    #[test]
+    fn gbreg_degree4_recovers_planted_bisection() {
+        // Observation 1's good case: degree-4 Gbreg instances are easy.
+        let params = bisect_gen::gbreg::GbregParams::new(200, 4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(1989);
+        let g = bisect_gen::gbreg::sample(&mut rng, &params).unwrap();
+        let best = crate::bisector::best_of(&KernighanLin::new(), &g, 4, &mut rng);
+        assert_eq!(best.cut(), 4, "expected the planted bisection width");
+    }
+}

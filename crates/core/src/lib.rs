@@ -1,0 +1,78 @@
+//! Graph bisection heuristics reproducing Bui, Heigham, Jones &
+//! Leighton, *Improving the Performance of the Kernighan-Lin and
+//! Simulated Annealing Graph Bisection Algorithms* (DAC 1989).
+//!
+//! The paper's algorithms:
+//!
+//! * [`kl::KernighanLin`] — the classical pass-based pair-swap
+//!   heuristic (§III, Figure 2).
+//! * [`sa::SimulatedAnnealing`] — Figure 1's generic annealing with a
+//!   Johnson-et-al.-style schedule and both swap and single-flip move
+//!   sets (§II).
+//! * [`compaction::Compacted`] — the paper's contribution: contract a
+//!   random maximal matching, bisect the denser coarse graph, project
+//!   back, and refine (§V). `Compacted<KernighanLin>` is **CKL**,
+//!   `Compacted<SimulatedAnnealing>` is **CSA**.
+//!
+//! Extensions and baselines used by tests and the benchmark harness:
+//!
+//! * [`fm::FiducciaMattheyses`] — the 1982 bucket-gain successor of KL
+//!   (single moves, linear-time passes), for ablations.
+//! * [`multilevel::Multilevel`] — recursive compaction (what the
+//!   heuristic became in METIS-style partitioners).
+//! * [`recursive::RecursiveBisection`] — recursive `2^k`-way
+//!   partitioning, the min-cut placement loop the paper's introduction
+//!   motivates.
+//! * [`exact`] — branch-and-bound optimum for small graphs (ground
+//!   truth in tests).
+//! * [`degree2`] — the paper's `O(n²)` exact solver for maximum-degree-2
+//!   graphs (unions of paths and chordless cycles).
+//! * [`netlist`] — hypergraph-native FM on netlists
+//!   (`bisect_graph::hypergraph`), the true objective of the paper's
+//!   VLSI motivation.
+//! * [`spectral::SpectralBisector`] — Fiedler-vector bisection.
+//! * [`greedy::GreedyGrowth`] — BFS region growing.
+//! * [`bisector::RandomBisector`] — the trivial baseline.
+//!
+//! Everything operates on [`partition::Bisection`] via the
+//! [`bisector::Bisector`]/[`bisector::Refiner`] traits, and draws
+//! randomness from any [`rand::RngCore`] — the workspace's
+//! lagged-Fibonacci generator (`bisect_gen::rng::LaggedFibonacci`)
+//! reproduces the paper's choice.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bisect_core::bisector::{best_of, Bisector};
+//! use bisect_core::compaction::Compacted;
+//! use bisect_core::kl::KernighanLin;
+//! use bisect_gen::special;
+//! use rand::SeedableRng;
+//!
+//! let g = special::grid(10, 10);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1989);
+//! let ckl = Compacted::new(KernighanLin::new());
+//! let p = best_of(&ckl, &g, 2, &mut rng); // the paper's best-of-two protocol
+//! assert!(p.is_balanced(&g));
+//! assert!(p.cut() <= 14); // bisection width of the 10×10 grid is 10
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisector;
+pub mod compaction;
+pub mod degree2;
+pub mod exact;
+pub mod fm;
+pub(crate) mod gain;
+pub mod greedy;
+pub mod kl;
+pub mod metrics;
+pub mod multilevel;
+pub mod netlist;
+pub mod partition;
+pub mod recursive;
+pub mod sa;
+pub mod seed;
+pub mod spectral;

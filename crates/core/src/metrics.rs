@@ -1,0 +1,102 @@
+//! The derived quantities the paper's tables report.
+//!
+//! The appendix columns are: the cut found by the standard and
+//! compacted algorithms, the relative cut improvement
+//! `(b_x − b_cx)/b_x × 100`, and the relative speedup
+//! `(t_woc − t_c)/t_woc × 100` ("Rel. speed up" — positive when the
+//! compacted variant is *faster*).
+
+use std::time::Duration;
+
+/// Relative cut improvement of `compacted` over `standard`, in percent:
+/// `(standard − compacted) / standard × 100`, the paper's
+/// `(b_x − b_cx)/b_x × 100`. Zero when `standard` is zero (both found a
+/// perfect cut) — the paper leaves those entries blank.
+pub fn cut_improvement_percent(standard: u64, compacted: u64) -> f64 {
+    if standard == 0 {
+        0.0
+    } else {
+        (standard as f64 - compacted as f64) / standard as f64 * 100.0
+    }
+}
+
+/// Relative speedup of `with_compaction` over `without_compaction`, in
+/// percent: `(t_woc − t_c)/t_woc × 100`. Positive when compaction is
+/// faster, negative when it is slower. Zero when the baseline time is
+/// zero.
+pub fn relative_speedup_percent(without_compaction: Duration, with_compaction: Duration) -> f64 {
+    let t_woc = without_compaction.as_secs_f64();
+    if t_woc == 0.0 {
+        0.0
+    } else {
+        (t_woc - with_compaction.as_secs_f64()) / t_woc * 100.0
+    }
+}
+
+/// Ratio `found / expected` of a cut against the planted bisection
+/// width — Observation 1 reports cuts "twenty to fifty times larger
+/// than the expected bisections". `None` when `expected` is zero.
+pub fn cut_ratio(found: u64, expected: u64) -> Option<f64> {
+    (expected != 0).then(|| found as f64 / expected as f64)
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation; 0 for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_basic() {
+        assert_eq!(cut_improvement_percent(100, 10), 90.0);
+        assert_eq!(cut_improvement_percent(50, 50), 0.0);
+        assert_eq!(cut_improvement_percent(10, 20), -100.0);
+    }
+
+    #[test]
+    fn improvement_zero_standard() {
+        assert_eq!(cut_improvement_percent(0, 0), 0.0);
+        assert_eq!(cut_improvement_percent(0, 5), 0.0);
+    }
+
+    #[test]
+    fn speedup_signs() {
+        let fast = Duration::from_millis(50);
+        let slow = Duration::from_millis(100);
+        assert_eq!(relative_speedup_percent(slow, fast), 50.0);
+        assert_eq!(relative_speedup_percent(fast, slow), -100.0);
+        assert_eq!(relative_speedup_percent(Duration::ZERO, fast), 0.0);
+    }
+
+    #[test]
+    fn ratio() {
+        assert_eq!(cut_ratio(100, 4), Some(25.0));
+        assert_eq!(cut_ratio(4, 4), Some(1.0));
+        assert_eq!(cut_ratio(3, 0), None);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

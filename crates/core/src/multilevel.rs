@@ -1,0 +1,180 @@
+//! Multilevel bisection — *recursive* compaction.
+//!
+//! The paper applies one level of compaction. Recursing — contract
+//! matchings until the graph is tiny, bisect the tiny graph, then
+//! project back level by level with refinement at each level — is
+//! exactly the multilevel scheme that later partitioners (Chaco, METIS,
+//! KaHIP) built on this idea. It is included as the paper's natural
+//! "future work" extension and compared against single-level compaction
+//! in the `ablate-multilevel` benchmark.
+
+use bisect_graph::{contraction, Graph};
+use rand::RngCore;
+
+use crate::bisector::{Bisector, Refiner};
+use crate::partition::{rebalance, Bisection};
+use crate::seed;
+
+/// Multilevel (V-cycle) bisection around any [`Refiner`].
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::{bisector::Bisector, multilevel::Multilevel, kl::KernighanLin};
+/// use bisect_gen::special;
+/// use rand::SeedableRng;
+///
+/// let g = special::grid(12, 12);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ml = Multilevel::new(KernighanLin::new());
+/// let p = ml.bisect(&g, &mut rng);
+/// assert!(p.is_balanced(&g));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multilevel<B> {
+    inner: B,
+    coarsest_size: usize,
+}
+
+impl<B: Refiner> Multilevel<B> {
+    /// Multilevel bisection refining with `inner` at every level,
+    /// coarsening down to at most 32 vertices by default.
+    pub fn new(inner: B) -> Multilevel<B> {
+        Multilevel { inner, coarsest_size: 32 }
+    }
+
+    /// Sets the size at which coarsening stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarsest_size < 2`.
+    pub fn with_coarsest_size(mut self, coarsest_size: usize) -> Multilevel<B> {
+        assert!(coarsest_size >= 2, "coarsest size must be at least 2");
+        self.coarsest_size = coarsest_size;
+        self
+    }
+
+    /// The wrapped refiner.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Refiner> Bisector for Multilevel<B> {
+    fn name(&self) -> String {
+        format!("ML-{}", self.inner.name())
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        // Coarsening phase: ladder of contractions, finest first.
+        let ladder = contraction::coarsen_to(g, self.coarsest_size, rng);
+
+        // Initial bisection of the coarsest graph.
+        let coarsest: &Graph = ladder.last().map_or(g, |c| c.coarse());
+        let init = seed::weight_balanced_random(coarsest, rng);
+        let mut current = self.inner.refine(coarsest, init, rng);
+
+        // Uncoarsening phase: project and refine level by level. The
+        // fine graph of ladder level `i` is the coarse graph of level
+        // `i − 1` (or the input graph at the bottom).
+        for i in (0..ladder.len()).rev() {
+            let fine: &Graph = if i == 0 { g } else { ladder[i - 1].coarse() };
+            let mut projected =
+                Bisection::from_sides(fine, ladder[i].project_sides(current.sides()))
+                    .expect("projection matches fine vertex count");
+            rebalance(fine, &mut projected);
+            current = self.inner.refine(fine, projected, rng);
+        }
+        if !current.is_balanced(g) {
+            rebalance(g, &mut current);
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisector::best_of;
+    use crate::fm::FiducciaMattheyses;
+    use crate::kl::KernighanLin;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn name_includes_inner() {
+        assert_eq!(Multilevel::new(KernighanLin::new()).name(), "ML-KL");
+    }
+
+    #[test]
+    fn balanced_and_consistent_on_grid() {
+        let g = special::grid(10, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Multilevel::new(KernighanLin::new()).bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn near_optimal_on_grid() {
+        let g = special::grid(12, 12);
+        let mut rng = StdRng::seed_from_u64(1989);
+        let p = best_of(&Multilevel::new(KernighanLin::new()), &g, 2, &mut rng);
+        assert!(p.cut() <= 16, "ML-KL cut {} (optimal 12)", p.cut());
+    }
+
+    #[test]
+    fn works_with_fm_inner() {
+        let g = special::grid(9, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Multilevel::new(FiducciaMattheyses::new()).bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn small_graph_skips_coarsening() {
+        let g = special::cycle(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Multilevel::new(KernighanLin::new()).bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = bisect_graph::Graph::empty(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Multilevel::new(KernighanLin::new()).bisect(&g, &mut rng);
+        assert_eq!(p.cut(), 0);
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn handles_sparse_planted_instance_well() {
+        // Multilevel should do at least as well as one-level compaction
+        // in the sparse regime, and both should land near the planted
+        // bisection.
+        let params = bisect_gen::gbreg::GbregParams::new(400, 8, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = bisect_gen::gbreg::sample(&mut rng, &params).unwrap();
+        let ml = best_of(&Multilevel::new(KernighanLin::new()), &g, 2, &mut rng);
+        assert!(ml.cut() <= 16, "ML cut {} vs planted 8", ml.cut());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_coarsest_size_rejected() {
+        let _ = Multilevel::new(KernighanLin::new()).with_coarsest_size(1);
+    }
+
+    #[test]
+    fn custom_coarsest_size() {
+        let g = special::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Multilevel::new(KernighanLin::new())
+            .with_coarsest_size(8)
+            .bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+    }
+}

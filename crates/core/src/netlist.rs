@@ -1,0 +1,822 @@
+//! Hypergraph-native bisection: Fiduccia-Mattheyses on netlists.
+//!
+//! The paper's VLSI motivation minimizes *net cut* — the number of nets
+//! (hyperedges) with pins on both sides — which the graph abstraction
+//! only approximates (a cut k-pin net contributes up to `⌊k/2⌋·⌈k/2⌉`
+//! clique edges). This module provides:
+//!
+//! * [`NetlistBisection`] — incremental net-cut bookkeeping (per-net
+//!   pin counts per side);
+//! * [`NetlistFm`] — the original 1982 FM algorithm in its native
+//!   habitat: single-cell moves, gain buckets, balance tolerance, best
+//!   balanced prefix per pass.
+//!
+//! The `hypergraph_netlist` example compares this against bisecting the
+//! clique expansion with graph algorithms.
+
+use bisect_graph::hypergraph::{NetId, Netlist};
+use bisect_graph::{VertexId, VertexWeight};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+use crate::gain::GainBuckets;
+use crate::partition::{Side, SideLengthError};
+
+/// A two-way partition of a netlist's cells with incrementally
+/// maintained net cut.
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::netlist::NetlistBisection;
+/// use bisect_graph::hypergraph::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new(4);
+/// b.add_net(&[0, 1, 2]).unwrap();
+/// b.add_net(&[2, 3]).unwrap();
+/// let nl = b.build();
+/// let p = NetlistBisection::from_sides(&nl, vec![false, false, true, true]).unwrap();
+/// assert_eq!(p.cut(), 1); // the 3-pin net spans; {2,3} sits inside B
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistBisection {
+    side: Vec<bool>,
+    /// Pins of each net on side A / side B.
+    pins_on: Vec<[u32; 2]>,
+    cut: u64,
+    counts: [usize; 2],
+    weights: [VertexWeight; 2],
+}
+
+impl NetlistBisection {
+    /// Creates a bisection from a raw side vector (`false` = side A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SideLengthError`] if the length differs from the cell
+    /// count.
+    pub fn from_sides(nl: &Netlist, side: Vec<bool>) -> Result<NetlistBisection, SideLengthError> {
+        if side.len() != nl.num_cells() {
+            return Err(SideLengthError { got: side.len(), expected: nl.num_cells() });
+        }
+        let mut counts = [0usize; 2];
+        let mut weights = [0u64; 2];
+        for c in nl.cells() {
+            let s = side[c as usize] as usize;
+            counts[s] += 1;
+            weights[s] += nl.cell_weight(c);
+        }
+        let mut pins_on = vec![[0u32; 2]; nl.num_nets()];
+        let mut cut = 0u64;
+        for n in nl.net_ids() {
+            for &p in nl.pins(n) {
+                pins_on[n as usize][side[p as usize] as usize] += 1;
+            }
+            if pins_on[n as usize][0] > 0 && pins_on[n as usize][1] > 0 {
+                cut += nl.net_weight(n);
+            }
+        }
+        Ok(NetlistBisection { side, pins_on, cut, counts, weights })
+    }
+
+    /// A uniformly random cell-count-balanced bisection.
+    pub fn random_balanced<R: Rng + ?Sized>(nl: &Netlist, rng: &mut R) -> NetlistBisection {
+        let n = nl.num_cells();
+        let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+        perm.shuffle(rng);
+        let mut side = vec![true; n];
+        for &c in &perm[..n.div_ceil(2)] {
+            side[c as usize] = false;
+        }
+        NetlistBisection::from_sides(nl, side).expect("length matches")
+    }
+
+    /// The side of cell `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn side(&self, c: VertexId) -> Side {
+        if self.side[c as usize] {
+            Side::B
+        } else {
+            Side::A
+        }
+    }
+
+    /// The raw side vector.
+    pub fn sides(&self) -> &[bool] {
+        &self.side
+    }
+
+    /// The maintained weighted net cut.
+    pub fn cut(&self) -> u64 {
+        self.cut
+    }
+
+    /// Cells on the given side.
+    pub fn count(&self, side: Side) -> usize {
+        self.counts[side.index()]
+    }
+
+    /// Total cell weight of the given side.
+    pub fn weight(&self, side: Side) -> VertexWeight {
+        self.weights[side.index()]
+    }
+
+    /// Absolute side weight difference.
+    pub fn weight_imbalance(&self) -> VertexWeight {
+        self.weights[0].abs_diff(self.weights[1])
+    }
+
+    /// Whether side weights differ by at most the parity remainder
+    /// (unit weights) or the largest cell weight.
+    pub fn is_balanced(&self, nl: &Netlist) -> bool {
+        let unit = nl.cells().all(|c| nl.cell_weight(c) == 1);
+        let tolerance = if unit {
+            nl.total_cell_weight() % 2
+        } else {
+            nl.cells().map(|c| nl.cell_weight(c)).max().unwrap_or(0)
+        };
+        self.weight_imbalance() <= tolerance
+    }
+
+    /// Recomputes the net cut from scratch (for validation).
+    pub fn recompute_cut(&self, nl: &Netlist) -> u64 {
+        let mut cut = 0;
+        for n in nl.net_ids() {
+            let pins = nl.pins(n);
+            let has_a = pins.iter().any(|&p| !self.side[p as usize]);
+            let has_b = pins.iter().any(|&p| self.side[p as usize]);
+            if has_a && has_b {
+                cut += nl.net_weight(n);
+            }
+        }
+        cut
+    }
+
+    /// The FM gain of moving cell `c`: weighted nets uncut minus nets
+    /// newly cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for `nl`.
+    pub fn gain(&self, nl: &Netlist, c: VertexId) -> i64 {
+        nl.nets_of(c).iter().map(|&n| self.net_contribution(nl, n, c)).sum()
+    }
+
+    /// Net `n`'s contribution to the gain of its pin `c`.
+    fn net_contribution(&self, nl: &Netlist, n: NetId, c: VertexId) -> i64 {
+        let s = self.side[c as usize] as usize;
+        let [my, other] =
+            [self.pins_on[n as usize][s], self.pins_on[n as usize][1 - s]];
+        let w = nl.net_weight(n) as i64;
+        if other == 0 {
+            // Net entirely on c's side: moving c cuts it, unless c is
+            // the only pin.
+            if my == 1 {
+                0
+            } else {
+                -w
+            }
+        } else if my == 1 {
+            // c is the last pin on its side: moving it uncuts the net.
+            w
+        } else {
+            0
+        }
+    }
+
+    /// Moves cell `c` to the other side, updating the cut in
+    /// `O(nets_of(c))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for `nl`.
+    pub fn move_cell(&mut self, nl: &Netlist, c: VertexId) {
+        let from = self.side[c as usize] as usize;
+        let to = 1 - from;
+        for &n in nl.nets_of(c) {
+            let counts = &mut self.pins_on[n as usize];
+            let was_cut = counts[0] > 0 && counts[1] > 0;
+            counts[from] -= 1;
+            counts[to] += 1;
+            let now_cut = counts[0] > 0 && counts[1] > 0;
+            match (was_cut, now_cut) {
+                (false, true) => self.cut += nl.net_weight(n),
+                (true, false) => self.cut -= nl.net_weight(n),
+                _ => {}
+            }
+        }
+        self.side[c as usize] = !self.side[c as usize];
+        self.counts[from] -= 1;
+        self.counts[to] += 1;
+        let w = nl.cell_weight(c);
+        self.weights[from] -= w;
+        self.weights[to] += w;
+    }
+}
+
+/// Fiduccia-Mattheyses on netlists.
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::netlist::NetlistFm;
+/// use bisect_graph::hypergraph::NetlistBuilder;
+/// use rand::SeedableRng;
+///
+/// let mut b = NetlistBuilder::new(6);
+/// for pins in [[0u32, 1, 2].as_slice(), &[3, 4, 5], &[2, 3]] {
+///     b.add_net(pins).unwrap();
+/// }
+/// let nl = b.build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = NetlistFm::new().bisect(&nl, &mut rng);
+/// assert_eq!(p.cut(), 1); // only the 2-pin bridge net is cut
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistFm {
+    max_passes: usize,
+}
+
+impl Default for NetlistFm {
+    fn default() -> NetlistFm {
+        NetlistFm::new()
+    }
+}
+
+impl NetlistFm {
+    /// FM with passes run to a fixpoint (bounded by a safety cap).
+    pub fn new() -> NetlistFm {
+        NetlistFm { max_passes: 64 }
+    }
+
+    /// Limits the number of passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_passes == 0`.
+    pub fn with_max_passes(mut self, max_passes: usize) -> NetlistFm {
+        assert!(max_passes > 0, "at least one pass is required");
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Bisects from a random balanced start.
+    pub fn bisect(&self, nl: &Netlist, rng: &mut dyn RngCore) -> NetlistBisection {
+        let init = NetlistBisection::random_balanced(nl, rng);
+        self.refine(nl, init)
+    }
+
+    /// Improves `init` to a pass fixpoint.
+    pub fn refine(&self, nl: &Netlist, mut init: NetlistBisection) -> NetlistBisection {
+        for _ in 0..self.max_passes {
+            if self.pass(nl, &mut init) == 0 {
+                break;
+            }
+        }
+        init
+    }
+
+    /// Runs one FM pass in place; returns the cut improvement.
+    pub fn pass(&self, nl: &Netlist, p: &mut NetlistBisection) -> u64 {
+        let n = nl.num_cells();
+        if n < 2 {
+            return 0;
+        }
+        let max_weight = nl.cells().map(|c| nl.cell_weight(c)).max().unwrap_or(1);
+        let unit = nl.cells().all(|c| nl.cell_weight(c) == 1);
+        let base_tol = if unit { nl.total_cell_weight() % 2 } else { max_weight };
+        let pass_tol = base_tol.max(2 * max_weight);
+
+        let max_gain = nl
+            .cells()
+            .map(|c| nl.nets_of(c).iter().map(|&net| nl.net_weight(net)).sum::<u64>())
+            .max()
+            .unwrap_or(0)
+            .min(i64::MAX as u64) as i64;
+        let mut buckets = [GainBuckets::new(n, max_gain), GainBuckets::new(n, max_gain)];
+        for c in nl.cells() {
+            buckets[p.side(c).index()].insert(c, p.gain(nl, c));
+        }
+
+        let mut work = p.clone();
+        let mut locked = vec![false; n];
+        let mut moves: Vec<VertexId> = Vec::with_capacity(n);
+        let mut cumulative: Vec<i64> = Vec::with_capacity(n);
+        let mut balanced_after: Vec<bool> = Vec::with_capacity(n);
+        let mut running = 0i64;
+
+        for _ in 0..n {
+            let mut choice: Option<(i64, Side)> = None;
+            for side in [Side::A, Side::B] {
+                let Some((gain, c)) = buckets[side.index()].peek_best() else { continue };
+                let w = nl.cell_weight(c) as i64;
+                let imb = work.weight(Side::A) as i64 - work.weight(Side::B) as i64;
+                let new_imb = if side == Side::A { imb - 2 * w } else { imb + 2 * w };
+                if new_imb.unsigned_abs() > pass_tol {
+                    continue;
+                }
+                let heavier = work.weight(side) >= work.weight(side.other());
+                let better = match choice {
+                    Some((bg, bside)) => {
+                        gain > bg
+                            || (gain == bg && heavier && work.weight(bside) < work.weight(side))
+                    }
+                    None => true,
+                };
+                if better {
+                    choice = Some((gain, side));
+                }
+            }
+            let Some((gain, side)) = choice else { break };
+            let (_, c) = buckets[side.index()].pop_best().expect("peeked nonempty");
+            locked[c as usize] = true;
+
+            // Gain updates: each incident net's contribution to each of
+            // its free pins changes; record the before values, apply
+            // the move, then adjust by the differences.
+            let mut adjustments: Vec<(VertexId, i64)> = Vec::new();
+            for &net in nl.nets_of(c) {
+                for &pin in nl.pins(net) {
+                    if pin != c && !locked[pin as usize] {
+                        adjustments.push((pin, -work.net_contribution(nl, net, pin)));
+                    }
+                }
+            }
+            work.move_cell(nl, c);
+            for &net in nl.nets_of(c) {
+                for &pin in nl.pins(net) {
+                    if pin != c && !locked[pin as usize] {
+                        adjustments.push((pin, work.net_contribution(nl, net, pin)));
+                    }
+                }
+            }
+            for (pin, delta) in adjustments {
+                buckets[work.side(pin).index()].adjust(pin, delta);
+            }
+
+            running += gain;
+            moves.push(c);
+            cumulative.push(running);
+            balanced_after.push(work.weight_imbalance() <= base_tol);
+        }
+
+        let mut best: Option<(usize, i64)> = None;
+        for (i, (&cum, &ok)) in cumulative.iter().zip(balanced_after.iter()).enumerate() {
+            if ok && cum > 0 && best.is_none_or(|(_, bc)| cum > bc) {
+                best = Some((i, cum));
+            }
+        }
+        let Some((k, best_gain)) = best else { return 0 };
+        let before = p.cut();
+        for &c in &moves[..=k] {
+            p.move_cell(nl, c);
+        }
+        debug_assert_eq!(p.cut(), p.recompute_cut(nl));
+        debug_assert_eq!(before - p.cut(), best_gain as u64);
+        before - p.cut()
+    }
+}
+
+/// Moves minimum-damage cells from the heavier side until the
+/// bisection is balanced — the netlist analogue of
+/// [`crate::partition::rebalance`], used after projecting a coarse
+/// bisection.
+pub fn rebalance(nl: &Netlist, p: &mut NetlistBisection) {
+    while !p.is_balanced(nl) {
+        let heavy = if p.weight(Side::A) > p.weight(Side::B) { Side::A } else { Side::B };
+        let imbalance = p.weight_imbalance();
+        let candidate = nl
+            .cells()
+            .filter(|&c| p.side(c) == heavy && nl.cell_weight(c) < imbalance)
+            .max_by_key(|&c| (p.gain(nl, c), std::cmp::Reverse(c)));
+        match candidate {
+            Some(c) => p.move_cell(nl, c),
+            None => return, // every heavy cell is at least the imbalance
+        }
+    }
+}
+
+/// The compaction heuristic (§V) in its netlist form: match cells along
+/// nets, contract, run [`NetlistFm`] on the coarse netlist, project,
+/// rebalance, and refine — the paper's contribution transplanted to the
+/// hypergraph objective (and the seed of hMETIS-style multilevel
+/// hypergraph partitioning).
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::netlist::CompactedNetlistFm;
+/// use bisect_graph::hypergraph::NetlistBuilder;
+/// use rand::SeedableRng;
+///
+/// let mut b = NetlistBuilder::new(6);
+/// for pins in [[0u32, 1, 2].as_slice(), &[3, 4, 5], &[2, 3]] {
+///     b.add_net(pins).unwrap();
+/// }
+/// let nl = b.build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = CompactedNetlistFm::new().bisect(&nl, &mut rng);
+/// assert_eq!(p.cut(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompactedNetlistFm {
+    inner: NetlistFm,
+}
+
+impl CompactedNetlistFm {
+    /// One level of netlist compaction around [`NetlistFm`].
+    pub fn new() -> CompactedNetlistFm {
+        CompactedNetlistFm { inner: NetlistFm::new() }
+    }
+
+    /// Bisects `nl` by compaction.
+    pub fn bisect(&self, nl: &Netlist, rng: &mut dyn RngCore) -> NetlistBisection {
+        let pairs = bisect_graph::hypergraph::random_cell_matching(nl, rng);
+        if pairs.is_empty() {
+            return self.inner.bisect(nl, rng);
+        }
+        let c = bisect_graph::hypergraph::contract_cells(nl, &pairs);
+        let coarse = c.coarse();
+        // Weight-balanced random start on the coarse netlist.
+        let coarse_init = weight_balanced_random(coarse, rng);
+        let coarse_bisection = self.inner.refine(coarse, coarse_init);
+        let mut projected =
+            NetlistBisection::from_sides(nl, c.project_sides(coarse_bisection.sides()))
+                .expect("projection covers every fine cell");
+        rebalance(nl, &mut projected);
+        let refined = self.inner.refine(nl, projected);
+        debug_assert!(refined.is_balanced(nl));
+        refined
+    }
+}
+
+/// Multilevel netlist bisection: coarsen by repeated cell matchings,
+/// bisect the coarsest netlist, then project and FM-refine level by
+/// level — hMETIS avant la lettre, completing the parallel with the
+/// graph-side [`crate::multilevel::Multilevel`].
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::netlist::MultilevelNetlistFm;
+/// use bisect_graph::hypergraph::NetlistBuilder;
+/// use rand::SeedableRng;
+///
+/// let mut b = NetlistBuilder::new(8);
+/// for pins in [[0u32, 1, 2, 3].as_slice(), &[4, 5, 6, 7], &[3, 4]] {
+///     b.add_net(pins).unwrap();
+/// }
+/// let nl = b.build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ml = MultilevelNetlistFm::new().with_coarsest_size(4);
+/// let p = ml.bisect(&nl, &mut rng);
+/// assert_eq!(p.cut(), 1); // the clusters contract; only the bridge is cut
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultilevelNetlistFm {
+    inner: NetlistFm,
+    coarsest_size: usize,
+}
+
+impl Default for MultilevelNetlistFm {
+    fn default() -> MultilevelNetlistFm {
+        MultilevelNetlistFm::new()
+    }
+}
+
+impl MultilevelNetlistFm {
+    /// Multilevel FM coarsening down to at most 32 cells.
+    pub fn new() -> MultilevelNetlistFm {
+        MultilevelNetlistFm { inner: NetlistFm::new(), coarsest_size: 32 }
+    }
+
+    /// Sets the size at which coarsening stops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarsest_size < 2`.
+    pub fn with_coarsest_size(mut self, coarsest_size: usize) -> MultilevelNetlistFm {
+        assert!(coarsest_size >= 2, "coarsest size must be at least 2");
+        self.coarsest_size = coarsest_size;
+        self
+    }
+
+    /// Bisects `nl` with a full V-cycle.
+    pub fn bisect(&self, nl: &Netlist, rng: &mut dyn RngCore) -> NetlistBisection {
+        let ladder = bisect_graph::hypergraph::coarsen_to(nl, self.coarsest_size, rng);
+        let coarsest = ladder.last().map_or(nl, |c| c.coarse());
+        let init = weight_balanced_random(coarsest, rng);
+        let mut current = self.inner.refine(coarsest, init);
+        for i in (0..ladder.len()).rev() {
+            let fine: &Netlist = if i == 0 { nl } else { ladder[i - 1].coarse() };
+            let mut projected =
+                NetlistBisection::from_sides(fine, ladder[i].project_sides(current.sides()))
+                    .expect("projection matches fine cell count");
+            rebalance(fine, &mut projected);
+            current = self.inner.refine(fine, projected);
+        }
+        if !current.is_balanced(nl) {
+            rebalance(nl, &mut current);
+        }
+        current
+    }
+}
+
+/// A random bisection balanced by cell weight (greedy lighter-side
+/// assignment in random order).
+fn weight_balanced_random<R: Rng + ?Sized>(nl: &Netlist, rng: &mut R) -> NetlistBisection {
+    let n = nl.num_cells();
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(rng);
+    let mut side = vec![false; n];
+    let mut weights = [0u64; 2];
+    for &c in &perm {
+        let target = usize::from(weights[1] < weights[0]);
+        side[c as usize] = target == 1;
+        weights[target] += nl.cell_weight(c);
+    }
+    NetlistBisection::from_sides(nl, side).expect("length matches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_graph::hypergraph::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_clusters() -> Netlist {
+        // Two 3-cell clusters joined by one bridge net.
+        let mut b = NetlistBuilder::new(6);
+        b.add_net(&[0, 1, 2]).unwrap();
+        b.add_net(&[0, 1]).unwrap();
+        b.add_net(&[3, 4, 5]).unwrap();
+        b.add_net(&[4, 5]).unwrap();
+        b.add_net(&[2, 3]).unwrap();
+        b.build()
+    }
+
+    fn brute_force_cut(nl: &Netlist) -> u64 {
+        let n = nl.num_cells();
+        assert!(n <= 16);
+        let half = n.div_ceil(2);
+        let mut best = u64::MAX;
+        for mask in 0..1u32 << n {
+            if mask.count_ones() as usize != half {
+                continue;
+            }
+            let sides: Vec<bool> = (0..n).map(|c| mask >> c & 1 == 0).collect();
+            let cut = NetlistBisection::from_sides(nl, sides).unwrap().cut();
+            best = best.min(cut);
+        }
+        best
+    }
+
+    #[test]
+    fn cut_counts_spanning_nets_once() {
+        let nl = two_clusters();
+        let p = NetlistBisection::from_sides(&nl, vec![false, false, false, true, true, true])
+            .unwrap();
+        assert_eq!(p.cut(), 1);
+        let q = NetlistBisection::from_sides(&nl, vec![false, true, false, true, false, true])
+            .unwrap();
+        assert_eq!(q.cut(), q.recompute_cut(&nl));
+        assert_eq!(q.cut(), 5);
+    }
+
+    #[test]
+    fn from_sides_rejects_wrong_length() {
+        let nl = two_clusters();
+        assert!(NetlistBisection::from_sides(&nl, vec![false; 3]).is_err());
+    }
+
+    #[test]
+    fn gain_matches_definition() {
+        let nl = two_clusters();
+        let p = NetlistBisection::from_sides(&nl, vec![false, false, false, true, true, true])
+            .unwrap();
+        // Moving cell 2: cuts nets {0,1,2}; uncuts the bridge {2,3}.
+        assert_eq!(p.gain(&nl, 2), 0);
+        // Moving cell 0: cuts {0,1,2} and {0,1}: -2.
+        assert_eq!(p.gain(&nl, 0), -2);
+    }
+
+    #[test]
+    fn move_cell_keeps_cut_consistent() {
+        let nl = two_clusters();
+        let mut p = NetlistBisection::random_balanced(&nl, &mut StdRng::seed_from_u64(1));
+        for c in [0u32, 3, 2, 5, 0, 1] {
+            let gain = p.gain(&nl, c);
+            let before = p.cut();
+            p.move_cell(&nl, c);
+            assert_eq!(p.cut(), p.recompute_cut(&nl), "after moving {c}");
+            assert_eq!(before as i64 - p.cut() as i64, gain, "gain mismatch for {c}");
+        }
+    }
+
+    #[test]
+    fn fm_finds_the_bridge_cut() {
+        let nl = two_clusters();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = NetlistFm::new().bisect(&nl, &mut rng);
+        assert_eq!(p.cut(), 1);
+        assert!(p.is_balanced(&nl));
+    }
+
+    #[test]
+    fn fm_matches_brute_force_on_small_netlists() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..20 {
+            // Random netlist on 10 cells with 8 nets of 2-4 pins.
+            let mut b = NetlistBuilder::new(10);
+            for _ in 0..8 {
+                let size = rng.gen_range(2..=4usize);
+                let mut pins: Vec<u32> = (0..10).collect();
+                pins.shuffle(&mut rng);
+                b.add_net(&pins[..size]).unwrap();
+            }
+            let nl = b.build();
+            let optimal = brute_force_cut(&nl);
+            let mut best = u64::MAX;
+            for seed in 0..8 {
+                let p = NetlistFm::new().bisect(&nl, &mut StdRng::seed_from_u64(seed));
+                assert!(p.cut() >= optimal, "trial {trial}: below optimum");
+                best = best.min(p.cut());
+            }
+            assert!(
+                best <= optimal + 1,
+                "trial {trial}: FM best {best} far from optimum {optimal}"
+            );
+        }
+    }
+
+    #[test]
+    fn pass_never_increases_cut() {
+        let nl = two_clusters();
+        let fm = NetlistFm::new();
+        for seed in 0..10 {
+            let mut p = NetlistBisection::random_balanced(&nl, &mut StdRng::seed_from_u64(seed));
+            let before = p.cut();
+            let improvement = fm.pass(&nl, &mut p);
+            assert_eq!(before - p.cut(), improvement);
+            assert!(p.is_balanced(&nl));
+        }
+    }
+
+    #[test]
+    fn degenerate_nets_never_cut() {
+        let mut b = NetlistBuilder::new(4);
+        b.add_net(&[]).unwrap();
+        b.add_net(&[2]).unwrap();
+        b.add_net(&[0, 1, 2, 3]).unwrap();
+        let nl = b.build();
+        let p = NetlistBisection::from_sides(&nl, vec![false, false, true, true]).unwrap();
+        assert_eq!(p.cut(), 1); // only the 4-pin net spans
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = NetlistFm::new().bisect(&nl, &mut rng);
+        assert_eq!(q.cut(), q.recompute_cut(&nl));
+    }
+
+    #[test]
+    fn tiny_netlists() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 0..3usize {
+            let nl = NetlistBuilder::new(n).build();
+            let p = NetlistFm::new().bisect(&nl, &mut rng);
+            assert_eq!(p.cut(), 0);
+        }
+    }
+
+    #[test]
+    fn weighted_nets_and_cells() {
+        let mut b = NetlistBuilder::new(4);
+        b.add_weighted_net(&[0, 1], 10).unwrap();
+        b.add_weighted_net(&[1, 2], 1).unwrap();
+        b.add_weighted_net(&[2, 3], 10).unwrap();
+        let nl = b.build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = NetlistFm::new().bisect(&nl, &mut rng);
+        // Optimal: cut the middle weight-1 net.
+        assert_eq!(p.cut(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let _ = NetlistFm::new().with_max_passes(0);
+    }
+
+    #[test]
+    fn rebalance_netlist_reaches_balance() {
+        let nl = two_clusters();
+        let mut p = NetlistBisection::from_sides(&nl, vec![false; 6]).unwrap();
+        rebalance(&nl, &mut p);
+        assert!(p.is_balanced(&nl));
+        assert_eq!(p.cut(), p.recompute_cut(&nl));
+    }
+
+    #[test]
+    fn compacted_fm_finds_the_bridge() {
+        let nl = two_clusters();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = CompactedNetlistFm::new().bisect(&nl, &mut rng);
+        assert_eq!(p.cut(), 1);
+        assert!(p.is_balanced(&nl));
+    }
+
+    #[test]
+    fn compacted_fm_on_netless_cells() {
+        let nl = NetlistBuilder::new(8).build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = CompactedNetlistFm::new().bisect(&nl, &mut rng);
+        assert_eq!(p.cut(), 0);
+        assert!(p.is_balanced(&nl));
+    }
+
+    #[test]
+    fn compacted_fm_never_beats_brute_force() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let mut b = NetlistBuilder::new(10);
+            for _ in 0..8 {
+                let size = rng.gen_range(2..=4usize);
+                let mut pins: Vec<u32> = (0..10).collect();
+                pins.shuffle(&mut rng);
+                b.add_net(&pins[..size]).unwrap();
+            }
+            let nl = b.build();
+            let optimal = brute_force_cut(&nl);
+            let p = CompactedNetlistFm::new().bisect(&nl, &mut StdRng::seed_from_u64(1));
+            assert!(p.cut() >= optimal);
+            assert!(p.is_balanced(&nl));
+        }
+    }
+
+    #[test]
+    fn multilevel_fm_finds_the_bridge() {
+        let nl = two_clusters();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = MultilevelNetlistFm::new().with_coarsest_size(3).bisect(&nl, &mut rng);
+        assert_eq!(p.cut(), 1);
+        assert!(p.is_balanced(&nl));
+    }
+
+    #[test]
+    fn multilevel_fm_valid_on_random_netlists() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let mut b = NetlistBuilder::new(60);
+            for _ in 0..80 {
+                let size = rng.gen_range(2..=5usize);
+                let mut pins: Vec<u32> = (0..60).collect();
+                pins.shuffle(&mut rng);
+                b.add_net(&pins[..size]).unwrap();
+            }
+            let nl = b.build();
+            let p = MultilevelNetlistFm::new().bisect(&nl, &mut StdRng::seed_from_u64(3));
+            assert!(p.is_balanced(&nl));
+            assert_eq!(p.cut(), p.recompute_cut(&nl));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn multilevel_rejects_tiny_coarsest() {
+        let _ = MultilevelNetlistFm::new().with_coarsest_size(1);
+    }
+
+    #[test]
+    fn compacted_fm_competitive_on_clusters() {
+        // Larger clustered netlist: compacted FM should match plain FM
+        // or better on most seeds.
+        let mut b = NetlistBuilder::new(40);
+        let mut rng = StdRng::seed_from_u64(8);
+        for cluster in 0..4 {
+            let base = cluster * 10;
+            for _ in 0..12 {
+                let size = rng.gen_range(2..=4usize);
+                let mut pins: Vec<u32> = (base..base + 10).collect();
+                pins.shuffle(&mut rng);
+                b.add_net(&pins[..size]).unwrap();
+            }
+        }
+        b.add_net(&[9, 10]).unwrap();
+        b.add_net(&[19, 20]).unwrap();
+        b.add_net(&[29, 30]).unwrap();
+        let nl = b.build();
+        let mut fm_total = 0u64;
+        let mut cfm_total = 0u64;
+        for seed in 0..5 {
+            fm_total += NetlistFm::new().bisect(&nl, &mut StdRng::seed_from_u64(seed)).cut();
+            cfm_total +=
+                CompactedNetlistFm::new().bisect(&nl, &mut StdRng::seed_from_u64(seed)).cut();
+        }
+        assert!(
+            cfm_total <= fm_total + 2,
+            "compacted FM ({cfm_total}) should be competitive with FM ({fm_total})"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the graph generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// A parameter combination is infeasible or out of range (message
+    /// explains which constraint failed).
+    InvalidParameter(String),
+    /// Randomized construction failed to produce a simple graph after
+    /// the configured number of restarts (can happen for extreme
+    /// near-complete parameter choices).
+    ConstructionFailed {
+        /// How many full restarts were attempted.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),
+            GenError::ConstructionFailed { attempts } => {
+                write!(f, "randomized construction failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for GenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = GenError::InvalidParameter("d must be < n".into());
+        assert_eq!(e.to_string(), "invalid parameter: d must be < n");
+    }
+
+    #[test]
+    fn display_construction_failed() {
+        let e = GenError::ConstructionFailed { attempts: 40 };
+        assert!(e.to_string().contains("40"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GenError>();
+    }
+}

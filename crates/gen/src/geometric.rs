@@ -1,0 +1,203 @@
+//! Random geometric graphs — `n` points uniform in the unit square,
+//! edges between pairs at distance ≤ `radius`.
+//!
+//! Not part of the paper's model zoo, but the natural synthetic stand-in
+//! for placement-style instances (cells on a die, mostly-local
+//! connectivity): geometric graphs have small separators like grids but
+//! irregular degrees like netlists. Used by the placement example and
+//! the extension benches.
+//!
+//! Sampling uses a uniform grid of buckets with cell side `radius`, so
+//! the cost is `O(n + m)` in expectation rather than `O(n²)`.
+
+use bisect_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+use crate::GenError;
+
+/// Parameters of the random geometric model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricParams {
+    /// Number of points (vertices).
+    pub num_vertices: usize,
+    /// Connection radius in `(0, √2]`.
+    pub radius: f64,
+}
+
+impl GeometricParams {
+    /// Validates and constructs the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::InvalidParameter`] if `radius` is not finite and
+    /// positive.
+    pub fn new(num_vertices: usize, radius: f64) -> Result<GeometricParams, GenError> {
+        if !radius.is_finite() || radius <= 0.0 {
+            return Err(GenError::InvalidParameter(format!(
+                "radius must be positive and finite, got {radius}"
+            )));
+        }
+        Ok(GeometricParams { num_vertices, radius })
+    }
+
+    /// Parameters whose *expected average degree* is approximately
+    /// `avg_degree` (ignoring boundary effects):
+    /// `radius = sqrt(avg_degree / (π (n−1)))`.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::InvalidParameter`] if `avg_degree` is not positive
+    /// or `num_vertices < 2`.
+    pub fn with_average_degree(
+        num_vertices: usize,
+        avg_degree: f64,
+    ) -> Result<GeometricParams, GenError> {
+        if num_vertices < 2 {
+            return Err(GenError::InvalidParameter(
+                "need at least 2 vertices to target an average degree".into(),
+            ));
+        }
+        if !avg_degree.is_finite() || avg_degree <= 0.0 {
+            return Err(GenError::InvalidParameter(format!(
+                "average degree must be positive, got {avg_degree}"
+            )));
+        }
+        let radius =
+            (avg_degree / (std::f64::consts::PI * (num_vertices as f64 - 1.0))).sqrt();
+        GeometricParams::new(num_vertices, radius)
+    }
+}
+
+/// Samples a random geometric graph; returns the graph together with
+/// the point coordinates (useful for plotting or placement demos).
+pub fn sample_with_points<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &GeometricParams,
+) -> (Graph, Vec<(f64, f64)>) {
+    let n = params.num_vertices;
+    let r = params.radius;
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut builder = GraphBuilder::new(n);
+    if n == 0 {
+        return (builder.build(), points);
+    }
+    // Bucket grid with cell side >= r: all neighbors of a point lie in
+    // its own or the 8 adjacent cells.
+    let cells = ((1.0 / r).floor() as usize).clamp(1, n.max(1));
+    let cell_of = |x: f64| (((x * cells as f64) as usize).min(cells - 1)) as isize;
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        buckets[cell_of(y) as usize * cells + cell_of(x) as usize].push(i as VertexId);
+    }
+    let r2 = r * r;
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= cells as isize || ny >= cells as isize {
+                    continue;
+                }
+                for &j in &buckets[ny as usize * cells + nx as usize] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (px, py) = points[j as usize];
+                    let (ddx, ddy) = (px - x, py - y);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        builder.add_edge(i as VertexId, j).expect("distinct in-range ids");
+                    }
+                }
+            }
+        }
+    }
+    (builder.build(), points)
+}
+
+/// Samples a random geometric graph (coordinates discarded).
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GeometricParams) -> Graph {
+    sample_with_points(rng, params).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_validate_radius() {
+        assert!(GeometricParams::new(10, 0.0).is_err());
+        assert!(GeometricParams::new(10, -1.0).is_err());
+        assert!(GeometricParams::new(10, f64::NAN).is_err());
+        assert!(GeometricParams::new(10, 0.3).is_ok());
+    }
+
+    #[test]
+    fn with_average_degree_validates() {
+        assert!(GeometricParams::with_average_degree(1, 3.0).is_err());
+        assert!(GeometricParams::with_average_degree(100, 0.0).is_err());
+        assert!(GeometricParams::with_average_degree(100, 4.0).is_ok());
+    }
+
+    #[test]
+    fn edges_respect_radius_exactly() {
+        let params = GeometricParams::new(200, 0.15).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, points) = sample_with_points(&mut rng, &params);
+        // Every edge within radius; every non-edge beyond radius.
+        let dist2 = |i: usize, j: usize| {
+            let (xi, yi) = points[i];
+            let (xj, yj) = points[j];
+            (xi - xj) * (xi - xj) + (yi - yj) * (yi - yj)
+        };
+        for (u, v, _) in g.edges() {
+            assert!(dist2(u as usize, v as usize) <= 0.15 * 0.15 + 1e-12);
+        }
+        for i in 0..200 {
+            for j in (i + 1)..200 {
+                if dist2(i, j) <= 0.15 * 0.15 {
+                    assert!(g.has_edge(i as u32, j as u32), "missing edge ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let params = GeometricParams::with_average_degree(2000, 6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = sample(&mut rng, &params);
+        // Boundary effects push the realized degree below target.
+        assert!(
+            g.average_degree() > 3.0 && g.average_degree() < 7.5,
+            "avg {}",
+            g.average_degree()
+        );
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, pts) = sample_with_points(&mut rng, &GeometricParams::new(0, 0.5).unwrap());
+        assert_eq!(g.num_vertices(), 0);
+        assert!(pts.is_empty());
+        let g = sample(&mut rng, &GeometricParams::new(1, 0.5).unwrap());
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn huge_radius_gives_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = sample(&mut rng, &GeometricParams::new(12, 1.5).unwrap());
+        assert_eq!(g.num_edges(), 12 * 11 / 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = GeometricParams::new(100, 0.2).unwrap();
+        let a = sample(&mut StdRng::seed_from_u64(9), &params);
+        let b = sample(&mut StdRng::seed_from_u64(9), &params);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Graph generators from the DAC'89 bisection study (§IV of the paper).
+//!
+//! Three random models are provided:
+//!
+//! * [`gnp`] — `Gnp(2n, p)`: every edge present independently with
+//!   probability `p`. The paper notes its minimum bisection is close to
+//!   a random bisection, so it discriminates heuristics poorly.
+//! * [`g2set`] — `G2set(2n, pA, pB, bis)`: two independent `Gnp` blocks
+//!   joined by exactly `bis` random cross edges (an upper bound on the
+//!   bisection width).
+//! * [`gbreg`] — `Gbreg(2n, b, d)` from Bui-Chaudhuri-Leighton-Sipser:
+//!   d-regular graphs with exactly `b` edges crossing a planted
+//!   bisection. This is the paper's primary test model.
+//!
+//! plus the special families used in Table 1 and the appendix
+//! ([`special`]: grids, ladders, binary trees, …), a random regular
+//! graph sampler ([`regular`]), and the deterministic
+//! [lagged-Fibonacci RNG](rng) matching the paper's choice of generator.
+//!
+//! All samplers take `&mut impl rand::Rng` and are deterministic given
+//! the generator state, so every experiment is reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use bisect_gen::{gbreg, rng::LaggedFibonacci};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = LaggedFibonacci::seed_from_u64(1989);
+//! let g = gbreg::sample(&mut rng, &gbreg::GbregParams::new(100, 4, 3).unwrap()).unwrap();
+//! assert_eq!(g.num_vertices(), 100);
+//! assert_eq!(g.regular_degree(), Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod g2set;
+pub mod gbreg;
+pub mod geometric;
+pub mod gnp;
+pub mod regular;
+pub mod rng;
+pub mod special;
+
+pub use error::GenError;

@@ -1,0 +1,440 @@
+//! Random graphs with prescribed degree sequences (configuration /
+//! pairing model with rewiring repair).
+//!
+//! This is the substrate for [`gbreg`](crate::gbreg): stubs (half-edges)
+//! are paired uniformly at random, and the defects of the pairing —
+//! self loops and parallel edges — are removed by random edge *swaps*
+//! that preserve the degree sequence. For the sparse (degree ≤ 4)
+//! sequences of the paper the repair converges almost immediately; if it
+//! stalls, the whole pairing is redrawn, and after
+//! [`MAX_ATTEMPTS`] redraws construction fails.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use bisect_graph::VertexId;
+
+use crate::GenError;
+
+/// Number of full pairing redraws before giving up.
+pub const MAX_ATTEMPTS: usize = 64;
+
+const MAX_REPAIR_ROUNDS: usize = 200;
+const SWAP_TRIES_PER_BAD_PAIR: usize = 32;
+
+/// Samples a uniformly-ish random simple graph edge list realizing
+/// `degrees` (vertex `v` gets exactly `degrees[v]` incident edges).
+///
+/// The distribution is the configuration model conditioned on
+/// simplicity, up to the small bias introduced by swap-based repair —
+/// the standard practical compromise.
+///
+/// # Errors
+///
+/// [`GenError::InvalidParameter`] if the degree sum is odd or any degree
+/// is `>= degrees.len()`; [`GenError::ConstructionFailed`] if no simple
+/// realization was found after [`MAX_ATTEMPTS`] redraws (for instance
+/// because the sequence is not graphical).
+pub fn sample_degree_sequence<R: Rng + ?Sized>(
+    rng: &mut R,
+    degrees: &[usize],
+) -> Result<Vec<(VertexId, VertexId)>, GenError> {
+    let n = degrees.len();
+    let sum: usize = degrees.iter().sum();
+    if !sum.is_multiple_of(2) {
+        return Err(GenError::InvalidParameter(format!(
+            "degree sum must be even, got {sum}"
+        )));
+    }
+    if let Some((v, &d)) = degrees.iter().enumerate().find(|&(_, &d)| d >= n.max(1)) {
+        return Err(GenError::InvalidParameter(format!(
+            "degree {d} of vertex {v} is too large for a simple graph on {n} vertices"
+        )));
+    }
+    if sum == 0 {
+        return Ok(Vec::new());
+    }
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(sum);
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(v as VertexId, d));
+    }
+    for attempt in 0..MAX_ATTEMPTS {
+        stubs.shuffle(rng);
+        let pairs: Vec<(VertexId, VertexId)> =
+            stubs.chunks_exact(2).map(|c| norm(c[0], c[1])).collect();
+        if let Some(fixed) = repair(rng, pairs) {
+            return Ok(fixed);
+        }
+        let _ = attempt;
+    }
+    Err(GenError::ConstructionFailed { attempts: MAX_ATTEMPTS })
+}
+
+/// Samples a random simple `d`-regular graph on `n` vertices as an edge
+/// list.
+///
+/// # Errors
+///
+/// [`GenError::InvalidParameter`] if `n·d` is odd or `d >= n`;
+/// [`GenError::ConstructionFailed`] if construction keeps failing (only
+/// plausible for extreme `d` close to `n`).
+pub fn sample_regular<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    d: usize,
+) -> Result<Vec<(VertexId, VertexId)>, GenError> {
+    if n.checked_mul(d).is_none_or(|s| s % 2 != 0) {
+        return Err(GenError::InvalidParameter(format!(
+            "n·d must be even, got n = {n}, d = {d}"
+        )));
+    }
+    sample_degree_sequence(rng, &vec![d; n])
+}
+
+/// Samples a random simple *bipartite* graph between left vertices
+/// `0..left.len()` and right vertices `0..right.len()` (ids in each
+/// side's own namespace), realizing the two degree sequences. Returns
+/// `(l, r)` pairs. Self loops cannot occur; parallel edges are repaired
+/// by swaps.
+///
+/// # Errors
+///
+/// [`GenError::InvalidParameter`] if the two degree sums differ, or a
+/// left degree exceeds the right side size (or vice versa);
+/// [`GenError::ConstructionFailed`] if repair keeps failing.
+pub fn sample_bipartite<R: Rng + ?Sized>(
+    rng: &mut R,
+    left: &[usize],
+    right: &[usize],
+) -> Result<Vec<(VertexId, VertexId)>, GenError> {
+    let sum_l: usize = left.iter().sum();
+    let sum_r: usize = right.iter().sum();
+    if sum_l != sum_r {
+        return Err(GenError::InvalidParameter(format!(
+            "left degree sum {sum_l} != right degree sum {sum_r}"
+        )));
+    }
+    if left.iter().any(|&d| d > right.len()) || right.iter().any(|&d| d > left.len()) {
+        return Err(GenError::InvalidParameter(
+            "a degree exceeds the opposite side's size".into(),
+        ));
+    }
+    if sum_l == 0 {
+        return Ok(Vec::new());
+    }
+    let mut left_stubs: Vec<VertexId> = Vec::with_capacity(sum_l);
+    for (v, &d) in left.iter().enumerate() {
+        left_stubs.extend(std::iter::repeat_n(v as VertexId, d));
+    }
+    let mut right_stubs: Vec<VertexId> = Vec::with_capacity(sum_r);
+    for (v, &d) in right.iter().enumerate() {
+        right_stubs.extend(std::iter::repeat_n(v as VertexId, d));
+    }
+    for _ in 0..MAX_ATTEMPTS {
+        left_stubs.shuffle(rng);
+        right_stubs.shuffle(rng);
+        let pairs: Vec<(VertexId, VertexId)> = left_stubs
+            .iter()
+            .zip(right_stubs.iter())
+            .map(|(&l, &r)| (l, r))
+            .collect();
+        if let Some(fixed) = repair_bipartite(rng, pairs) {
+            return Ok(fixed);
+        }
+    }
+    Err(GenError::ConstructionFailed { attempts: MAX_ATTEMPTS })
+}
+
+fn norm(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+fn is_bad(pair: (VertexId, VertexId), counts: &HashMap<(VertexId, VertexId), u32>) -> bool {
+    pair.0 == pair.1 || counts.get(&pair).copied().unwrap_or(0) > 1
+}
+
+fn dec(counts: &mut HashMap<(VertexId, VertexId), u32>, pair: (VertexId, VertexId)) {
+    if let Some(c) = counts.get_mut(&pair) {
+        *c -= 1;
+        if *c == 0 {
+            counts.remove(&pair);
+        }
+    }
+}
+
+fn inc(counts: &mut HashMap<(VertexId, VertexId), u32>, pair: (VertexId, VertexId)) {
+    *counts.entry(pair).or_insert(0) += 1;
+}
+
+/// Swap-based repair for general (one-sided) pairings: eliminates self
+/// loops and duplicates while preserving the degree sequence. Returns
+/// `None` if it stalls.
+fn repair<R: Rng + ?Sized>(
+    rng: &mut R,
+    mut pairs: Vec<(VertexId, VertexId)>,
+) -> Option<Vec<(VertexId, VertexId)>> {
+    let mut counts: HashMap<(VertexId, VertexId), u32> = HashMap::with_capacity(pairs.len());
+    for &p in &pairs {
+        inc(&mut counts, p);
+    }
+    for _round in 0..MAX_REPAIR_ROUNDS {
+        let bad: Vec<usize> =
+            (0..pairs.len()).filter(|&i| is_bad(pairs[i], &counts)).collect();
+        if bad.is_empty() {
+            return Some(pairs);
+        }
+        let mut progress = false;
+        for &i in &bad {
+            if !is_bad(pairs[i], &counts) {
+                continue; // fixed by an earlier swap this round
+            }
+            for _ in 0..SWAP_TRIES_PER_BAD_PAIR {
+                let j = rng.gen_range(0..pairs.len());
+                if j == i {
+                    continue;
+                }
+                let (u, v) = pairs[i];
+                let (mut x, mut y) = pairs[j];
+                if rng.gen::<bool>() {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                // Rewire (u,v),(x,y) -> (u,x),(v,y).
+                if u == x || v == y {
+                    continue;
+                }
+                let e1 = norm(u, x);
+                let e2 = norm(v, y);
+                if e1 == e2 {
+                    continue;
+                }
+                dec(&mut counts, pairs[i]);
+                dec(&mut counts, pairs[j]);
+                if counts.contains_key(&e1) || counts.contains_key(&e2) {
+                    inc(&mut counts, pairs[i]);
+                    inc(&mut counts, pairs[j]);
+                    continue;
+                }
+                inc(&mut counts, e1);
+                inc(&mut counts, e2);
+                pairs[i] = e1;
+                pairs[j] = e2;
+                progress = true;
+                break;
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+    None
+}
+
+/// Swap-based repair for bipartite pairings `(l, r)`: eliminates
+/// duplicate pairs while preserving both degree sequences.
+fn repair_bipartite<R: Rng + ?Sized>(
+    rng: &mut R,
+    mut pairs: Vec<(VertexId, VertexId)>,
+) -> Option<Vec<(VertexId, VertexId)>> {
+    let mut counts: HashMap<(VertexId, VertexId), u32> = HashMap::with_capacity(pairs.len());
+    for &p in &pairs {
+        inc(&mut counts, p);
+    }
+    let dup = |p: (VertexId, VertexId), counts: &HashMap<_, u32>| {
+        counts.get(&p).copied().unwrap_or(0) > 1
+    };
+    for _round in 0..MAX_REPAIR_ROUNDS {
+        let bad: Vec<usize> = (0..pairs.len()).filter(|&i| dup(pairs[i], &counts)).collect();
+        if bad.is_empty() {
+            return Some(pairs);
+        }
+        let mut progress = false;
+        for &i in &bad {
+            if !dup(pairs[i], &counts) {
+                continue;
+            }
+            for _ in 0..SWAP_TRIES_PER_BAD_PAIR {
+                let j = rng.gen_range(0..pairs.len());
+                if j == i {
+                    continue;
+                }
+                let (l1, r1) = pairs[i];
+                let (l2, r2) = pairs[j];
+                // Swap right endpoints: (l1,r2), (l2,r1).
+                let e1 = (l1, r2);
+                let e2 = (l2, r1);
+                if e1 == e2 {
+                    continue;
+                }
+                dec(&mut counts, pairs[i]);
+                dec(&mut counts, pairs[j]);
+                if counts.contains_key(&e1) || counts.contains_key(&e2) {
+                    inc(&mut counts, pairs[i]);
+                    inc(&mut counts, pairs[j]);
+                    continue;
+                }
+                inc(&mut counts, e1);
+                inc(&mut counts, e2);
+                pairs[i] = e1;
+                pairs[j] = e2;
+                progress = true;
+                break;
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_simple(pairs: &[(VertexId, VertexId)]) {
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in pairs {
+            assert_ne!(u, v, "self loop");
+            assert!(seen.insert(norm(u, v)), "duplicate edge ({u},{v})");
+        }
+    }
+
+    fn degrees_of(n: usize, pairs: &[(VertexId, VertexId)]) -> Vec<usize> {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in pairs {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    #[test]
+    fn rejects_odd_degree_sum() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            sample_degree_sequence(&mut rng, &[1, 1, 1]),
+            Err(GenError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_degree_too_large() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_degree_sequence(&mut rng, &[3, 1, 1, 1]).is_ok());
+        assert!(sample_degree_sequence(&mut rng, &[4, 1, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn zero_degrees_ok() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_degree_sequence(&mut rng, &[0, 0, 0]).unwrap().is_empty());
+        assert!(sample_degree_sequence(&mut rng, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn realizes_degree_sequence() {
+        let degrees = vec![3, 2, 2, 1, 2, 2];
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pairs = sample_degree_sequence(&mut rng, &degrees).unwrap();
+            check_simple(&pairs);
+            assert_eq!(degrees_of(6, &pairs), degrees, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn regular_graphs_are_regular_and_simple() {
+        for &(n, d) in &[(10, 3), (20, 4), (8, 2), (50, 3), (9, 4)] {
+            let mut rng = StdRng::seed_from_u64((n * 100 + d) as u64);
+            let pairs = sample_regular(&mut rng, n, d).unwrap();
+            check_simple(&pairs);
+            assert_eq!(degrees_of(n, &pairs), vec![d; n], "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn regular_rejects_odd_product() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_regular(&mut rng, 5, 3).is_err());
+    }
+
+    #[test]
+    fn regular_rejects_degree_ge_n() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_regular(&mut rng, 4, 4).is_err());
+    }
+
+    #[test]
+    fn near_complete_regular_succeeds() {
+        // d = n-1 forces the complete graph, the hardest repair case.
+        let mut rng = StdRng::seed_from_u64(12);
+        let pairs = sample_regular(&mut rng, 8, 7).unwrap();
+        check_simple(&pairs);
+        assert_eq!(pairs.len(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn large_sparse_regular_fast() {
+        let mut rng = StdRng::seed_from_u64(1989);
+        let pairs = sample_regular(&mut rng, 5000, 3).unwrap();
+        check_simple(&pairs);
+        assert_eq!(pairs.len(), 5000 * 3 / 2);
+    }
+
+    #[test]
+    fn bipartite_rejects_mismatched_sums() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_bipartite(&mut rng, &[1, 1], &[1]).is_err());
+    }
+
+    #[test]
+    fn bipartite_rejects_oversized_degree() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_bipartite(&mut rng, &[3], &[1, 1, 1]).is_ok());
+        // Left degree 5 exceeds the 4 right vertices.
+        assert!(sample_bipartite(&mut rng, &[5, 0], &[2, 1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn bipartite_realizes_degrees_no_duplicates() {
+        let left = vec![2, 1, 0, 3];
+        let right = vec![1, 1, 2, 2];
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pairs = sample_bipartite(&mut rng, &left, &right).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            let mut dl = vec![0usize; 4];
+            let mut dr = vec![0usize; 4];
+            for &(l, r) in &pairs {
+                assert!(seen.insert((l, r)), "duplicate cross pair");
+                dl[l as usize] += 1;
+                dr[r as usize] += 1;
+            }
+            assert_eq!(dl, left);
+            assert_eq!(dr, right);
+        }
+    }
+
+    #[test]
+    fn bipartite_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_bipartite(&mut rng, &[0, 0], &[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bipartite_complete() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = sample_bipartite(&mut rng, &[3, 3, 3], &[3, 3, 3]).unwrap();
+        assert_eq!(pairs.len(), 9);
+        let set: std::collections::HashSet<_> = pairs.into_iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+}

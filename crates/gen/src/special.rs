@@ -1,0 +1,404 @@
+//! Deterministic special graph families.
+//!
+//! The paper tests compaction on grids, ladder graphs, and binary trees
+//! (Table 1 and the appendix), and mentions the ladder graph as a case
+//! where plain Kernighan-Lin "is known to fail badly". The other
+//! families here (cycles, paths, tori, hypercubes, …) are used by the
+//! test suite, the examples, and as additional sanity workloads — each
+//! has a known bisection width to compare heuristics against.
+
+use bisect_graph::{Graph, GraphBuilder, VertexId};
+
+/// The path `P_n` on `n` vertices (`n − 1` edges). Bisection width 1
+/// for even `n ≥ 2`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId).expect("path edges valid");
+    }
+    b.build()
+}
+
+/// The cycle `C_n` on `n` vertices. Bisection width 2 for even `n ≥ 4`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (smaller cycles are not simple graphs).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices, got {n}");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as VertexId, ((i + 1) % n) as VertexId).expect("cycle edges valid");
+    }
+    b.build()
+}
+
+/// A disjoint union of `count` cycles of length `len` — the shape of
+/// every degree-2 `Gbreg` instance ("a collection of chordless
+/// cycles"). Bisection width 0 when `count·len` splits evenly across
+/// whole cycles, at most 2 otherwise.
+///
+/// # Panics
+///
+/// Panics if `len < 3`.
+pub fn cycle_collection(count: usize, len: usize) -> Graph {
+    assert!(len >= 3, "cycle length must be at least 3, got {len}");
+    let mut b = GraphBuilder::new(count * len);
+    for c in 0..count {
+        let base = c * len;
+        for i in 0..len {
+            b.add_edge((base + i) as VertexId, (base + (i + 1) % len) as VertexId)
+                .expect("cycle edges valid");
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` grid graph. For an `N × N` grid the bisection
+/// width is `N` (cut down the middle), the value the appendix's grid
+/// table compares against.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1)).expect("grid edges valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c)).expect("grid edges valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus (grid with wraparound). Bisection width
+/// `2·min(rows, cols)` for even dimensions ≥ 3.
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3` (wraparound would create
+/// parallel edges or self loops).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("torus edges valid");
+            b.add_edge(id(r, c), id((r + 1) % rows, c)).expect("torus edges valid");
+        }
+    }
+    b.build()
+}
+
+/// The ladder graph `L_k = P_2 × P_k` on `2k` vertices — two rails of
+/// `k` vertices joined by `k` rungs (the graph of Figure 3, on which
+/// plain KL "is known to fail badly" while SA does well). Bisection
+/// width 2 for even `k` (cut between two rungs), and the family of the
+/// appendix's ladder table.
+pub fn ladder(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(2 * k);
+    for i in 0..k {
+        let top = i as VertexId;
+        let bottom = (k + i) as VertexId;
+        b.add_edge(top, bottom).expect("rung valid");
+        if i + 1 < k {
+            b.add_edge(top, top + 1).expect("rail valid");
+            b.add_edge(bottom, bottom + 1).expect("rail valid");
+        }
+    }
+    b.build()
+}
+
+/// The circular ladder (prism) `CL_k = C_k × P_2` on `2k` vertices:
+/// a ladder whose rails wrap around. Bisection width 4 for even `k ≥ 4`.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+pub fn circular_ladder(k: usize) -> Graph {
+    assert!(k >= 3, "circular ladder needs k >= 3, got {k}");
+    let mut b = GraphBuilder::new(2 * k);
+    for i in 0..k {
+        let top = i as VertexId;
+        let bottom = (k + i) as VertexId;
+        let next = (i + 1) % k;
+        b.add_edge(top, bottom).expect("rung valid");
+        b.add_edge(top, next as VertexId).expect("rail valid");
+        b.add_edge(bottom, (k + next) as VertexId).expect("rail valid");
+    }
+    b.build()
+}
+
+/// The complete binary tree on `n` vertices in heap order (vertex `i`
+/// has children `2i+1`, `2i+2` when in range). The appendix's binary
+/// tree table uses this family; trees are the worst case for plain KL
+/// in the paper's tests (56% improvement from compaction).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i as VertexId, ((i - 1) / 2) as VertexId).expect("tree edges valid");
+    }
+    b.build()
+}
+
+/// The `dim`-dimensional hypercube on `2^dim` vertices. Bisection width
+/// `2^(dim−1)`.
+///
+/// # Panics
+///
+/// Panics if `dim >= 31` (vertex ids would overflow).
+pub fn hypercube(dim: u32) -> Graph {
+    assert!(dim < 31, "hypercube dimension too large: {dim}");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v as VertexId, u as VertexId).expect("hypercube edges valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`. Bisection width `⌊n/2⌋·⌈n/2⌉`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId).expect("complete edges valid");
+        }
+    }
+    b.build()
+}
+
+/// The star `K_{1,n-1}`: vertex 0 joined to all others. Bisection width
+/// `⌊n/2⌋` — every balanced split strands half the leaves.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId).expect("star edges valid");
+    }
+    b.build()
+}
+
+/// The wheel `W_n`: a cycle on `n − 1` vertices plus a hub joined to
+/// all of them.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least 4 vertices, got {n}");
+    let rim = n - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..rim {
+        b.add_edge(i as VertexId, ((i + 1) % rim) as VertexId).expect("rim valid");
+        b.add_edge(i as VertexId, rim as VertexId).expect("spoke valid");
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` vertices with `legs` leaves
+/// hanging off each spine vertex. `spine·(1 + legs)` vertices. Trees
+/// with long paths and pendant clusters stress the same weakness of KL
+/// that binary trees do.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "caterpillar needs a nonempty spine");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b.add_edge((i - 1) as VertexId, i as VertexId).expect("spine valid");
+    }
+    let mut next = spine;
+    for i in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(i as VertexId, next as VertexId).expect("leg valid");
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_graph::traversal;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.regular_degree(), Some(2));
+        assert!(traversal::bipartition(&g).is_some());
+        assert!(traversal::bipartition(&cycle(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_too_small() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn cycle_collection_components() {
+        let g = cycle_collection(3, 5);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.regular_degree(), Some(2));
+        let (_, count) = traversal::connected_components(&g);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8 = 17.
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (row 1, col 1)
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn grid_degenerate() {
+        assert_eq!(grid(1, 1).num_edges(), 0);
+        assert_eq!(grid(1, 5).num_edges(), 4); // a path
+        assert_eq!(grid(0, 5).num_vertices(), 0);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn torus_too_small() {
+        let _ = torus(2, 5);
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let g = ladder(5);
+        assert_eq!(g.num_vertices(), 10);
+        // 5 rungs + 2 rails of 4 = 13 edges.
+        assert_eq!(g.num_edges(), 13);
+        assert_eq!(g.degree(0), 2); // end vertex: rung + rail
+        assert_eq!(g.degree(2), 3); // middle vertex
+        assert!(traversal::is_connected(&g));
+        assert!(traversal::bipartition(&g).is_some());
+    }
+
+    #[test]
+    fn ladder_degenerate() {
+        assert_eq!(ladder(1).num_edges(), 1);
+        assert_eq!(ladder(0).num_vertices(), 0);
+    }
+
+    #[test]
+    fn circular_ladder_is_3_regular() {
+        let g = circular_ladder(6);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert_eq!(g.num_edges(), 18);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn binary_tree_is_acyclic() {
+        let g = binary_tree(31);
+        assert_eq!(g.num_edges(), 30); // n-1 edges + connected = tree
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn binary_tree_degenerate() {
+        assert_eq!(binary_tree(0).num_vertices(), 0);
+        assert_eq!(binary_tree(1).num_edges(), 0);
+        assert_eq!(binary_tree(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert_eq!(g.num_edges(), 32);
+        assert!(traversal::bipartition(&g).is_some());
+    }
+
+    #[test]
+    fn hypercube_dim_zero() {
+        let g = hypercube(0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.regular_degree(), Some(5));
+    }
+
+    #[test]
+    fn star_and_wheel() {
+        let s = star(7);
+        assert_eq!(s.degree(0), 6);
+        assert_eq!(s.num_edges(), 6);
+        let w = wheel(7);
+        assert_eq!(w.degree(6), 6); // hub
+        assert_eq!(w.num_edges(), 12);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 11);
+        assert!(traversal::is_connected(&g));
+        // Spine interior vertex: 2 spine edges + 2 legs.
+        assert_eq!(g.degree(1), 4);
+    }
+}

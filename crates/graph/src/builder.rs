@@ -1,0 +1,285 @@
+use crate::{EdgeWeight, Graph, GraphError, VertexId, VertexWeight};
+
+/// Incremental construction of a [`Graph`].
+///
+/// Edges may be added in any order and in both orientations; duplicates
+/// are merged by summing weights at [`build`](GraphBuilder::build) time.
+/// Self loops are rejected eagerly.
+///
+/// # Example
+///
+/// ```
+/// use bisect_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_weighted_edge(1, 2, 5).unwrap();
+/// b.set_vertex_weight(2, 2).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.edge_weight(1, 2), Some(5));
+/// assert_eq!(g.vertex_weight(2), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId, EdgeWeight)>,
+    vertex_weights: Vec<VertexWeight>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `num_vertices` vertices with no edges
+    /// and unit vertex weights.
+    pub fn new(num_vertices: usize) -> GraphBuilder {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            vertex_weights: vec![1; num_vertices],
+        }
+    }
+
+    /// Pre-allocates space for `additional` more edges.
+    pub fn reserve_edges(&mut self, additional: usize) -> &mut GraphBuilder {
+        self.edges.reserve(additional);
+        self
+    }
+
+    /// Number of vertices of the graph being built.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edge records added so far (duplicates not yet merged).
+    pub fn num_edge_records(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight 1.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] if `u == v`;
+    /// [`GraphError::VertexOutOfRange`] if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<&mut GraphBuilder, GraphError> {
+        self.add_weighted_edge(u, v, 1)
+    }
+
+    /// Adds the undirected edge `{u, v}` with the given weight
+    /// (multiplicity).
+    ///
+    /// # Errors
+    ///
+    /// As [`add_edge`](GraphBuilder::add_edge), plus
+    /// [`GraphError::ZeroWeight`] if `weight == 0`.
+    pub fn add_weighted_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: EdgeWeight,
+    ) -> Result<&mut GraphBuilder, GraphError> {
+        if weight == 0 {
+            return Err(GraphError::ZeroWeight);
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u as u64 });
+        }
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, weight));
+        Ok(self)
+    }
+
+    /// Sets the weight of vertex `v` (default 1).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] if `v` is out of range;
+    /// [`GraphError::ZeroWeight`] if `weight == 0`.
+    pub fn set_vertex_weight(
+        &mut self,
+        v: VertexId,
+        weight: VertexWeight,
+    ) -> Result<&mut GraphBuilder, GraphError> {
+        if weight == 0 {
+            return Err(GraphError::ZeroWeight);
+        }
+        self.check_vertex(v)?;
+        self.vertex_weights[v as usize] = weight;
+        Ok(self)
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        if (v as usize) < self.num_vertices {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v as u64,
+                num_vertices: self.num_vertices,
+            })
+        }
+    }
+
+    /// Finalizes the CSR arrays, merging duplicate edges, and returns the
+    /// graph. Runs in `O(V + E log E)`.
+    pub fn build(mut self) -> Graph {
+        // Sort edge records lexicographically, then merge duplicates.
+        self.edges.sort_unstable();
+        let mut merged: Vec<(VertexId, VertexId, EdgeWeight)> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges {
+            match merged.last_mut() {
+                Some(&mut (pu, pv, ref mut pw)) if pu == u && pv == v => *pw += w,
+                _ => merged.push((u, v, w)),
+            }
+        }
+
+        let n = self.num_vertices;
+        let mut degree = vec![0usize; n];
+        for &(u, v, _) in &merged {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + degree[v];
+        }
+        let mut cursor = xadj.clone();
+        let mut adjncy = vec![0 as VertexId; xadj[n]];
+        let mut edge_weights = vec![0 as EdgeWeight; xadj[n]];
+        // Insert both directions. Because `merged` is sorted by (u, v)
+        // with u < v, each vertex's out-entries are appended in
+        // increasing neighbor order for the "v" direction but the "u"
+        // mirrors need one more ordering argument: for a fixed vertex x,
+        // entries with neighbor < x come from records (nbr, x) and
+        // entries with neighbor > x come from records (x, nbr); both
+        // groups arrive in increasing neighbor order and every
+        // smaller-neighbor record sorts before every larger-neighbor
+        // record, so each adjacency list ends up sorted.
+        for &(u, v, w) in &merged {
+            adjncy[cursor[u as usize]] = v;
+            edge_weights[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            adjncy[cursor[v as usize]] = u;
+            edge_weights[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        // The interleaving above does not by itself guarantee sortedness
+        // of each list (mirror entries for v arrive keyed by u order),
+        // so sort each adjacency slice with its weights.
+        for v in 0..n {
+            let lo = xadj[v];
+            let hi = xadj[v + 1];
+            let mut pairs: Vec<(VertexId, EdgeWeight)> = adjncy[lo..hi]
+                .iter()
+                .copied()
+                .zip(edge_weights[lo..hi].iter().copied())
+                .collect();
+            if !pairs.windows(2).all(|p| p[0].0 < p[1].0) {
+                pairs.sort_unstable_by_key(|&(nbr, _)| nbr);
+            }
+            for (i, (nbr, w)) in pairs.into_iter().enumerate() {
+                adjncy[lo + i] = nbr;
+                edge_weights[lo + i] = w;
+            }
+        }
+        Graph::from_csr(xadj, adjncy, edge_weights, self.vertex_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_empty() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn merges_duplicates_in_both_orientations() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(2));
+    }
+
+    #[test]
+    fn weighted_edges_sum() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0, 1, 3).unwrap();
+        b.add_weighted_edge(1, 0, 4).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn rejects_zero_weight() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_weighted_edge(0, 1, 0).unwrap_err(), GraphError::ZeroWeight);
+        assert_eq!(b.set_vertex_weight(0, 0).unwrap_err(), GraphError::ZeroWeight);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(b.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 })));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(0, 2).is_err());
+        assert!(b.set_vertex_weight(5, 1).is_err());
+    }
+
+    #[test]
+    fn vertex_weights_preserved() {
+        let mut b = GraphBuilder::new(3);
+        b.set_vertex_weight(1, 7).unwrap();
+        let g = b.build();
+        assert_eq!(g.vertex_weight(0), 1);
+        assert_eq!(g.vertex_weight(1), 7);
+        assert_eq!(g.total_vertex_weight(), 9);
+    }
+
+    #[test]
+    fn adjacency_sorted_regardless_of_insertion_order() {
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &[(5, 0), (0, 3), (2, 0), (0, 1), (4, 0)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn chaining_api() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        assert_eq!(b.num_edge_records(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn larger_merge_correctness() {
+        // Complete graph K5 added with every edge twice.
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.num_edges(), 10);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+            assert_eq!(g.weighted_degree(v), 8);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint was `>=` the declared number of vertices.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A self loop `(v, v)` was supplied where none is allowed.
+    SelfLoop {
+        /// The looping vertex.
+        vertex: u64,
+    },
+    /// An edge or vertex weight of zero was supplied.
+    ZeroWeight,
+    /// A parse error with a line number, for the readers in [`crate::io`].
+    Parse {
+        /// 1-based line number of the malformed input.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An I/O error message (stringified; `std::io::Error` is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of range for graph on {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self loop at vertex {vertex} is not allowed")
+            }
+            GraphError::ZeroWeight => write!(f, "weights must be positive"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_range() {
+        let err = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        assert_eq!(err.to_string(), "vertex 9 out of range for graph on 4 vertices");
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let err = GraphError::SelfLoop { vertex: 3 };
+        assert_eq!(err.to_string(), "self loop at vertex 3 is not allowed");
+    }
+
+    #[test]
+    fn display_parse() {
+        let err = GraphError::Parse { line: 2, message: "bad token".into() };
+        assert_eq!(err.to_string(), "parse error at line 2: bad token");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err = GraphError::from(io);
+        assert!(matches!(err, GraphError::Io(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Degree statistics.
+//!
+//! The paper's observations are parameterized by *average degree* (its
+//! compaction heuristic is recommended for average degree ≤ 4), so the
+//! harness reports these statistics alongside every experiment.
+
+use crate::Graph;
+
+/// Summary statistics of a graph's (unweighted) degree sequence.
+///
+/// # Example
+///
+/// ```
+/// use bisect_graph::{Graph, stats::DegreeStats};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let s = DegreeStats::of(&g);
+/// assert_eq!(s.min, 1);
+/// assert_eq!(s.max, 2);
+/// assert_eq!(s.average, 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree (0 for the empty graph).
+    pub min: usize,
+    /// Largest degree (0 for the empty graph).
+    pub max: usize,
+    /// Mean degree, `2|E|/|V|` counting multiplicities.
+    pub average: f64,
+    /// `histogram[d]` = number of vertices of degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+impl DegreeStats {
+    /// Computes the statistics of `g`.
+    pub fn of(g: &Graph) -> DegreeStats {
+        if g.num_vertices() == 0 {
+            return DegreeStats { min: 0, max: 0, average: 0.0, histogram: vec![] };
+        }
+        let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let min = degrees.iter().copied().min().unwrap_or(0);
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let mut histogram = vec![0usize; max + 1];
+        for &d in &degrees {
+            histogram[d] += 1;
+        }
+        DegreeStats { min, max, average: g.average_degree(), histogram }
+    }
+
+    /// Number of isolated (degree-0) vertices.
+    pub fn isolated(&self) -> usize {
+        self.histogram.first().copied().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degree min {} / avg {:.2} / max {}", self.min, self.average, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DegreeStats::of(&Graph::empty(0));
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.average, 0.0);
+        assert!(s.histogram.is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_stats() {
+        let s = DegreeStats::of(&Graph::empty(4));
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.isolated(), 4);
+    }
+
+    #[test]
+    fn cycle_stats() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.average, 2.0);
+        assert_eq!(s.histogram, vec![0, 0, 5]);
+        assert_eq!(s.isolated(), 0);
+    }
+
+    #[test]
+    fn star_histogram() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.histogram, vec![0, 4, 0, 0, 1]);
+        assert_eq!(s.average, 1.6);
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let shown = DegreeStats::of(&g).to_string();
+        assert!(shown.contains("min 1"));
+        assert!(shown.contains("max 2"));
+    }
+
+    #[test]
+    fn average_counts_multiplicity() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.average, 2.0); // weighted
+        assert_eq!(s.max, 1); // unweighted adjacency size
+    }
+}

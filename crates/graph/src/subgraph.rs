@@ -1,0 +1,129 @@
+//! Induced subgraphs.
+//!
+//! Used by the test suite and the exact solver to decompose disconnected
+//! instances, and handy when experimenting with the planted models.
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// The subgraph of `g` induced by `vertices`, together with the map from
+/// new ids to original ids (`new -> old`). Duplicate entries in
+/// `vertices` are rejected.
+///
+/// Vertex and edge weights are carried over.
+///
+/// # Panics
+///
+/// Panics if `vertices` contains an out-of-range id or a duplicate.
+pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+    let mut old_to_new = vec![VertexId::MAX; g.num_vertices()];
+    for (new, &old) in vertices.iter().enumerate() {
+        assert!(
+            (old as usize) < g.num_vertices(),
+            "vertex {old} out of range for graph on {} vertices",
+            g.num_vertices()
+        );
+        assert_eq!(old_to_new[old as usize], VertexId::MAX, "duplicate vertex {old}");
+        old_to_new[old as usize] = new as VertexId;
+    }
+    let mut builder = GraphBuilder::new(vertices.len());
+    for (new, &old) in vertices.iter().enumerate() {
+        builder
+            .set_vertex_weight(new as VertexId, g.vertex_weight(old))
+            .expect("weights positive, ids in range");
+    }
+    for (new_u, &old_u) in vertices.iter().enumerate() {
+        for (old_v, w) in g.neighbors_weighted(old_u) {
+            let new_v = old_to_new[old_v as usize];
+            if new_v != VertexId::MAX && (new_u as VertexId) < new_v {
+                builder
+                    .add_weighted_edge(new_u as VertexId, new_v, w)
+                    .expect("induced edges valid");
+            }
+        }
+    }
+    (builder.build(), vertices.to_vec())
+}
+
+/// Splits `g` into its connected components, each as an induced subgraph
+/// with its `new -> old` vertex map, ordered by smallest original
+/// vertex.
+pub fn split_components(g: &Graph) -> Vec<(Graph, Vec<VertexId>)> {
+    let (labels, count) = crate::traversal::connected_components(g);
+    let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); count];
+    for v in g.vertices() {
+        groups[labels[v as usize] as usize].push(v);
+    }
+    groups.into_iter().map(|vs| induced_subgraph(g, &vs)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_triangle_from_k4() {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(4, &edges).unwrap();
+        let (sub, map) = induced_subgraph(&g, &[0, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(map, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn induced_preserves_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 2, 7).unwrap();
+        b.set_vertex_weight(2, 5).unwrap();
+        let g = b.build();
+        let (sub, _) = induced_subgraph(&g, &[2, 0]);
+        assert_eq!(sub.vertex_weight(0), 5);
+        assert_eq!(sub.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn induced_empty_selection() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn induced_rejects_duplicates() {
+        let g = Graph::empty(3);
+        let _ = induced_subgraph(&g, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn induced_rejects_out_of_range() {
+        let g = Graph::empty(3);
+        let _ = induced_subgraph(&g, &[4]);
+    }
+
+    #[test]
+    fn split_two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let comps = split_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].0.num_vertices(), 3);
+        assert_eq!(comps[0].1, vec![0, 1, 2]);
+        assert_eq!(comps[1].0.num_vertices(), 2);
+        assert_eq!(comps[1].1, vec![3, 4]);
+    }
+
+    #[test]
+    fn split_connected_graph_is_identity_shape() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let comps = split_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].0.num_edges(), 2);
+    }
+}

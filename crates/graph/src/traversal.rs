@@ -1,0 +1,240 @@
+//! Breadth-first and depth-first traversal, connected components, and
+//! bipartiteness.
+//!
+//! The DFS order is also the basis of the simple depth-first bisection
+//! baseline the paper mentions for degree-2 graphs ("one could just use
+//! a depth first search algorithm to obtain a better approximation").
+
+use crate::{Graph, VertexId};
+
+/// Vertices in breadth-first order from `start`, restricted to the
+/// component of `start`.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn bfs_order(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// BFS distance (edge count, ignoring weights) from `start` to every
+/// vertex; `None` for unreachable vertices.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn bfs_distances(g: &Graph, start: VertexId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start as usize] = Some(0);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize].expect("queued vertices have distances");
+        for &u in g.neighbors(v) {
+            if dist[u as usize].is_none() {
+                dist[u as usize] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices in iterative depth-first preorder, visiting every component
+/// (components are entered in increasing order of their smallest vertex;
+/// within a vertex, neighbors are explored in increasing id order).
+pub fn dfs_order(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<VertexId> = Vec::new();
+    for root in 0..n as VertexId {
+        if seen[root as usize] {
+            continue;
+        }
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            if seen[v as usize] {
+                continue;
+            }
+            seen[v as usize] = true;
+            order.push(v);
+            // Push in reverse so the smallest neighbor is popped first.
+            for &u in g.neighbors(v).iter().rev() {
+                if !seen[u as usize] {
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// For each vertex, the dense id (`0..count`) of its connected
+/// component, together with the number of components. Component ids are
+/// assigned in order of each component's smallest vertex.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut uf = crate::union_find::UnionFind::new(g.num_vertices());
+    for (u, v, _) in g.edges() {
+        uf.union(u, v);
+    }
+    let labels = uf.dense_labels();
+    let count = uf.num_sets();
+    (labels, count)
+}
+
+/// Whether the graph is connected. The empty graph and one-vertex graph
+/// are considered connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() <= 1 || connected_components(g).1 == 1
+}
+
+/// If the graph is bipartite, a two-coloring (`false`/`true` classes);
+/// otherwise `None`. Isolated vertices are colored `false`.
+pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
+    let n = g.num_vertices();
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n as VertexId {
+        if color[root as usize].is_some() {
+            continue;
+        }
+        color[root as usize] = Some(false);
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            let cv = color[v as usize].expect("queued vertices are colored");
+            for &u in g.neighbors(v) {
+                match color[u as usize] {
+                    None => {
+                        color[u as usize] = Some(!cv);
+                        queue.push_back(u);
+                    }
+                    Some(cu) if cu == cv => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c.unwrap_or(false)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn bfs_order_path() {
+        let g = path(5);
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_order(&g, 2), vec![2, 1, 3, 0, 4]);
+    }
+
+    #[test]
+    fn bfs_order_restricted_to_component() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        assert_eq!(bfs_order(&g, 0), vec![0, 1]);
+        assert_eq!(bfs_order(&g, 2), vec![2]);
+    }
+
+    #[test]
+    fn bfs_distances_path() {
+        let g = path(4);
+        assert_eq!(bfs_distances(&g, 0), vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_distances_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(bfs_distances(&g, 0)[2], None);
+    }
+
+    #[test]
+    fn dfs_order_visits_all_vertices_once() {
+        let g = cycle(7);
+        let order = dfs_order(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dfs_order_deterministic_preorder() {
+        // Star with center 0 and leaves 1..4: preorder is 0 then leaves
+        // in increasing order.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(dfs_order(&g), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dfs_covers_multiple_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (3, 4)]).unwrap();
+        assert_eq!(dfs_order(&g), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn components_of_two_cycles() {
+        // Two 3-cycles.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&cycle(5)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(!is_connected(&Graph::empty(2)));
+        assert!(!is_connected(&Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap()));
+    }
+
+    #[test]
+    fn even_cycle_bipartite_odd_not() {
+        assert!(bipartition(&cycle(6)).is_some());
+        assert!(bipartition(&cycle(5)).is_none());
+    }
+
+    #[test]
+    fn bipartition_is_proper() {
+        let g = path(8);
+        let coloring = bipartition(&g).unwrap();
+        for (u, v, _) in g.edges() {
+            assert_ne!(coloring[u as usize], coloring[v as usize]);
+        }
+    }
+
+    #[test]
+    fn bipartition_handles_isolated_vertices() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let coloring = bipartition(&g).unwrap();
+        assert!(!coloring[2]);
+    }
+}

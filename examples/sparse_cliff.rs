@@ -1,0 +1,47 @@
+//! Observation 1 in miniature: the degree-3 → degree-4 quality cliff.
+//!
+//! On `Gbreg(2n, b, 3)` plain KL and SA return cuts tens of times
+//! larger than the planted bisection; on `Gbreg(2n, b, 4)` they find
+//! the planted bisection. Compaction (CKL/CSA) repairs most of the
+//! degree-3 gap — this is the paper's headline result.
+//!
+//! ```text
+//! cargo run --release --example sparse_cliff
+//! ```
+
+use bisect_core::bisector::best_of;
+use bisect_core::compaction::Compacted;
+use bisect_core::kl::KernighanLin;
+use bisect_core::sa::SimulatedAnnealing;
+use bisect_gen::gbreg::{self, GbregParams};
+use bisect_gen::rng::LaggedFibonacci;
+use rand::SeedableRng;
+
+fn main() {
+    let num_vertices = 1000;
+    let b = 8;
+    println!("Gbreg({num_vertices}, b={b}, d): planted bisection width {b}\n");
+    println!(
+        "{:>3} {:>8} {:>8} {:>8} {:>8}   (cut found, best of 2 starts)",
+        "d", "KL", "CKL", "SA", "CSA"
+    );
+
+    for d in [3usize, 4] {
+        let params =
+            GbregParams::new(num_vertices, b, d).expect("parameters feasible");
+        let mut rng = LaggedFibonacci::seed_from_u64(7 + d as u64);
+        let g = gbreg::sample(&mut rng, &params).expect("construction succeeds");
+
+        let kl = best_of(&KernighanLin::new(), &g, 2, &mut rng).cut();
+        let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
+        let sa = best_of(&SimulatedAnnealing::quick(), &g, 2, &mut rng).cut();
+        let csa = best_of(&Compacted::new(SimulatedAnnealing::quick()), &g, 2, &mut rng).cut();
+        println!("{d:>3} {kl:>8} {ckl:>8} {sa:>8} {csa:>8}");
+    }
+
+    println!(
+        "\nExpected shape (paper, §VI): at d=3 the uncompacted cuts are many\n\
+         times the planted width and compaction removes most of the gap;\n\
+         at d=4 every algorithm finds the planted bisection."
+    );
+}

@@ -1,0 +1,104 @@
+//! VLSI placement scenario — the application the paper's introduction
+//! motivates ("graph bisection has applications in VLSI placement and
+//! routing problems").
+//!
+//! A synthetic standard-cell netlist is modeled as a graph: cells are
+//! vertices, two-point nets are edges. The circuit is built from
+//! functional blocks (dense internal wiring) plus sparse global wiring
+//! between blocks — the structure min-cut placement exploits. Bisecting
+//! the netlist is the first step of min-cut placement: the cut counts
+//! the wires that must cross the chip's main channel.
+//!
+//! The example also round-trips the netlist through the METIS file
+//! format to show the I/O path.
+//!
+//! ```text
+//! cargo run --release --example vlsi_netlist
+//! ```
+
+use bisect_core::bisector::{best_of, Bisector};
+use bisect_core::compaction::Compacted;
+use bisect_core::kl::KernighanLin;
+use bisect_core::partition::Side;
+use bisect_core::spectral::SpectralBisector;
+use bisect_gen::rng::LaggedFibonacci;
+use bisect_graph::{io, GraphBuilder, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Builds a block-structured netlist: `blocks` functional blocks of
+/// `cells_per_block` cells. Within a block, each cell wires to a few
+/// random earlier cells (a connected, locally dense net structure);
+/// between blocks, a small number of global nets.
+fn synthesize_netlist(
+    rng: &mut impl Rng,
+    blocks: usize,
+    cells_per_block: usize,
+    global_nets: usize,
+) -> bisect_graph::Graph {
+    let n = blocks * cells_per_block;
+    let mut builder = GraphBuilder::new(n);
+    for block in 0..blocks {
+        let base = block * cells_per_block;
+        for cell in 1..cells_per_block {
+            // Each cell connects to 1-3 earlier cells in its block.
+            let fanin = rng.gen_range(1..=3usize).min(cell);
+            let mut targets: Vec<usize> = (0..cell).collect();
+            targets.shuffle(rng);
+            for &t in targets.iter().take(fanin) {
+                let _ = builder.add_edge((base + cell) as VertexId, (base + t) as VertexId);
+            }
+        }
+    }
+    let mut wired = 0;
+    while wired < global_nets {
+        let a = rng.gen_range(0..blocks);
+        let b = rng.gen_range(0..blocks);
+        if a == b {
+            continue;
+        }
+        let u = (a * cells_per_block + rng.gen_range(0..cells_per_block)) as VertexId;
+        let v = (b * cells_per_block + rng.gen_range(0..cells_per_block)) as VertexId;
+        if builder.add_edge(u, v).is_ok() {
+            wired += 1;
+        }
+    }
+    builder.build()
+}
+
+fn main() {
+    let mut rng = LaggedFibonacci::seed_from_u64(42);
+    // 8 blocks × 64 cells; 40 global nets. A perfect 4-block/4-block
+    // split cuts only the global nets that cross it.
+    let netlist = synthesize_netlist(&mut rng, 8, 64, 40);
+    println!(
+        "netlist: {} cells, {} two-point nets, average degree {:.2}",
+        netlist.num_vertices(),
+        netlist.num_edges(),
+        netlist.average_degree()
+    );
+
+    // Round-trip through the METIS format (what you would hand to an
+    // external partitioner).
+    let mut file = Vec::new();
+    io::write_metis(&netlist, &mut file).expect("in-memory write succeeds");
+    let netlist = io::read_metis(file.as_slice()).expect("roundtrip parses");
+
+    let algorithms: Vec<Box<dyn Bisector>> = vec![
+        Box::new(KernighanLin::new()),
+        Box::new(Compacted::new(KernighanLin::new())),
+        Box::new(SpectralBisector::new()),
+    ];
+    for algo in &algorithms {
+        let started = std::time::Instant::now();
+        let p = best_of(algo.as_ref(), &netlist, 2, &mut rng);
+        println!(
+            "{:>8}: {} wires cross the channel ({} | {} cells) in {:.2?}",
+            algo.name(),
+            p.cut(),
+            p.count(Side::A),
+            p.count(Side::B),
+            started.elapsed()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the graph-bisect workspace.
+//!
+//! See the crate READMEs and `DESIGN.md` for the full architecture. The
+//! three library crates are:
+//!
+//! * [`graph`] (`bisect-graph`) — graph representation and operations.
+//! * [`gen`] (`bisect-gen`) — the paper's random models and special
+//!   families.
+//! * [`core`] (`bisect-core`) — the bisection heuristics (KL, SA,
+//!   compaction, and friends).
+
+#![forbid(unsafe_code)]
+
+pub use bisect_core as core;
+pub use bisect_gen as gen;
+pub use bisect_graph as graph;

@@ -1,0 +1,81 @@
+//! Integration tests of the experiment harness itself: every
+//! experiment runs end to end at smoke scale and produces tables with
+//! the paper's structure.
+
+use bisect_bench::experiments::{self, ALL_IDS};
+use bisect_bench::profile::Profile;
+
+#[test]
+fn all_experiments_run_at_smoke_scale() {
+    let profile = Profile::smoke();
+    for &id in ALL_IDS {
+        let result = experiments::run(id, &profile).expect("known id");
+        assert_eq!(result.id, id);
+        assert!(!result.tables.is_empty(), "{id} produced no tables");
+        for table in &result.tables {
+            assert!(!table.rows().is_empty(), "{id} has an empty table");
+            for row in table.rows() {
+                assert_eq!(row.len(), table.headers().len(), "{id} row width");
+            }
+        }
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_given_seed() {
+    let profile = Profile::smoke();
+    // Cuts are deterministic; times are not, so compare the cut
+    // columns of a gbreg run (columns 1, 3, 7, 9 of the quad layout).
+    let a = experiments::run("gbreg", &profile).unwrap();
+    let b = experiments::run("gbreg", &profile).unwrap();
+    for (ta, tb) in a.tables.iter().zip(&b.tables) {
+        for (ra, rb) in ta.rows().iter().zip(tb.rows()) {
+            for col in [0usize, 1, 3, 7, 9] {
+                assert_eq!(ra[col], rb[col], "table {} column {col}", ta.title());
+            }
+        }
+    }
+}
+
+#[test]
+fn seed_changes_results() {
+    let base = Profile::smoke();
+    let other = Profile { seed: 4242, ..base };
+    let a = experiments::run("gbreg", &base).unwrap();
+    let b = experiments::run("gbreg", &other).unwrap();
+    // At least one cut cell should differ across all tables (different
+    // graphs and starts).
+    let cells = |r: &experiments::ExperimentResult| -> Vec<String> {
+        r.tables
+            .iter()
+            .flat_map(|t| t.rows().iter().flat_map(|row| row.clone()))
+            .collect()
+    };
+    assert_ne!(cells(&a), cells(&b));
+}
+
+#[test]
+fn csv_export_is_parseable() {
+    let profile = Profile::smoke();
+    let result = experiments::run("table1", &profile).unwrap();
+    let csv = result.tables[0].to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + result.tables[0].rows().len());
+    let header_cols = lines[0].split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), header_cols);
+    }
+}
+
+#[test]
+fn quad_tables_have_paper_columns() {
+    let profile = Profile::smoke();
+    let result = experiments::run("gbreg", &profile).unwrap();
+    let headers = result.tables[0].headers();
+    for expected in ["b", "bsa", "bcsa", "bkl", "bckl", "KL impr", "SA spdup"] {
+        assert!(
+            headers.iter().any(|h| h == expected),
+            "missing column `{expected}` in {headers:?}"
+        );
+    }
+}
