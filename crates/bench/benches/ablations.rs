@@ -75,7 +75,12 @@ fn bench_sa_move_kind(c: &mut Criterion) {
     group.sample_size(10);
     for (name, kind) in [
         ("swap", MoveKind::Swap),
-        ("flip", MoveKind::Flip { imbalance_factor: 0.05 }),
+        (
+            "flip",
+            MoveKind::Flip {
+                imbalance_factor: 0.05,
+            },
+        ),
     ] {
         let algo = SimulatedAnnealing::quick().with_move_kind(kind);
         group.bench_function(name, |b| {
@@ -96,8 +101,14 @@ fn bench_compaction_depth(c: &mut Criterion) {
     group.sample_size(10);
     let algos: Vec<(&str, Box<dyn Bisector>)> = vec![
         ("plain-KL", Box::new(KernighanLin::new())),
-        ("one-level-CKL", Box::new(Compacted::new(KernighanLin::new()))),
-        ("full-multilevel", Box::new(Multilevel::new(KernighanLin::new()))),
+        (
+            "one-level-CKL",
+            Box::new(Compacted::new(KernighanLin::new())),
+        ),
+        (
+            "full-multilevel",
+            Box::new(Multilevel::new(KernighanLin::new())),
+        ),
     ];
     for (name, algo) in algos {
         group.bench_function(name, |b| {

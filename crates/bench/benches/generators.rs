@@ -22,8 +22,7 @@ fn bench_generators(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("g2set-deg3", n), &n, |b, &n| {
-            let params =
-                g2set::G2setParams::with_average_degree(n, 3.0, 16).expect("feasible");
+            let params = g2set::G2setParams::with_average_degree(n, 3.0, 16).expect("feasible");
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
@@ -38,13 +37,14 @@ fn bench_generators(c: &mut Criterion) {
                 seed += 1;
                 let mut rng = LaggedFibonacci::seed_from_u64(seed);
                 std::hint::black_box(
-                    gbreg::sample(&mut rng, &params).expect("construction succeeds").num_edges(),
+                    gbreg::sample(&mut rng, &params)
+                        .expect("construction succeeds")
+                        .num_edges(),
                 )
             });
         });
         group.bench_with_input(BenchmarkId::new("geometric-deg6", n), &n, |b, &n| {
-            let params =
-                geometric::GeometricParams::with_average_degree(n, 6.0).expect("feasible");
+            let params = geometric::GeometricParams::with_average_degree(n, 6.0).expect("feasible");
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;

@@ -15,8 +15,7 @@ fn bench_tables(c: &mut Criterion) {
     for &id in experiments::ALL_IDS {
         group.bench_function(id, |b| {
             b.iter(|| {
-                let result =
-                    experiments::run(id, &profile).expect("experiment ids are valid");
+                let result = experiments::run(id, &profile).expect("experiment ids are valid");
                 std::hint::black_box(result.tables.len())
             });
         });

@@ -11,19 +11,25 @@
 //!   --seed <N>                      base seed (default 1989)
 //!   --starts <N>                    random starts per run (default 2)
 //!   --replicates <N>                graphs per random setting (default: profile's)
+//!   --threads <N>                   worker threads (default: all cores)
 //!   --csv <DIR>                     also write each table as CSV into DIR
+//!   --json <PATH>                   machine-readable results (default BENCH_results.json)
+//!   --no-json                       skip the JSON report
 //!   --help                          this text
 //! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use bisect_bench::experiments::{self, ALL_IDS};
 use bisect_bench::profile::{Profile, Scale};
+use bisect_bench::BenchReport;
 
 struct Options {
     profile: Profile,
     csv_dir: Option<std::path::PathBuf>,
+    json_path: Option<std::path::PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -34,6 +40,7 @@ fn parse_args() -> Result<Option<Options>, String> {
     let mut starts: Option<usize> = None;
     let mut replicates: Option<usize> = None;
     let mut csv_dir = None;
+    let mut json_path = Some(std::path::PathBuf::from("BENCH_results.json"));
     let mut experiments = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,22 +51,42 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--seed" => {
                 let value = args.next().ok_or("--seed needs a value")?;
-                seed = value.parse().map_err(|_| format!("invalid seed `{value}`"))?;
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed `{value}`"))?;
             }
             "--starts" => {
                 let value = args.next().ok_or("--starts needs a value")?;
-                starts =
-                    Some(value.parse().map_err(|_| format!("invalid starts `{value}`"))?);
+                starts = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid starts `{value}`"))?,
+                );
             }
             "--replicates" => {
                 let value = args.next().ok_or("--replicates needs a value")?;
-                replicates =
-                    Some(value.parse().map_err(|_| format!("invalid replicates `{value}`"))?);
+                replicates = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid replicates `{value}`"))?,
+                );
+            }
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid threads `{value}`"))?;
+                bisect_par::set_thread_override(n.max(1));
             }
             "--csv" => {
                 let value = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(std::path::PathBuf::from(value));
             }
+            "--json" => {
+                let value = args.next().ok_or("--json needs a path")?;
+                json_path = Some(std::path::PathBuf::from(value));
+            }
+            "--no-json" => json_path = None,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}` (see --help)"));
             }
@@ -81,7 +108,12 @@ fn parse_args() -> Result<Option<Options>, String> {
     if experiments.is_empty() {
         experiments = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
-    Ok(Some(Options { profile, csv_dir, experiments }))
+    Ok(Some(Options {
+        profile,
+        csv_dir,
+        json_path,
+        experiments,
+    }))
 }
 
 fn main() -> ExitCode {
@@ -97,11 +129,14 @@ fn main() -> ExitCode {
         }
     };
 
+    let threads = bisect_par::num_threads();
     println!(
-        "# Reproduction of Bui/Heigham/Jones/Leighton DAC'89 — profile {:?}, seed {}, {} starts, {} replicates\n",
+        "# Reproduction of Bui/Heigham/Jones/Leighton DAC'89 — profile {:?}, seed {}, {} starts, {} replicates, {} threads\n",
         options.profile.scale, options.profile.seed, options.profile.starts,
-        options.profile.replicates,
+        options.profile.replicates, threads,
     );
+    let wall = Instant::now();
+    let mut records = Vec::new();
     for id in &options.experiments {
         let result = match experiments::run(id, &options.profile) {
             Ok(result) => result,
@@ -120,6 +155,23 @@ fn main() -> ExitCode {
                 }
             }
         }
+        records.extend(result.records);
+    }
+    if let Some(path) = &options.json_path {
+        let report = BenchReport {
+            profile: format!("{:?}", options.profile.scale).to_lowercase(),
+            seed: options.profile.seed,
+            starts: options.profile.starts,
+            replicates: options.profile.replicates,
+            threads,
+            wall_time_s: wall.elapsed().as_secs_f64(),
+            records,
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }
@@ -164,6 +216,11 @@ OPTIONS
   --seed <N>                      base seed (default 1989)
   --starts <N>                    random starts per run (default 2)
   --replicates <N>                graphs per random setting
+  --threads <N>                   worker threads (default: all cores; results
+                                  are bit-identical at any thread count)
   --csv <DIR>                     also write each table as CSV into DIR
+  --json <PATH>                   machine-readable per-algorithm results
+                                  (default BENCH_results.json)
+  --no-json                       skip the JSON report
   --help                          this text
 ";

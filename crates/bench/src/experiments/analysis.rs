@@ -11,8 +11,8 @@
 //!   "KL fails badly on ladders" behavior is a *pass-budget* artifact;
 //!   the fixpoint run converges to the optimum.
 
-use bisect_core::bisector::RandomBisector;
 use bisect_core::bisector::best_of;
+use bisect_core::bisector::RandomBisector;
 use bisect_core::kl::KernighanLin;
 use bisect_core::seed;
 use bisect_gen::rng::LaggedFibonacci;
@@ -27,7 +27,10 @@ use crate::table::Table;
 /// Model diagnostics: random-cut vs best-found cut per model.
 pub fn models(profile: &Profile) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
-    let size = *profile.random_model_sizes().last().expect("profile has sizes");
+    let size = *profile
+        .random_model_sizes()
+        .last()
+        .expect("profile has sizes");
 
     // Gnp: best heuristic cut as a fraction of a random cut.
     let mut gnp_table = Table::new(
@@ -38,15 +41,19 @@ pub fn models(profile: &Profile) -> ExperimentResult {
             .collect(),
     );
     for &degree in &profile.gnp_degrees() {
-        let params = gnp::GnpParams::with_average_degree(size, degree)
-            .expect("profile degrees feasible");
+        let params =
+            gnp::GnpParams::with_average_degree(size, degree).expect("profile degrees feasible");
         let seed = derive_seed(profile.seed, &[70, degree.to_bits()]);
         let mut rng = LaggedFibonacci::seed_from_u64(seed);
         let g = gnp::sample(&mut rng, &params);
         let random = best_of(&RandomBisector::new(), &g, profile.starts, &mut rng).cut();
         let (_, _, kl, ckl) = suite.run(&g, profile.starts, seed ^ 0xABCD);
         let best = kl.cut.min(ckl.cut);
-        let ratio = if random == 0 { 1.0 } else { best as f64 / random as f64 };
+        let ratio = if random == 0 {
+            1.0
+        } else {
+            best as f64 / random as f64
+        };
         gnp_table.push_row(vec![
             format!("{degree}"),
             random.to_string(),
@@ -86,13 +93,17 @@ pub fn models(profile: &Profile) -> ExperimentResult {
         id: "models".into(),
         title: "Model diagnostics: why the paper introduced Gbreg".into(),
         tables: vec![gnp_table, g2set_table],
+        records: vec![],
     }
 }
 
 /// KL cut after each pass on a ladder graph, for increasing pass
 /// budgets.
 pub fn klpasses(profile: &Profile) -> ExperimentResult {
-    let rungs = *profile.ladder_rungs().last().expect("profile has ladder sizes");
+    let rungs = *profile
+        .ladder_rungs()
+        .last()
+        .expect("profile has ladder sizes");
     let g = special::ladder(rungs);
     let kl = KernighanLin::new();
     let seed = derive_seed(profile.seed, &[72]);
@@ -101,21 +112,28 @@ pub fn klpasses(profile: &Profile) -> ExperimentResult {
 
     let mut table = Table::new(
         format!("KL cut per pass on the 2x{rungs} ladder (optimal cut: 2)"),
-        ["pass", "cut", "improvement"].iter().map(|s| s.to_string()).collect(),
+        ["pass", "cut", "improvement"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     );
     table.push_row(vec!["start".into(), p.cut().to_string(), "-".into()]);
     for pass in 1..=64 {
         let improvement = kl.pass(&g, &mut p);
-        table.push_row(vec![pass.to_string(), p.cut().to_string(), improvement.to_string()]);
+        table.push_row(vec![
+            pass.to_string(),
+            p.cut().to_string(),
+            improvement.to_string(),
+        ]);
         if improvement == 0 {
             break;
         }
     }
     ExperimentResult {
         id: "klpasses".into(),
-        title: "KL pass-by-pass convergence on a ladder (the 1989 failure is a pass budget)"
-            .into(),
+        title: "KL pass-by-pass convergence on a ladder (the 1989 failure is a pass budget)".into(),
         tables: vec![table],
+        records: vec![],
     }
 }
 
@@ -179,7 +197,10 @@ pub fn netlist(profile: &Profile) -> ExperimentResult {
             nl.num_nets(),
             nl.average_net_size()
         ),
-        ["algorithm", "nets cut", "time"].iter().map(|s| s.to_string()).collect(),
+        ["algorithm", "nets cut", "time"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     );
 
     // Native hypergraph FM and compacted FM (best of starts).
@@ -219,14 +240,17 @@ pub fn netlist(profile: &Profile) -> ExperimentResult {
 
     // Clique expansion + graph algorithms, rescored in nets.
     for (name, algo) in [
-        ("clique KL", &suite.kl as &dyn bisect_core::bisector::Bisector),
+        (
+            "clique KL",
+            &suite.kl as &dyn bisect_core::bisector::Bisector,
+        ),
         ("clique CKL", &suite.ckl),
     ] {
         let t = Instant::now();
         let p = best_of(algo, &clique, profile.starts, &mut rng);
         let elapsed = t.elapsed();
-        let rescored = NetlistBisection::from_sides(&nl, p.sides().to_vec())
-            .expect("same cell count");
+        let rescored =
+            NetlistBisection::from_sides(&nl, p.sides().to_vec()).expect("same cell count");
         table.push_row(vec![
             name.into(),
             rescored.cut().to_string(),
@@ -238,6 +262,7 @@ pub fn netlist(profile: &Profile) -> ExperimentResult {
         id: "netlist".into(),
         title: "Hypergraph extension: native net-cut FM vs the clique approximation".into(),
         tables: vec![table],
+        records: vec![],
     }
 }
 
@@ -250,10 +275,12 @@ pub fn satune(profile: &Profile) -> ExperimentResult {
     use bisect_core::sa::{Schedule, SimulatedAnnealing};
     use std::time::Instant;
 
-    let size = *profile.random_model_sizes().first().expect("profile has sizes");
+    let size = *profile
+        .random_model_sizes()
+        .first()
+        .expect("profile has sizes");
     let b = super::random::feasible_width(size / 2, 3, 8);
-    let params =
-        bisect_gen::gbreg::GbregParams::new(size, b, 3).expect("feasible parameters");
+    let params = bisect_gen::gbreg::GbregParams::new(size, b, 3).expect("feasible parameters");
     let seed = derive_seed(profile.seed, &[74]);
     let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
     let g = bisect_gen::gbreg::sample(&mut gen_rng, &params).expect("construction succeeds");
@@ -290,6 +317,7 @@ pub fn satune(profile: &Profile) -> ExperimentResult {
         id: "satune".into(),
         title: "SA schedule tuning sweep (the §VII 'fine tuning' cost)".into(),
         tables: vec![table],
+        records: vec![],
     }
 }
 
@@ -323,7 +351,10 @@ mod tests {
         let rows = result.tables[0].rows();
         assert!(rows.len() >= 2);
         let cuts: Vec<u64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
-        assert!(cuts.windows(2).all(|w| w[1] <= w[0]), "cuts must be non-increasing: {cuts:?}");
+        assert!(
+            cuts.windows(2).all(|w| w[1] <= w[0]),
+            "cuts must be non-increasing: {cuts:?}"
+        );
         // Last pass improved by 0 (fixpoint) unless the cap was hit.
         assert_eq!(rows.last().unwrap()[2], "0");
     }

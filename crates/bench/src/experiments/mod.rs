@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use crate::json::BenchRecord;
 use crate::profile::Profile;
 use crate::runner::QuadAverage;
 use crate::table::{fmt_cut, fmt_duration, fmt_percent, Table};
@@ -12,7 +13,9 @@ pub mod observations;
 pub mod random;
 pub mod special;
 
-/// Output of one experiment: a set of rendered tables.
+/// Output of one experiment: a set of rendered tables plus the
+/// machine-readable records behind them (empty for analysis-only
+/// experiments whose tables have no per-algorithm quad structure).
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id (e.g. `"gbreg"`).
@@ -21,6 +24,9 @@ pub struct ExperimentResult {
     pub title: String,
     /// The tables, in the paper's order.
     pub tables: Vec<Table>,
+    /// Flat per-`(setting, algorithm)` records for
+    /// `BENCH_results.json`.
+    pub records: Vec<BenchRecord>,
 }
 
 /// All experiment ids, in the order the paper presents them
@@ -52,7 +58,10 @@ pub fn run(id: &str, profile: &Profile) -> Result<ExperimentResult, String> {
         "klpasses" => Ok(analysis::klpasses(profile)),
         "netlist" => Ok(analysis::netlist(profile)),
         "satune" => Ok(analysis::satune(profile)),
-        other => Err(format!("unknown experiment `{other}`; valid ids: {}", ALL_IDS.join(", "))),
+        other => Err(format!(
+            "unknown experiment `{other}`; valid ids: {}",
+            ALL_IDS.join(", ")
+        )),
     }
 }
 
@@ -111,18 +120,12 @@ pub(crate) fn speedup(without: Duration, with: Duration) -> f64 {
 }
 
 /// Derives a per-instance seed from the profile seed and a context path
-/// (experiment, size, setting, replicate …), SplitMix64-style so nearby
-/// paths give unrelated streams.
+/// (experiment, size, setting, replicate …) via
+/// [`bisect_gen::rng::SeedSequence`], so nearby paths give unrelated
+/// streams and the derivation is shared with the parallel trial
+/// runner's per-trial streams.
 pub(crate) fn derive_seed(base: u64, parts: &[u64]) -> u64 {
-    let mut state = base;
-    for &p in parts {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(p);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        state = z ^ (z >> 31);
-    }
-    state
+    bisect_gen::rng::SeedSequence::derive(base, parts)
 }
 
 #[cfg(test)]
@@ -148,7 +151,10 @@ mod tests {
         assert_eq!(improvement(0.0, 5.0), 0.0);
         assert_eq!(improvement(10.0, 1.0), 90.0);
         assert_eq!(speedup(Duration::ZERO, Duration::from_secs(1)), 0.0);
-        assert_eq!(speedup(Duration::from_secs(2), Duration::from_secs(1)), 50.0);
+        assert_eq!(
+            speedup(Duration::from_secs(2), Duration::from_secs(1)),
+            50.0
+        );
     }
 
     #[test]
@@ -157,6 +163,7 @@ mod tests {
         let avg = QuadAverage {
             cuts: [1.0, 2.0, 3.0, 4.0],
             times: [Duration::from_millis(1); 4],
+            passes: [1.0; 4],
             count: 1,
         };
         assert_eq!(quad_row("x".into(), &avg).len(), headers.len());

@@ -12,8 +12,9 @@ use bisect_gen::{gbreg, special};
 use rand::SeedableRng;
 
 use super::{derive_seed, ExperimentResult};
+use crate::json::quad_records;
 use crate::profile::Profile;
-use crate::runner::Suite;
+use crate::runner::{QuadAverage, Suite};
 use crate::table::{fmt_duration, Table};
 
 /// Observation 1: the degree-3 vs degree-4 cliff on `Gbreg`. Rows per
@@ -21,39 +22,59 @@ use crate::table::{fmt_duration, Table};
 /// algorithms.
 pub fn obs1(profile: &Profile) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
-    let size = *profile.random_model_sizes().last().expect("profile has sizes");
+    let size = *profile
+        .random_model_sizes()
+        .last()
+        .expect("profile has sizes");
     let b0 = profile.gbreg_widths()[profile.gbreg_widths().len() / 2];
     let mut table = Table::new(
         format!("Observation 1: Gbreg({size}, b≈{b0}, d) quality cliff (cut / planted b)"),
-        ["d", "b", "SA ratio", "CSA ratio", "KL ratio", "CKL ratio", "KL passes", "t_SA", "t_KL"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "d",
+            "b",
+            "SA ratio",
+            "CSA ratio",
+            "KL ratio",
+            "CKL ratio",
+            "KL passes",
+            "t_SA",
+            "t_KL",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
+    let mut records = Vec::new();
     for d in [3usize, 4] {
         let b = super::random::feasible_width(size / 2, d, b0);
         let params = gbreg::GbregParams::new(size, b, d).expect("feasible parameters");
+        let reps = bisect_par::par_map(profile.replicates, |rep| {
+            let seed = derive_seed(profile.seed, &[50, d as u64, rep as u64]);
+            let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
+            let g = gbreg::sample(&mut gen_rng, &params).expect("construction succeeds");
+            let quad = suite.run(&g, profile.starts, seed ^ 0xABCD);
+            // Pass count behind the speed difference ("it takes fewer
+            // passes for the algorithms to converge on degree 4").
+            let init = bisect_core::seed::random_balanced(&g, &mut gen_rng);
+            let (_, passes) = bisect_core::kl::KernighanLin::new().refine_with_passes(&g, init);
+            (quad, passes)
+        });
         let mut ratios = [0.0f64; 4];
         let mut t_sa = std::time::Duration::ZERO;
         let mut t_kl = std::time::Duration::ZERO;
         let mut kl_passes = 0usize;
-        for rep in 0..profile.replicates {
-            let seed = derive_seed(profile.seed, &[50, d as u64, rep as u64]);
-            let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
-            let g = gbreg::sample(&mut gen_rng, &params).expect("construction succeeds");
-            let (sa, csa, kl, ckl) = suite.run(&g, profile.starts, seed ^ 0xABCD);
-            for (i, r) in [&sa, &csa, &kl, &ckl].iter().enumerate() {
+        let mut avg = QuadAverage::default();
+        for (quad, passes) in &reps {
+            let (sa, csa, kl, ckl) = quad;
+            for (i, r) in [sa, csa, kl, ckl].iter().enumerate() {
                 ratios[i] += r.cut as f64 / b as f64;
             }
             t_sa += sa.elapsed;
             t_kl += kl.elapsed;
-            // Pass count behind the speed difference ("it takes fewer
-            // passes for the algorithms to converge on degree 4").
-            let init = bisect_core::seed::random_balanced(&g, &mut gen_rng);
-            let (_, passes) =
-                bisect_core::kl::KernighanLin::new().refine_with_passes(&g, init);
             kl_passes += passes;
+            avg.add(quad);
         }
+        records.extend(quad_records("obs1", &format!("d={d} b={b}"), &avg.finish()));
         let n = profile.replicates as f64;
         table.push_row(vec![
             d.to_string(),
@@ -71,6 +92,7 @@ pub fn obs1(profile: &Profile) -> ExperimentResult {
         id: "obs1".into(),
         title: "Observation 1: algorithms improve as average degree increases".into(),
         tables: vec![table],
+        records,
     }
 }
 
@@ -80,22 +102,43 @@ pub fn obs4(profile: &Profile) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
     let mut table = Table::new(
         "Observation 4: KL vs SA (uncompacted, best of starts)",
-        ["graph", "bkl", "bsa", "t_KL", "t_SA", "SA/KL time", "quality winner"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "graph",
+            "bkl",
+            "bsa",
+            "t_KL",
+            "t_SA",
+            "SA/KL time",
+            "quality winner",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let grid_side = *profile.grid_sides().last().expect("profile has grid sizes");
-    let rungs = *profile.ladder_rungs().last().expect("profile has ladder sizes");
+    let rungs = *profile
+        .ladder_rungs()
+        .last()
+        .expect("profile has ladder sizes");
     let tree = *profile.tree_sizes().last().expect("profile has tree sizes");
     let workloads: Vec<(String, bisect_graph::Graph)> = vec![
-        (format!("grid {grid_side}x{grid_side}"), special::grid(grid_side, grid_side)),
+        (
+            format!("grid {grid_side}x{grid_side}"),
+            special::grid(grid_side, grid_side),
+        ),
         (format!("ladder 2x{rungs}"), special::ladder(rungs)),
         (format!("binary tree {tree}"), special::binary_tree(tree)),
     ];
-    for (i, (label, g)) in workloads.iter().enumerate() {
+    let runs = bisect_par::par_map(workloads.len(), |i| {
         let seed = derive_seed(profile.seed, &[60, i as u64]);
-        let (sa, _, kl, _) = suite.run(g, profile.starts, seed);
+        suite.run(&workloads[i].1, profile.starts, seed)
+    });
+    let mut records = Vec::new();
+    for ((label, _), quad) in workloads.iter().zip(&runs) {
+        let (sa, _, kl, _) = quad;
+        let mut avg = QuadAverage::default();
+        avg.add(quad);
+        records.extend(quad_records("obs4", label, &avg.finish()));
         let time_ratio = if kl.elapsed.as_secs_f64() > 0.0 {
             sa.elapsed.as_secs_f64() / kl.elapsed.as_secs_f64()
         } else {
@@ -120,6 +163,7 @@ pub fn obs4(profile: &Profile) -> ExperimentResult {
         id: "obs4".into(),
         title: "Observation 4: KL is faster; SA wins trees and ladders".into(),
         tables: vec![table],
+        records,
     }
 }
 
@@ -130,31 +174,42 @@ pub fn obs4(profile: &Profile) -> ExperimentResult {
 /// tie over a `G2set` corpus at those degrees.
 pub fn winrate(profile: &Profile) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
-    let size = *profile.random_model_sizes().first().expect("profile has sizes");
+    let size = *profile
+        .random_model_sizes()
+        .first()
+        .expect("profile has sizes");
     let mut table = Table::new(
         format!("KL vs SA quality head-to-head on G2set({size}, ·, ·, b), best of starts"),
-        ["deg", "KL better", "SA better", "tie", "KL share of decided"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "deg",
+            "KL better",
+            "SA better",
+            "tie",
+            "KL share of decided",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     for &degree in &[2.5f64, 3.0, 3.5] {
-        let mut kl_wins = 0usize;
-        let mut sa_wins = 0usize;
-        let mut ties = 0usize;
         let instances = (profile.replicates * 4).max(4);
-        for rep in 0..instances {
+        let outcomes = bisect_par::par_map(instances, |rep| {
             let b = profile.g2set_widths()[rep % profile.g2set_widths().len()];
-            let Ok(params) =
-                bisect_gen::g2set::G2setParams::with_average_degree(size, degree, b)
+            let Ok(params) = bisect_gen::g2set::G2setParams::with_average_degree(size, degree, b)
             else {
-                continue;
+                return None;
             };
             let seed = derive_seed(profile.seed, &[80, degree.to_bits(), rep as u64]);
             let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
             let g = bisect_gen::g2set::sample(&mut gen_rng, &params);
             let (sa, _, kl, _) = suite.run(&g, profile.starts, seed ^ 0xABCD);
-            match kl.cut.cmp(&sa.cut) {
+            Some(kl.cut.cmp(&sa.cut))
+        });
+        let mut kl_wins = 0usize;
+        let mut sa_wins = 0usize;
+        let mut ties = 0usize;
+        for outcome in outcomes.into_iter().flatten() {
+            match outcome {
                 std::cmp::Ordering::Less => kl_wins += 1,
                 std::cmp::Ordering::Greater => sa_wins += 1,
                 std::cmp::Ordering::Equal => ties += 1,
@@ -178,6 +233,7 @@ pub fn winrate(profile: &Profile) -> ExperimentResult {
         id: "winrate".into(),
         title: "§VI head-to-head: KL wins ~60% of decided instances at degree 2.5-3.5".into(),
         tables: vec![table],
+        records: vec![],
     }
 }
 
@@ -209,8 +265,11 @@ mod tests {
     fn obs4_covers_three_workloads() {
         let result = obs4(&Profile::smoke());
         assert_eq!(result.tables[0].rows().len(), 3);
-        let winners: Vec<&str> =
-            result.tables[0].rows().iter().map(|r| r.last().unwrap().as_str()).collect();
+        let winners: Vec<&str> = result.tables[0]
+            .rows()
+            .iter()
+            .map(|r| r.last().unwrap().as_str())
+            .collect();
         for w in winners {
             assert!(["KL", "SA", "tie"].contains(&w));
         }

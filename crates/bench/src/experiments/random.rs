@@ -1,12 +1,18 @@
 //! Random-model experiments: the appendix's `G2set`, `Gnp`, and `Gbreg`
 //! tables for 2000- and 5000-vertex graphs (sizes scale with the
 //! profile).
+//!
+//! Replicates fan out over threads; every replicate derives its
+//! generator and suite seeds purely from the profile seed and its own
+//! context path, and results fold in replicate order, so tables are
+//! bit-identical at any thread count.
 
 use bisect_gen::rng::LaggedFibonacci;
 use bisect_gen::{g2set, gbreg, gnp};
 use rand::SeedableRng;
 
 use super::{derive_seed, quad_headers, quad_row, ExperimentResult};
+use crate::json::quad_records;
 use crate::profile::Profile;
 use crate::runner::{QuadAverage, Suite};
 use crate::table::Table;
@@ -17,6 +23,7 @@ use crate::table::Table;
 pub fn g2set(profile: &Profile) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
     let mut tables = Vec::new();
+    let mut records = Vec::new();
     for &size in &profile.random_model_sizes() {
         for &degree in &profile.g2set_degrees() {
             let mut table = Table::new(
@@ -27,17 +34,26 @@ pub fn g2set(profile: &Profile) -> ExperimentResult {
                 let Ok(params) = g2set::G2setParams::with_average_degree(size, degree, b) else {
                     continue; // b alone exceeds this degree's edge budget
                 };
-                let mut avg = QuadAverage::default();
-                for rep in 0..profile.replicates {
+                let reps = bisect_par::par_map(profile.replicates, |rep| {
                     let seed = derive_seed(
                         profile.seed,
                         &[20, size as u64, degree.to_bits(), b as u64, rep as u64],
                     );
                     let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
                     let g = g2set::sample(&mut gen_rng, &params);
-                    avg.add(&suite.run(&g, profile.starts, seed ^ 0xABCD));
+                    suite.run(&g, profile.starts, seed ^ 0xABCD)
+                });
+                let mut avg = QuadAverage::default();
+                for r in &reps {
+                    avg.add(r);
                 }
-                table.push_row(quad_row(b.to_string(), &avg.finish()));
+                let avg = avg.finish();
+                records.extend(quad_records(
+                    "g2set",
+                    &format!("n={size} deg={degree} b={b}"),
+                    &avg,
+                ));
+                table.push_row(quad_row(b.to_string(), &avg));
             }
             tables.push(table);
         }
@@ -46,6 +62,7 @@ pub fn g2set(profile: &Profile) -> ExperimentResult {
         id: "g2set".into(),
         title: "Appendix: G2set(2n, pA, pB, b) tables".into(),
         tables,
+        records,
     }
 }
 
@@ -55,24 +72,37 @@ pub fn g2set(profile: &Profile) -> ExperimentResult {
 pub fn gnp(profile: &Profile) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
     let mut tables = Vec::new();
+    let mut records = Vec::new();
     for &size in &profile.random_model_sizes() {
         let mut table = Table::new(format!("Gnp({size}, p)"), quad_headers("deg"));
         for &degree in &profile.gnp_degrees() {
             let params = gnp::GnpParams::with_average_degree(size, degree)
                 .expect("profile degrees are feasible");
-            let mut avg = QuadAverage::default();
-            for rep in 0..profile.gnp_replicates() {
-                let seed =
-                    derive_seed(profile.seed, &[30, size as u64, degree.to_bits(), rep as u64]);
+            let reps = bisect_par::par_map(profile.gnp_replicates(), |rep| {
+                let seed = derive_seed(
+                    profile.seed,
+                    &[30, size as u64, degree.to_bits(), rep as u64],
+                );
                 let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
                 let g = gnp::sample(&mut gen_rng, &params);
-                avg.add(&suite.run(&g, profile.starts, seed ^ 0xABCD));
+                suite.run(&g, profile.starts, seed ^ 0xABCD)
+            });
+            let mut avg = QuadAverage::default();
+            for r in &reps {
+                avg.add(r);
             }
-            table.push_row(quad_row(format!("{degree}"), &avg.finish()));
+            let avg = avg.finish();
+            records.extend(quad_records("gnp", &format!("n={size} deg={degree}"), &avg));
+            table.push_row(quad_row(format!("{degree}"), &avg));
         }
         tables.push(table);
     }
-    ExperimentResult { id: "gnp".into(), title: "Appendix: Gnp(2n, p) tables".into(), tables }
+    ExperimentResult {
+        id: "gnp".into(),
+        title: "Appendix: Gnp(2n, p) tables".into(),
+        tables,
+        records,
+    }
 }
 
 /// The appendix `Gbreg(2n, b, d)` tables: one sub-table per (vertex
@@ -83,16 +113,15 @@ pub fn gnp(profile: &Profile) -> ExperimentResult {
 pub fn gbreg(profile: &Profile) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
     let mut tables = Vec::new();
+    let mut records = Vec::new();
     for &size in &profile.random_model_sizes() {
         for d in [3usize, 4] {
-            let mut table =
-                Table::new(format!("Gbreg({size}, b, {d})"), quad_headers("b"));
+            let mut table = Table::new(format!("Gbreg({size}, b, {d})"), quad_headers("b"));
             for &b0 in &profile.gbreg_widths() {
                 let b = feasible_width(size / 2, d, b0);
                 let params = gbreg::GbregParams::new(size, b, d)
                     .expect("profile widths are feasible after parity adjustment");
-                let mut avg = QuadAverage::default();
-                for rep in 0..profile.replicates {
+                let reps = bisect_par::par_map(profile.replicates, |rep| {
                     let seed = derive_seed(
                         profile.seed,
                         &[40, size as u64, d as u64, b as u64, rep as u64],
@@ -100,9 +129,19 @@ pub fn gbreg(profile: &Profile) -> ExperimentResult {
                     let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
                     let g = gbreg::sample(&mut gen_rng, &params)
                         .expect("Gbreg construction succeeds for the paper's parameters");
-                    avg.add(&suite.run(&g, profile.starts, seed ^ 0xABCD));
+                    suite.run(&g, profile.starts, seed ^ 0xABCD)
+                });
+                let mut avg = QuadAverage::default();
+                for r in &reps {
+                    avg.add(r);
                 }
-                table.push_row(quad_row(b.to_string(), &avg.finish()));
+                let avg = avg.finish();
+                records.extend(quad_records(
+                    "gbreg",
+                    &format!("n={size} d={d} b={b}"),
+                    &avg,
+                ));
+                table.push_row(quad_row(b.to_string(), &avg));
             }
             tables.push(table);
         }
@@ -111,6 +150,7 @@ pub fn gbreg(profile: &Profile) -> ExperimentResult {
         id: "gbreg".into(),
         title: "Appendix: Gbreg(2n, b, d) tables".into(),
         tables,
+        records,
     }
 }
 

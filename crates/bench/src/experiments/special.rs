@@ -1,10 +1,16 @@
 //! Special-graph experiments: Table 1 and the appendix's ladder, grid,
 //! and binary-tree tables.
+//!
+//! Instance sizes fan out over threads; each size derives its seed from
+//! the profile seed and its own (family, size) path and rows are
+//! emitted in size order, so the tables are bit-identical at any thread
+//! count.
 
 use bisect_gen::special;
 use bisect_graph::Graph;
 
 use super::{derive_seed, improvement, quad_headers, quad_row, ExperimentResult};
+use crate::json::quad_records;
 use crate::profile::Profile;
 use crate::runner::{QuadAverage, Suite};
 use crate::table::Table;
@@ -70,26 +76,37 @@ impl Family {
 pub fn family(profile: &Profile, family: Family) -> ExperimentResult {
     let suite = Suite::for_profile(profile);
     let mut table = Table::new(
-        format!("{} graphs (best of {} starts)", family.name(), profile.starts),
+        format!(
+            "{} graphs (best of {} starts)",
+            family.name(),
+            profile.starts
+        ),
         quad_headers("size"),
     );
-    for size in family.sizes(profile) {
+    let id = match family {
+        Family::Grid => "grid",
+        Family::Ladder => "ladder",
+        Family::BinaryTree => "btree",
+    };
+    let sizes = family.sizes(profile);
+    let rows = bisect_par::par_map(sizes.len(), |i| {
+        let size = sizes[i];
         let g = family.build(size);
         let seed = derive_seed(profile.seed, &[family.id(), size as u64]);
         let mut avg = QuadAverage::default();
         avg.add(&suite.run(&g, profile.starts, seed));
-        let avg = avg.finish();
-        table.push_row(quad_row(family.label(size), &avg));
+        (size, avg.finish())
+    });
+    let mut records = Vec::new();
+    for (size, avg) in &rows {
+        records.extend(quad_records(id, &family.label(*size), avg));
+        table.push_row(quad_row(family.label(*size), avg));
     }
     ExperimentResult {
-        id: match family {
-            Family::Grid => "grid",
-            Family::Ladder => "ladder",
-            Family::BinaryTree => "btree",
-        }
-        .into(),
+        id: id.into(),
         title: format!("Appendix: {} graphs", family.name()),
         tables: vec![table],
+        records,
     }
 }
 
@@ -103,12 +120,15 @@ pub fn table1(profile: &Profile) -> ExperimentResult {
         vec!["Graph type".into(), "over KL".into(), "over SA".into()],
     );
     for fam in [Family::Grid, Family::Ladder, Family::BinaryTree] {
+        let sizes = fam.sizes(profile);
+        let runs = bisect_par::par_map(sizes.len(), |i| {
+            let g = fam.build(sizes[i]);
+            let seed = derive_seed(profile.seed, &[10 + fam.id(), sizes[i] as u64]);
+            suite.run(&g, profile.starts, seed)
+        });
         let mut kl_improvements = Vec::new();
         let mut sa_improvements = Vec::new();
-        for size in fam.sizes(profile) {
-            let g = fam.build(size);
-            let seed = derive_seed(profile.seed, &[10 + fam.id(), size as u64]);
-            let (sa, csa, kl, ckl) = suite.run(&g, profile.starts, seed);
+        for (sa, csa, kl, ckl) in &runs {
             kl_improvements.push(improvement(kl.cut as f64, ckl.cut as f64));
             sa_improvements.push(improvement(sa.cut as f64, csa.cut as f64));
         }
@@ -123,6 +143,7 @@ pub fn table1(profile: &Profile) -> ExperimentResult {
         id: "table1".into(),
         title: "Table 1: cut improvement made by compaction".into(),
         tables: vec![table],
+        records: vec![],
     }
 }
 

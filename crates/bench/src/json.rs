@@ -1,0 +1,215 @@
+//! Minimal hand-rolled JSON emission for `BENCH_results.json` — the
+//! machine-readable companion of the text tables (the container has no
+//! serde; the subset needed here is a flat record schema).
+
+use crate::runner::QuadAverage;
+
+/// One `(experiment, setting, algorithm)` measurement: the unit of
+/// `BENCH_results.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment id (e.g. `"gbreg"`).
+    pub experiment: String,
+    /// Row label within the experiment (e.g. `"n=1000 d=3 b=16"`).
+    pub setting: String,
+    /// Algorithm name (`"SA"`, `"CSA"`, `"KL"`, `"CKL"`).
+    pub algorithm: String,
+    /// Mean best cut over the averaged graphs.
+    pub mean_cut: f64,
+    /// Mean total wall time (summed across starts) in seconds.
+    pub total_time_s: f64,
+    /// Mean total work count across starts: productive passes for
+    /// KL/FM, temperature steps for SA, both stages summed for C*.
+    pub mean_passes: f64,
+    /// Number of graphs averaged into this record.
+    pub graphs: usize,
+}
+
+/// Expands one averaged table row into its four per-algorithm records.
+pub(crate) fn quad_records(experiment: &str, setting: &str, avg: &QuadAverage) -> Vec<BenchRecord> {
+    const ALGOS: [&str; 4] = ["SA", "CSA", "KL", "CKL"];
+    ALGOS
+        .iter()
+        .enumerate()
+        .map(|(i, algo)| BenchRecord {
+            experiment: experiment.to_string(),
+            setting: setting.to_string(),
+            algorithm: algo.to_string(),
+            mean_cut: avg.cuts[i],
+            total_time_s: avg.times[i].as_secs_f64(),
+            mean_passes: avg.passes[i],
+            graphs: avg.count,
+        })
+        .collect()
+}
+
+/// The full `BENCH_results.json` document: run configuration plus every
+/// record of the experiments that ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Profile scale name (`"smoke"`, `"quick"`, `"paper"`).
+    pub profile: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Starts per algorithm per graph.
+    pub starts: usize,
+    /// Replicates per random-model setting.
+    pub replicates: usize,
+    /// Worker threads used for the run.
+    pub threads: usize,
+    /// Total wall time of the whole run in seconds.
+    pub wall_time_s: f64,
+    /// The measurements.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"profile\": {},\n", escape(&self.profile)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"starts\": {},\n", self.starts));
+        out.push_str(&format!("  \"replicates\": {},\n", self.replicates));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"wall_time_s\": {},\n",
+            number(self.wall_time_s)
+        ));
+        out.push_str("  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"experiment\": {}, ", escape(&r.experiment)));
+            out.push_str(&format!("\"setting\": {}, ", escape(&r.setting)));
+            out.push_str(&format!("\"algorithm\": {}, ", escape(&r.algorithm)));
+            out.push_str(&format!("\"mean_cut\": {}, ", number(r.mean_cut)));
+            out.push_str(&format!("\"total_time_s\": {}, ", number(r.total_time_s)));
+            out.push_str(&format!("\"mean_passes\": {}, ", number(r.mean_passes)));
+            out.push_str(&format!("\"graphs\": {}", r.graphs));
+            out.push('}');
+        }
+        if !self.records.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping for the small label alphabet used here (quotes,
+/// backslashes, and control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats print with Rust's shortest round-trip formatting;
+/// non-finite values (never expected, but times could in principle
+/// overflow a division) become `null`.
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, keep them as-is.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_avg() -> QuadAverage {
+        QuadAverage {
+            cuts: [10.0, 8.5, 12.0, 9.0],
+            times: [Duration::from_millis(1500); 4],
+            passes: [100.0, 110.0, 4.0, 6.0],
+            count: 3,
+        }
+    }
+
+    #[test]
+    fn quad_records_expand_in_suite_order() {
+        let records = quad_records("gbreg", "n=500 b=8 d=3", &sample_avg());
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].algorithm, "SA");
+        assert_eq!(records[1].algorithm, "CSA");
+        assert_eq!(records[2].algorithm, "KL");
+        assert_eq!(records[3].algorithm, "CKL");
+        assert_eq!(records[2].mean_cut, 12.0);
+        assert_eq!(records[0].total_time_s, 1.5);
+        assert_eq!(records[3].graphs, 3);
+    }
+
+    #[test]
+    fn report_serializes_valid_shape() {
+        let report = BenchReport {
+            profile: "quick".into(),
+            seed: 1989,
+            starts: 2,
+            replicates: 3,
+            threads: 4,
+            wall_time_s: 12.25,
+            records: quad_records("gbreg", "n=500", &sample_avg()),
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("]\n}\n"));
+        assert!(json.contains("\"profile\": \"quick\""));
+        assert!(json.contains("\"seed\": 1989"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"algorithm\": \"CKL\""));
+        assert!(json.contains("\"mean_cut\": 9"));
+        // Four records -> three separating commas inside the array.
+        assert_eq!(json.matches("\"experiment\"").count(), 4);
+    }
+
+    #[test]
+    fn empty_records_give_empty_array() {
+        let report = BenchReport {
+            profile: "smoke".into(),
+            seed: 0,
+            starts: 1,
+            replicates: 1,
+            threads: 1,
+            wall_time_s: 0.0,
+            records: vec![],
+        };
+        assert!(report.to_json().contains("\"records\": []"));
+    }
+
+    #[test]
+    fn escape_handles_special_characters() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape("a\nb"), "\"a\\nb\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(2.5), "2.5");
+        assert_eq!(number(3.0), "3");
+    }
+}

@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod profile;
 pub mod runner;
 pub mod table;
 
+pub use json::{BenchRecord, BenchReport};
 pub use profile::{Profile, Scale};
 pub use runner::{AlgoResult, Suite};
 pub use table::Table;

@@ -24,7 +24,9 @@ impl std::str::FromStr for Scale {
             "smoke" => Ok(Scale::Smoke),
             "quick" => Ok(Scale::Quick),
             "paper" => Ok(Scale::Paper),
-            other => Err(format!("unknown profile `{other}` (expected `smoke`, `quick`, or `paper`)")),
+            other => Err(format!(
+                "unknown profile `{other}` (expected `smoke`, `quick`, or `paper`)"
+            )),
         }
     }
 }
@@ -55,18 +57,33 @@ impl Profile {
     /// The quick profile: paper protocol (2 starts), scaled-down grid,
     /// 1 replicate.
     pub fn quick() -> Profile {
-        Profile { scale: Scale::Quick, starts: 2, replicates: 1, seed: 1989 }
+        Profile {
+            scale: Scale::Quick,
+            starts: 2,
+            replicates: 1,
+            seed: 1989,
+        }
     }
 
     /// The smoke profile: minimal sizes, 1 start, 1 replicate — used by
     /// the test suites.
     pub fn smoke() -> Profile {
-        Profile { scale: Scale::Smoke, starts: 1, replicates: 1, seed: 1989 }
+        Profile {
+            scale: Scale::Smoke,
+            starts: 1,
+            replicates: 1,
+            seed: 1989,
+        }
     }
 
     /// The paper profile: 2 starts, 3 replicates, full sizes.
     pub fn paper() -> Profile {
-        Profile { scale: Scale::Paper, starts: 2, replicates: 3, seed: 1989 }
+        Profile {
+            scale: Scale::Paper,
+            starts: 2,
+            replicates: 3,
+            seed: 1989,
+        }
     }
 
     /// Vertex counts for the random-model tables (the paper's 2000 and

@@ -1,17 +1,33 @@
 //! Run protocol: best-of-k starts with total timing, and the standard
 //! four-algorithm suite (SA, CSA, KL, CKL) of the paper's tables.
+//!
+//! Trials fan out over threads ([`bisect_par::par_map`]) while staying
+//! **bit-identical to the serial run at any thread count**: each trial
+//! draws its randomness from its own rng, seeded from the trial index
+//! via [`SeedSequence`], and the winner is the lowest-indexed trial
+//! with the minimal cut — neither depends on scheduling order. Reported
+//! times are the *sum* of per-trial wall times, preserving the paper's
+//! "total time across both starting configurations" semantics
+//! independent of the thread count.
 
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use bisect_core::bisector::Bisector;
 use bisect_core::compaction::Compacted;
 use bisect_core::kl::KernighanLin;
 use bisect_core::sa::{Schedule, SimulatedAnnealing};
-use bisect_gen::rng::LaggedFibonacci;
+use bisect_core::workspace::Workspace;
+use bisect_gen::rng::SeedSequence;
 use bisect_graph::Graph;
-use rand::SeedableRng;
 
 use crate::profile::{Profile, Scale};
+
+thread_local! {
+    /// One warm scratch workspace per worker thread, reused by every
+    /// trial that thread executes.
+    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
 
 /// Outcome of running one algorithm on one graph: best cut over the
 /// starts and total elapsed time (the paper's protocol: "all timing
@@ -23,30 +39,85 @@ pub struct AlgoResult {
     pub name: String,
     /// Best cut over the starts.
     pub cut: u64,
-    /// Total wall-clock time across the starts.
+    /// Total wall-clock time across the starts (summed per-trial, so
+    /// the value is comparable across thread counts).
     pub elapsed: Duration,
+    /// Total work count across the starts: productive passes for
+    /// KL/FM, temperature steps for SA, coarse + fine stages summed for
+    /// compacted algorithms.
+    pub passes: u64,
 }
 
 /// Runs `algo` from `starts` random starts; returns best cut and total
-/// time. Deterministic given `seed` (randomness comes from the
-/// lagged-Fibonacci generator the paper used).
-pub fn run_best_of(algo: &dyn Bisector, g: &Graph, starts: usize, seed: u64) -> AlgoResult {
-    let mut rng = LaggedFibonacci::seed_from_u64(seed);
-    let begin = Instant::now();
-    let mut best: Option<u64> = None;
-    for _ in 0..starts.max(1) {
-        let p = algo.bisect(g, &mut rng);
-        debug_assert!(p.is_balanced(g));
-        let cut = p.cut();
-        if best.is_none_or(|b| cut < b) {
-            best = Some(cut);
+/// time. Deterministic given `seed` — and identical at every thread
+/// count, because trial `i` always uses the rng
+/// `SeedSequence::new(seed).rng(i)`.
+pub fn run_best_of<B: Bisector + Sync + ?Sized>(
+    algo: &B,
+    g: &Graph,
+    starts: usize,
+    seed: u64,
+) -> AlgoResult {
+    run_best_of_threads(algo, g, starts, seed, bisect_par::num_threads())
+}
+
+/// As [`run_best_of`] with an explicit thread count (used by the
+/// determinism regression tests to pin both sides of the comparison).
+pub fn run_best_of_threads<B: Bisector + Sync + ?Sized>(
+    algo: &B,
+    g: &Graph,
+    starts: usize,
+    seed: u64,
+    threads: usize,
+) -> AlgoResult {
+    run_best_of_sides(algo, g, starts, seed, threads).0
+}
+
+/// As [`run_best_of_threads`], additionally returning the winning
+/// bisection's side vector (used by the determinism regression tests to
+/// compare the full bisection, not just its cut).
+pub fn run_best_of_sides<B: Bisector + Sync + ?Sized>(
+    algo: &B,
+    g: &Graph,
+    starts: usize,
+    seed: u64,
+    threads: usize,
+) -> (AlgoResult, Vec<bool>) {
+    let starts = starts.max(1);
+    let seq = SeedSequence::new(seed);
+    let trials = bisect_par::par_map_with(threads, starts, |i| {
+        WORKSPACE.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            let mut rng = seq.rng(i as u64);
+            let begin = Instant::now();
+            let (p, passes) = algo.bisect_counted(g, &mut rng, &mut ws);
+            let elapsed = begin.elapsed();
+            debug_assert!(p.is_balanced(g));
+            (p, passes, elapsed)
+        })
+    });
+    // Strict `<` over the index-ordered trials: the winner is the
+    // lowest-indexed minimal cut regardless of thread count.
+    let mut best: Option<usize> = None;
+    let mut elapsed = Duration::ZERO;
+    let mut total_passes = 0u64;
+    for (i, (p, passes, trial_time)) in trials.iter().enumerate() {
+        elapsed += *trial_time;
+        total_passes += passes;
+        if best.is_none_or(|b| p.cut() < trials[b].0.cut()) {
+            best = Some(i);
         }
     }
-    AlgoResult {
-        name: algo.name(),
-        cut: best.expect("at least one start"),
-        elapsed: begin.elapsed(),
-    }
+    let winner = &trials[best.expect("at least one start")].0;
+    (
+        AlgoResult {
+            name: algo.name(),
+            cut: winner.cut(),
+            elapsed,
+            passes: total_passes,
+        },
+        winner.sides().to_vec(),
+    )
 }
 
 /// The four algorithms every table compares, constructed to match the
@@ -82,21 +153,27 @@ impl Suite {
         }
     }
 
-    /// Runs all four algorithms on `g`; returns `(sa, csa, kl, ckl)`.
-    /// Each algorithm gets its own deterministic seed stream derived
-    /// from `seed`.
+    /// Runs all four algorithms on `g` (in parallel when threads are
+    /// available); returns `(sa, csa, kl, ckl)`. Each algorithm gets
+    /// its own deterministic seed stream derived from `seed`, so the
+    /// results do not depend on the thread count.
     pub fn run(
         &self,
         g: &Graph,
         starts: usize,
         seed: u64,
     ) -> (AlgoResult, AlgoResult, AlgoResult, AlgoResult) {
-        (
-            run_best_of(&self.sa, g, starts, seed ^ 0x5a5a_0001),
-            run_best_of(&self.csa, g, starts, seed ^ 0x5a5a_0002),
-            run_best_of(&self.kl, g, starts, seed ^ 0x5a5a_0003),
-            run_best_of(&self.ckl, g, starts, seed ^ 0x5a5a_0004),
-        )
+        let mut results = bisect_par::par_map(4, |i| match i {
+            0 => run_best_of(&self.sa, g, starts, seed ^ 0x5a5a_0001),
+            1 => run_best_of(&self.csa, g, starts, seed ^ 0x5a5a_0002),
+            2 => run_best_of(&self.kl, g, starts, seed ^ 0x5a5a_0003),
+            _ => run_best_of(&self.ckl, g, starts, seed ^ 0x5a5a_0004),
+        });
+        let ckl = results.pop().expect("four results");
+        let kl = results.pop().expect("four results");
+        let csa = results.pop().expect("four results");
+        let sa = results.pop().expect("four results");
+        (sa, csa, kl, ckl)
     }
 }
 
@@ -109,6 +186,8 @@ pub struct QuadAverage {
     pub cuts: [f64; 4],
     /// Mean total time per algorithm.
     pub times: [Duration; 4],
+    /// Mean total work count (passes / temperatures) per algorithm.
+    pub passes: [f64; 4],
     /// Number of graphs averaged.
     pub count: usize,
 }
@@ -120,6 +199,7 @@ impl QuadAverage {
         for (i, r) in list.iter().enumerate() {
             self.cuts[i] += r.cut as f64;
             self.times[i] += r.elapsed;
+            self.passes[i] += r.passes as f64;
         }
         self.count += 1;
     }
@@ -136,6 +216,9 @@ impl QuadAverage {
         }
         for t in &mut self.times {
             *t /= self.count as u32;
+        }
+        for p in &mut self.passes {
+            *p /= self.count as f64;
         }
         self
     }
@@ -154,6 +237,17 @@ mod tests {
         let b = run_best_of(&RandomBisector::new(), &g, 3, 42);
         assert_eq!(a.cut, b.cut);
         assert_eq!(a.name, "Random");
+    }
+
+    #[test]
+    fn run_best_of_identical_across_thread_counts() {
+        let g = special::grid(6, 6);
+        let serial = run_best_of_sides(&RandomBisector::new(), &g, 8, 11, 1);
+        for threads in [2, 4, 8] {
+            let par = run_best_of_sides(&RandomBisector::new(), &g, 8, 11, threads);
+            assert_eq!(par.0.cut, serial.0.cut, "threads {threads}");
+            assert_eq!(par.1, serial.1, "threads {threads}");
+        }
     }
 
     #[test]
@@ -176,6 +270,10 @@ mod tests {
         for r in [&sa, &csa, &kl, &ckl] {
             assert!(r.cut <= 36, "{} cut {}", r.name, r.cut);
         }
+        // KL and CKL report productive passes; SA reports temperature
+        // steps — all should have done some work on a nontrivial graph.
+        assert!(sa.passes >= 1);
+        assert!(kl.passes >= 1);
     }
 
     #[test]
@@ -184,6 +282,7 @@ mod tests {
             name: "X".into(),
             cut,
             elapsed: Duration::from_millis(10),
+            passes: 4,
         };
         let mut avg = QuadAverage::default();
         avg.add(&(mk(2), mk(4), mk(6), mk(8)));
@@ -191,6 +290,7 @@ mod tests {
         let avg = avg.finish();
         assert_eq!(avg.cuts, [3.0, 6.0, 8.0, 10.0]);
         assert_eq!(avg.times[0], Duration::from_millis(10));
+        assert_eq!(avg.passes, [4.0; 4]);
         assert_eq!(avg.count, 2);
     }
 

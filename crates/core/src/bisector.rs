@@ -19,6 +19,7 @@ use rand::RngCore;
 
 use crate::partition::Bisection;
 use crate::seed;
+use crate::workspace::Workspace;
 
 /// An algorithm that bisects a graph.
 ///
@@ -33,6 +34,28 @@ pub trait Bisector {
     /// Computes a balanced bisection of `g`, drawing any randomness from
     /// `rng`.
     fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection;
+
+    /// As [`Bisector::bisect`], drawing scratch memory from `ws` so the
+    /// hot path is allocation-free once the workspace is warm. The
+    /// result is identical to `bisect` with the same rng state; the
+    /// default implementation ignores the workspace.
+    fn bisect_in(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> Bisection {
+        let _ = ws;
+        self.bisect(g, rng)
+    }
+
+    /// As [`Bisector::bisect_in`], additionally reporting the
+    /// algorithm's natural work count: productive passes for KL and FM,
+    /// temperature steps for SA, the sum of both refinement stages for
+    /// compacted wrappers. Algorithms with no pass notion report 0.
+    fn bisect_counted(
+        &self,
+        g: &Graph,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        (self.bisect_in(g, rng, ws), 0)
+    }
 }
 
 /// A bisector that improves a supplied starting bisection (local
@@ -43,6 +66,21 @@ pub trait Refiner: Bisector {
     /// The returned bisection preserves balance (implementations keep
     /// the side sizes of `init` or restore balance before returning).
     fn refine(&self, g: &Graph, init: Bisection, rng: &mut dyn RngCore) -> Bisection;
+
+    /// As [`Refiner::refine`], drawing scratch memory from `ws` and
+    /// reporting the work count (see [`Bisector::bisect_counted`]). The
+    /// returned bisection is identical to `refine` with the same rng
+    /// state; the default implementation ignores the workspace.
+    fn refine_counted(
+        &self,
+        g: &Graph,
+        init: Bisection,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        let _ = ws;
+        (self.refine(g, init, rng), 0)
+    }
 }
 
 /// Runs `bisector` from `starts` independent attempts and returns the
@@ -132,5 +170,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = best_of(boxed.as_ref(), &g, 2, &mut rng);
         assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn default_workspace_entry_points_match_bisect() {
+        let g = bisect_gen::special::grid(4, 4);
+        let mut ws = Workspace::new();
+        let plain = RandomBisector::new().bisect(&g, &mut StdRng::seed_from_u64(5));
+        let with_ws = RandomBisector::new().bisect_in(&g, &mut StdRng::seed_from_u64(5), &mut ws);
+        let (counted, count) =
+            RandomBisector::new().bisect_counted(&g, &mut StdRng::seed_from_u64(5), &mut ws);
+        assert_eq!(plain, with_ws);
+        assert_eq!(plain, counted);
+        assert_eq!(count, 0);
     }
 }

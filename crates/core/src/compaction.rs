@@ -32,6 +32,7 @@ use rand::RngCore;
 use crate::bisector::{Bisector, Refiner};
 use crate::partition::{rebalance, Bisection};
 use crate::seed;
+use crate::workspace::Workspace;
 
 /// Which maximal matching the contraction uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,7 +85,10 @@ impl<B: Refiner> Compacted<B> {
     /// Wraps `inner` with one level of compaction using the random
     /// maximal matching of the paper.
     pub fn new(inner: B) -> Compacted<B> {
-        Compacted { inner, matching_kind: MatchingKind::default() }
+        Compacted {
+            inner,
+            matching_kind: MatchingKind::default(),
+        }
     }
 
     /// Selects a different matching strategy (for ablations).
@@ -99,17 +103,13 @@ impl<B: Refiner> Compacted<B> {
     }
 }
 
-impl<B: Refiner> Bisector for Compacted<B> {
-    fn name(&self) -> String {
-        format!("C{}", self.inner.name())
-    }
-
-    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+impl<B: Refiner> Compacted<B> {
+    fn run(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> (Bisection, u64) {
         // Step 1: random maximal matching.
         let m = self.matching_kind.run(g, rng);
         if m.is_empty() {
             // Nothing to contract (edgeless or trivial graph).
-            return self.inner.bisect(g, rng);
+            return self.inner.bisect_counted(g, rng, ws);
         }
         // Step 2: contract.
         let c = contraction::contract_matching(g, &m);
@@ -117,16 +117,39 @@ impl<B: Refiner> Bisector for Compacted<B> {
         // Step 3: bisect G' (weight-balanced start, then the inner
         // heuristic).
         let coarse_init = seed::weight_balanced_random(coarse, rng);
-        let coarse_bisection = self.inner.refine(coarse, coarse_init, rng);
+        let (coarse_bisection, coarse_count) =
+            self.inner.refine_counted(coarse, coarse_init, rng, ws);
         // Step 4: uncompact / project, restore exact balance.
-        let mut projected =
-            Bisection::from_sides(g, c.project_sides(coarse_bisection.sides()))
-                .expect("projection has one side entry per fine vertex");
+        let mut projected = Bisection::from_sides(g, c.project_sides(coarse_bisection.sides()))
+            .expect("projection has one side entry per fine vertex");
         rebalance(g, &mut projected);
         // Step 5: refine on the original graph from the projected start.
-        let refined = self.inner.refine(g, projected, rng);
+        let (refined, fine_count) = self.inner.refine_counted(g, projected, rng, ws);
         debug_assert!(refined.is_balanced(g));
-        refined
+        (refined, coarse_count + fine_count)
+    }
+}
+
+impl<B: Refiner> Bisector for Compacted<B> {
+    fn name(&self) -> String {
+        format!("C{}", self.inner.name())
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        self.run(g, rng, &mut Workspace::new()).0
+    }
+
+    fn bisect_in(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> Bisection {
+        self.run(g, rng, ws).0
+    }
+
+    fn bisect_counted(
+        &self,
+        g: &Graph,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        self.run(g, rng, ws)
     }
 }
 
@@ -198,7 +221,11 @@ mod tests {
     #[test]
     fn matching_kinds_all_work() {
         let g = special::grid(6, 6);
-        for kind in [MatchingKind::Random, MatchingKind::HeavyEdge, MatchingKind::EdgeOrder] {
+        for kind in [
+            MatchingKind::Random,
+            MatchingKind::HeavyEdge,
+            MatchingKind::EdgeOrder,
+        ] {
             let mut rng = StdRng::seed_from_u64(4);
             let p = Compacted::new(KernighanLin::new())
                 .with_matching_kind(kind)

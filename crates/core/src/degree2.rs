@@ -338,7 +338,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let g = bisect_gen::gbreg::sample(&mut rng, &params).unwrap();
         let p = bisect_degree2(&g).unwrap();
-        assert!(p.cut() <= 2, "paper: optimal bisection of degree-2 Gbreg is <= 2");
+        assert!(
+            p.cut() <= 2,
+            "paper: optimal bisection of degree-2 Gbreg is <= 2"
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl Search<'_> {
         }
         let v = self.order[depth];
         for side in [false, true] {
-            let (na, nb) = if side { (count_a, count_b + 1) } else { (count_a + 1, count_b) };
+            let (na, nb) = if side {
+                (count_a, count_b + 1)
+            } else {
+                (count_a + 1, count_b)
+            };
             if na > self.cap_a || nb > self.cap_b {
                 continue;
             }
@@ -211,7 +215,12 @@ mod tests {
             let exact = minimum_bisection(&g).unwrap();
             assert!(exact.is_balanced(&g));
             assert_eq!(exact.cut(), exact.recompute_cut(&g));
-            assert_eq!(exact.cut(), brute_force(&g), "graph with {} vertices", g.num_vertices());
+            assert_eq!(
+                exact.cut(),
+                brute_force(&g),
+                "graph with {} vertices",
+                g.num_vertices()
+            );
         }
     }
 

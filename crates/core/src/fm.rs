@@ -12,13 +12,13 @@
 //! updated. After all moves, the best balanced prefix is applied if it
 //! improves the cut. Passes repeat to a fixpoint.
 
-use bisect_graph::{Graph, VertexId};
+use bisect_graph::Graph;
 use rand::RngCore;
 
 use crate::bisector::{Bisector, Refiner};
-use crate::gain::GainBuckets;
 use crate::partition::{Bisection, Side};
 use crate::seed;
+use crate::workspace::Workspace;
 
 /// The FM bisection algorithm.
 ///
@@ -65,7 +65,17 @@ impl FiducciaMattheyses {
     /// Runs one FM pass in place; returns the cut improvement (0 at a
     /// fixpoint). The bisection must be balanced on entry and stays
     /// balanced.
+    ///
+    /// Convenience wrapper over [`FiducciaMattheyses::pass_in`] with a
+    /// throwaway workspace.
     pub fn pass(&self, g: &Graph, p: &mut Bisection) -> u64 {
+        self.pass_in(g, p, &mut Workspace::new())
+    }
+
+    /// As [`FiducciaMattheyses::pass`], drawing the gain buckets, the
+    /// working bisection, and every per-move array from `ws` — no heap
+    /// allocations once the workspace is warm.
+    pub fn pass_in(&self, g: &Graph, p: &mut Bisection, ws: &mut Workspace) -> u64 {
         let n = g.num_vertices();
         if n < 2 {
             return 0;
@@ -88,17 +98,29 @@ impl FiducciaMattheyses {
             .max()
             .unwrap_or(0)
             .min(i64::MAX as u64) as i64;
-        let mut buckets =
-            [GainBuckets::new(n, max_wdeg), GainBuckets::new(n, max_wdeg)];
+        let buckets = &mut ws.fm_buckets;
+        for b in buckets.iter_mut() {
+            b.reset(n, max_wdeg);
+        }
         for v in g.vertices() {
             buckets[p.side(v).index()].insert(v, p.gain(g, v));
         }
 
-        let mut work = p.clone();
-        let mut locked = vec![false; n];
-        let mut moves: Vec<VertexId> = Vec::with_capacity(n);
-        let mut cumulative: Vec<i64> = Vec::with_capacity(n);
-        let mut balanced_after: Vec<bool> = Vec::with_capacity(n);
+        if let Some(w) = ws.fm_work.as_mut() {
+            w.copy_from(p);
+        } else {
+            ws.fm_work = Some(p.clone());
+        }
+        let work = ws.fm_work.as_mut().expect("just populated");
+        ws.locked.clear();
+        ws.locked.resize(n, false);
+        let locked = &mut ws.locked;
+        ws.fm_moves.clear();
+        let moves = &mut ws.fm_moves;
+        ws.fm_cumulative.clear();
+        let cumulative = &mut ws.fm_cumulative;
+        ws.fm_balanced.clear();
+        let balanced_after = &mut ws.fm_balanced;
         let mut running = 0i64;
 
         for _ in 0..n {
@@ -106,10 +128,16 @@ impl FiducciaMattheyses {
             // only if moving it respects the pass tolerance.
             let mut choice: Option<(i64, Side)> = None;
             for side in [Side::A, Side::B] {
-                let Some((gain, v)) = buckets[side.index()].peek_best() else { continue };
+                let Some((gain, v)) = buckets[side.index()].peek_best() else {
+                    continue;
+                };
                 let w = g.vertex_weight(v) as i64;
                 let imb = work.weight(Side::A) as i64 - work.weight(Side::B) as i64;
-                let new_imb = if side == Side::A { imb - 2 * w } else { imb + 2 * w };
+                let new_imb = if side == Side::A {
+                    imb - 2 * w
+                } else {
+                    imb + 2 * w
+                };
                 if new_imb.unsigned_abs() > pass_tol {
                     continue;
                 }
@@ -119,9 +147,7 @@ impl FiducciaMattheyses {
                 match choice {
                     Some((bg, bside)) => {
                         let better = gain > bg
-                            || (gain == bg
-                                && heavier
-                                && work.weight(bside) < work.weight(side));
+                            || (gain == bg && heavier && work.weight(bside) < work.weight(side));
                         if better {
                             choice = Some((gain, side));
                         }
@@ -145,7 +171,11 @@ impl FiducciaMattheyses {
                 // v left `side`: for u still on `side` the edge became
                 // external (+2w); for u on the other side it became
                 // internal (−2w).
-                let delta = if work.side(u) == side { 2 * w as i64 } else { -2 * (w as i64) };
+                let delta = if work.side(u) == side {
+                    2 * w as i64
+                } else {
+                    -2 * (w as i64)
+                };
                 let b = &mut buckets[work.side(u).index()];
                 let cur = b.gain_of(u);
                 b.update(u, cur + delta);
@@ -176,19 +206,44 @@ impl Bisector for FiducciaMattheyses {
     }
 
     fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        self.bisect_in(g, rng, &mut Workspace::new())
+    }
+
+    fn bisect_in(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> Bisection {
+        self.bisect_counted(g, rng, ws).0
+    }
+
+    fn bisect_counted(
+        &self,
+        g: &Graph,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
         let init = seed::random_balanced(g, rng);
-        self.refine(g, init, rng)
+        self.refine_counted(g, init, rng, ws)
     }
 }
 
 impl Refiner for FiducciaMattheyses {
-    fn refine(&self, g: &Graph, mut init: Bisection, _rng: &mut dyn RngCore) -> Bisection {
+    fn refine(&self, g: &Graph, init: Bisection, rng: &mut dyn RngCore) -> Bisection {
+        self.refine_counted(g, init, rng, &mut Workspace::new()).0
+    }
+
+    fn refine_counted(
+        &self,
+        g: &Graph,
+        mut init: Bisection,
+        _rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        let mut productive = 0u64;
         for _ in 0..self.max_passes {
-            if self.pass(g, &mut init) == 0 {
+            if self.pass_in(g, &mut init, ws) == 0 {
                 break;
             }
+            productive += 1;
         }
-        init
+        (init, productive)
     }
 }
 

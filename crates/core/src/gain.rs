@@ -1,12 +1,16 @@
-//! Bucket-array gain structure shared by the graph and netlist FM
-//! refiners (Fiduccia-Mattheyses' constant-time data structure).
+//! Bucket-array gain structures: [`GainBuckets`] is the classic
+//! Fiduccia-Mattheyses constant-time structure shared by the graph and
+//! netlist FM refiners; [`SortedBuckets`] is the ordered variant behind
+//! Kernighan-Lin's incremental pair selection. Both support `reset` so
+//! a [`crate::workspace::Workspace`] can reuse their allocations across
+//! passes and trials.
 
 use bisect_graph::VertexId;
 
 /// Bucket-array priority structure over vertices/cells keyed by gain:
 /// all operations O(1) amortized (plus bucket-range scans bounded by
 /// the gain radius).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub(crate) struct GainBuckets {
     offset: i64,
     buckets: Vec<Vec<VertexId>>,
@@ -30,6 +34,27 @@ impl GainBuckets {
             max_idx: 0,
             len: 0,
         }
+    }
+
+    /// Reconfigures the structure for a new element count and gain
+    /// radius, keeping every previously grown allocation. Equivalent to
+    /// `*self = GainBuckets::new(num_elements, max_gain_abs)` but free
+    /// of heap traffic once capacities have warmed up.
+    pub(crate) fn reset(&mut self, num_elements: usize, max_gain_abs: i64) {
+        let width = (2 * max_gain_abs + 1).max(1) as usize;
+        self.offset = max_gain_abs;
+        if self.buckets.len() < width {
+            self.buckets.resize_with(width, Vec::new);
+        }
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.pos.clear();
+        self.pos.resize(num_elements, u32::MAX);
+        self.gain.clear();
+        self.gain.resize(num_elements, 0);
+        self.max_idx = 0;
+        self.len = 0;
     }
 
     fn index(&self, gain: i64) -> usize {
@@ -105,6 +130,84 @@ impl GainBuckets {
     }
 }
 
+/// Ordered bucket array behind Kernighan-Lin's incremental pair
+/// selection: one bucket per gain value, each bucket kept sorted by
+/// vertex id. [`SortedBuckets::iter_desc`] therefore yields candidates
+/// in strictly descending `(gain, vertex)` order — the exact order the
+/// `BTreeSet`-based sorted-pruning scan visits them — so the
+/// incremental strategy makes bit-identical selections while
+/// insert/remove touch only one bucket (a binary search plus a small
+/// `memmove`) instead of rebuilding or rescanning anything.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SortedBuckets {
+    offset: i64,
+    buckets: Vec<Vec<VertexId>>,
+    max_idx: usize,
+    len: usize,
+}
+
+impl SortedBuckets {
+    /// Clears the structure and reconfigures it for gains in
+    /// `[-max_gain_abs, max_gain_abs]`, keeping grown allocations.
+    pub(crate) fn reset(&mut self, max_gain_abs: i64) {
+        let width = (2 * max_gain_abs + 1).max(1) as usize;
+        self.offset = max_gain_abs;
+        if self.buckets.len() < width {
+            self.buckets.resize_with(width, Vec::new);
+        }
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.max_idx = 0;
+        self.len = 0;
+    }
+
+    fn index(&self, gain: i64) -> usize {
+        let idx = gain + self.offset;
+        debug_assert!(
+            idx >= 0 && (idx as usize) < self.buckets.len(),
+            "gain {gain} out of range ±{}",
+            self.offset
+        );
+        idx as usize
+    }
+
+    pub(crate) fn insert(&mut self, v: VertexId, gain: i64) {
+        let idx = self.index(gain);
+        let bucket = &mut self.buckets[idx];
+        let at = bucket.partition_point(|&u| u < v);
+        debug_assert!(bucket.get(at) != Some(&v), "duplicate insert of {v}");
+        bucket.insert(at, v);
+        self.max_idx = self.max_idx.max(idx);
+        self.len += 1;
+    }
+
+    pub(crate) fn remove(&mut self, v: VertexId, gain: i64) {
+        let idx = self.index(gain);
+        let bucket = &mut self.buckets[idx];
+        let at = bucket.partition_point(|&u| u < v);
+        debug_assert!(bucket.get(at) == Some(&v), "removing absent {v}");
+        bucket.remove(at);
+        self.len -= 1;
+    }
+
+    /// Iterates live entries in descending `(gain, vertex)` order.
+    pub(crate) fn iter_desc(&self) -> impl Iterator<Item = (i64, VertexId)> + '_ {
+        let top = self.max_idx.min(self.buckets.len().saturating_sub(1));
+        let offset = self.offset;
+        (0..=top)
+            .rev()
+            .flat_map(move |idx| {
+                self.buckets
+                    .get(idx)
+                    .into_iter()
+                    .flat_map(|bucket| bucket.iter().rev())
+                    .map(move |&v| (idx as i64 - offset, v))
+            })
+            .take(self.len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +257,53 @@ mod tests {
         b.insert(0, 1);
         b.adjust(0, 0);
         assert_eq!(b.gain_of(0), 1);
+    }
+
+    #[test]
+    fn reset_behaves_like_new() {
+        let mut b = GainBuckets::new(3, 2);
+        b.insert(0, 2);
+        b.insert(1, -1);
+        b.reset(5, 4);
+        assert_eq!(b.peek_best(), None);
+        assert!(!b.contains(0));
+        b.insert(4, 4);
+        b.insert(2, -4);
+        assert_eq!(b.pop_best(), Some((4, 4)));
+        assert_eq!(b.pop_best(), Some((-4, 2)));
+        assert_eq!(b.pop_best(), None);
+    }
+
+    #[test]
+    fn sorted_buckets_iterates_descending_gain_then_vertex() {
+        let mut s = SortedBuckets::default();
+        s.reset(3);
+        for (v, g) in [(5, 1), (2, 1), (9, 3), (1, -2), (7, 1)] {
+            s.insert(v, g);
+        }
+        let order: Vec<_> = s.iter_desc().collect();
+        assert_eq!(order, vec![(3, 9), (1, 7), (1, 5), (1, 2), (-2, 1)]);
+        s.remove(5, 1);
+        let order: Vec<_> = s.iter_desc().collect();
+        assert_eq!(order, vec![(3, 9), (1, 7), (1, 2), (-2, 1)]);
+    }
+
+    #[test]
+    fn sorted_buckets_reset_clears_and_reuses() {
+        let mut s = SortedBuckets::default();
+        s.reset(2);
+        s.insert(0, 2);
+        s.insert(1, -2);
+        assert_eq!(s.iter_desc().count(), 2);
+        s.reset(1);
+        assert_eq!(s.iter_desc().count(), 0);
+        s.insert(3, -1);
+        assert_eq!(s.iter_desc().collect::<Vec<_>>(), vec![(-1, 3)]);
+    }
+
+    #[test]
+    fn sorted_buckets_empty_before_reset() {
+        let s = SortedBuckets::default();
+        assert_eq!(s.iter_desc().count(), 0);
     }
 }

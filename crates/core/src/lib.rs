@@ -76,3 +76,4 @@ pub mod recursive;
 pub mod sa;
 pub mod seed;
 pub mod spectral;
+pub mod workspace;

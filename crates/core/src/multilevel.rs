@@ -40,7 +40,10 @@ impl<B: Refiner> Multilevel<B> {
     /// Multilevel bisection refining with `inner` at every level,
     /// coarsening down to at most 32 vertices by default.
     pub fn new(inner: B) -> Multilevel<B> {
-        Multilevel { inner, coarsest_size: 32 }
+        Multilevel {
+            inner,
+            coarsest_size: 32,
+        }
     }
 
     /// Sets the size at which coarsening stops.

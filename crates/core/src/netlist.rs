@@ -57,7 +57,10 @@ impl NetlistBisection {
     /// count.
     pub fn from_sides(nl: &Netlist, side: Vec<bool>) -> Result<NetlistBisection, SideLengthError> {
         if side.len() != nl.num_cells() {
-            return Err(SideLengthError { got: side.len(), expected: nl.num_cells() });
+            return Err(SideLengthError {
+                got: side.len(),
+                expected: nl.num_cells(),
+            });
         }
         let mut counts = [0usize; 2];
         let mut weights = [0u64; 2];
@@ -76,7 +79,13 @@ impl NetlistBisection {
                 cut += nl.net_weight(n);
             }
         }
-        Ok(NetlistBisection { side, pins_on, cut, counts, weights })
+        Ok(NetlistBisection {
+            side,
+            pins_on,
+            cut,
+            counts,
+            weights,
+        })
     }
 
     /// A uniformly random cell-count-balanced bisection.
@@ -162,14 +171,16 @@ impl NetlistBisection {
     ///
     /// Panics if `c` is out of range for `nl`.
     pub fn gain(&self, nl: &Netlist, c: VertexId) -> i64 {
-        nl.nets_of(c).iter().map(|&n| self.net_contribution(nl, n, c)).sum()
+        nl.nets_of(c)
+            .iter()
+            .map(|&n| self.net_contribution(nl, n, c))
+            .sum()
     }
 
     /// Net `n`'s contribution to the gain of its pin `c`.
     fn net_contribution(&self, nl: &Netlist, n: NetId, c: VertexId) -> i64 {
         let s = self.side[c as usize] as usize;
-        let [my, other] =
-            [self.pins_on[n as usize][s], self.pins_on[n as usize][1 - s]];
+        let [my, other] = [self.pins_on[n as usize][s], self.pins_on[n as usize][1 - s]];
         let w = nl.net_weight(n) as i64;
         if other == 0 {
             // Net entirely on c's side: moving c cuts it, unless c is
@@ -287,12 +298,21 @@ impl NetlistFm {
         }
         let max_weight = nl.cells().map(|c| nl.cell_weight(c)).max().unwrap_or(1);
         let unit = nl.cells().all(|c| nl.cell_weight(c) == 1);
-        let base_tol = if unit { nl.total_cell_weight() % 2 } else { max_weight };
+        let base_tol = if unit {
+            nl.total_cell_weight() % 2
+        } else {
+            max_weight
+        };
         let pass_tol = base_tol.max(2 * max_weight);
 
         let max_gain = nl
             .cells()
-            .map(|c| nl.nets_of(c).iter().map(|&net| nl.net_weight(net)).sum::<u64>())
+            .map(|c| {
+                nl.nets_of(c)
+                    .iter()
+                    .map(|&net| nl.net_weight(net))
+                    .sum::<u64>()
+            })
             .max()
             .unwrap_or(0)
             .min(i64::MAX as u64) as i64;
@@ -311,10 +331,16 @@ impl NetlistFm {
         for _ in 0..n {
             let mut choice: Option<(i64, Side)> = None;
             for side in [Side::A, Side::B] {
-                let Some((gain, c)) = buckets[side.index()].peek_best() else { continue };
+                let Some((gain, c)) = buckets[side.index()].peek_best() else {
+                    continue;
+                };
                 let w = nl.cell_weight(c) as i64;
                 let imb = work.weight(Side::A) as i64 - work.weight(Side::B) as i64;
-                let new_imb = if side == Side::A { imb - 2 * w } else { imb + 2 * w };
+                let new_imb = if side == Side::A {
+                    imb - 2 * w
+                } else {
+                    imb + 2 * w
+                };
                 if new_imb.unsigned_abs() > pass_tol {
                     continue;
                 }
@@ -386,7 +412,11 @@ impl NetlistFm {
 /// bisection.
 pub fn rebalance(nl: &Netlist, p: &mut NetlistBisection) {
     while !p.is_balanced(nl) {
-        let heavy = if p.weight(Side::A) > p.weight(Side::B) { Side::A } else { Side::B };
+        let heavy = if p.weight(Side::A) > p.weight(Side::B) {
+            Side::A
+        } else {
+            Side::B
+        };
         let imbalance = p.weight_imbalance();
         let candidate = nl
             .cells()
@@ -429,7 +459,9 @@ pub struct CompactedNetlistFm {
 impl CompactedNetlistFm {
     /// One level of netlist compaction around [`NetlistFm`].
     pub fn new() -> CompactedNetlistFm {
-        CompactedNetlistFm { inner: NetlistFm::new() }
+        CompactedNetlistFm {
+            inner: NetlistFm::new(),
+        }
     }
 
     /// Bisects `nl` by compaction.
@@ -490,7 +522,10 @@ impl Default for MultilevelNetlistFm {
 impl MultilevelNetlistFm {
     /// Multilevel FM coarsening down to at most 32 cells.
     pub fn new() -> MultilevelNetlistFm {
-        MultilevelNetlistFm { inner: NetlistFm::new(), coarsest_size: 32 }
+        MultilevelNetlistFm {
+            inner: NetlistFm::new(),
+            coarsest_size: 32,
+        }
     }
 
     /// Sets the size at which coarsening stops.
@@ -578,11 +613,11 @@ mod tests {
     #[test]
     fn cut_counts_spanning_nets_once() {
         let nl = two_clusters();
-        let p = NetlistBisection::from_sides(&nl, vec![false, false, false, true, true, true])
-            .unwrap();
+        let p =
+            NetlistBisection::from_sides(&nl, vec![false, false, false, true, true, true]).unwrap();
         assert_eq!(p.cut(), 1);
-        let q = NetlistBisection::from_sides(&nl, vec![false, true, false, true, false, true])
-            .unwrap();
+        let q =
+            NetlistBisection::from_sides(&nl, vec![false, true, false, true, false, true]).unwrap();
         assert_eq!(q.cut(), q.recompute_cut(&nl));
         assert_eq!(q.cut(), 5);
     }
@@ -596,8 +631,8 @@ mod tests {
     #[test]
     fn gain_matches_definition() {
         let nl = two_clusters();
-        let p = NetlistBisection::from_sides(&nl, vec![false, false, false, true, true, true])
-            .unwrap();
+        let p =
+            NetlistBisection::from_sides(&nl, vec![false, false, false, true, true, true]).unwrap();
         // Moving cell 2: cuts nets {0,1,2}; uncuts the bridge {2,3}.
         assert_eq!(p.gain(&nl, 2), 0);
         // Moving cell 0: cuts {0,1,2} and {0,1}: -2.
@@ -613,7 +648,11 @@ mod tests {
             let before = p.cut();
             p.move_cell(&nl, c);
             assert_eq!(p.cut(), p.recompute_cut(&nl), "after moving {c}");
-            assert_eq!(before as i64 - p.cut() as i64, gain, "gain mismatch for {c}");
+            assert_eq!(
+                before as i64 - p.cut() as i64,
+                gain,
+                "gain mismatch for {c}"
+            );
         }
     }
 
@@ -759,7 +798,9 @@ mod tests {
     fn multilevel_fm_finds_the_bridge() {
         let nl = two_clusters();
         let mut rng = StdRng::seed_from_u64(5);
-        let p = MultilevelNetlistFm::new().with_coarsest_size(3).bisect(&nl, &mut rng);
+        let p = MultilevelNetlistFm::new()
+            .with_coarsest_size(3)
+            .bisect(&nl, &mut rng);
         assert_eq!(p.cut(), 1);
         assert!(p.is_balanced(&nl));
     }
@@ -810,9 +851,12 @@ mod tests {
         let mut fm_total = 0u64;
         let mut cfm_total = 0u64;
         for seed in 0..5 {
-            fm_total += NetlistFm::new().bisect(&nl, &mut StdRng::seed_from_u64(seed)).cut();
-            cfm_total +=
-                CompactedNetlistFm::new().bisect(&nl, &mut StdRng::seed_from_u64(seed)).cut();
+            fm_total += NetlistFm::new()
+                .bisect(&nl, &mut StdRng::seed_from_u64(seed))
+                .cut();
+            cfm_total += CompactedNetlistFm::new()
+                .bisect(&nl, &mut StdRng::seed_from_u64(seed))
+                .cut();
         }
         assert!(
             cfm_total <= fm_total + 2,

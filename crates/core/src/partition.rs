@@ -97,7 +97,11 @@ pub struct SideLengthError {
 
 impl std::fmt::Display for SideLengthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "side vector has length {}, graph has {} vertices", self.got, self.expected)
+        write!(
+            f,
+            "side vector has length {}, graph has {} vertices",
+            self.got, self.expected
+        )
     }
 }
 
@@ -112,7 +116,10 @@ impl Bisection {
     /// graph's vertex count.
     pub fn from_sides(g: &Graph, side: Vec<bool>) -> Result<Bisection, SideLengthError> {
         if side.len() != g.num_vertices() {
-            return Err(SideLengthError { got: side.len(), expected: g.num_vertices() });
+            return Err(SideLengthError {
+                got: side.len(),
+                expected: g.num_vertices(),
+            });
         }
         let mut counts = [0usize; 2];
         let mut weights = [0 as VertexWeight; 2];
@@ -122,7 +129,12 @@ impl Bisection {
             weights[s] += g.vertex_weight(v);
         }
         let cut = compute_cut(g, &side);
-        Ok(Bisection { side, cut, counts, weights })
+        Ok(Bisection {
+            side,
+            cut,
+            counts,
+            weights,
+        })
     }
 
     /// The canonical planted bisection: vertices `0..n/2` on side A.
@@ -291,12 +303,33 @@ impl Bisection {
 
     /// Vertices on the given side, in increasing id order.
     pub fn members(&self, side: Side) -> Vec<VertexId> {
-        self.side
-            .iter()
-            .enumerate()
-            .filter(|&(_, &s)| s == side.as_bool())
-            .map(|(v, _)| v as VertexId)
-            .collect()
+        let mut out = Vec::new();
+        self.members_into(side, &mut out);
+        out
+    }
+
+    /// As [`Bisection::members`], writing into a caller-supplied buffer
+    /// (cleared first) so hot paths can reuse its allocation.
+    pub fn members_into(&self, side: Side, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(
+            self.side
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s == side.as_bool())
+                .map(|(v, _)| v as VertexId),
+        );
+    }
+
+    /// Overwrites `self` with the contents of `other`, reusing the side
+    /// buffer — allocation-free once capacities match, unlike the
+    /// derived `Clone`. The two bisections need not belong to the same
+    /// graph.
+    pub fn copy_from(&mut self, other: &Bisection) {
+        self.side.clone_from(&other.side);
+        self.cut = other.cut;
+        self.counts = other.counts;
+        self.weights = other.weights;
     }
 
     fn assert_graph(&self, g: &Graph) {
@@ -317,7 +350,8 @@ fn compute_cut(g: &Graph, side: &[bool]) -> EdgeWeight {
 
 fn apply_gain(cut: EdgeWeight, gain: i64) -> EdgeWeight {
     if gain >= 0 {
-        cut.checked_sub(gain as u64).expect("gain cannot exceed the cut")
+        cut.checked_sub(gain as u64)
+            .expect("gain cannot exceed the cut")
     } else {
         cut + (-gain) as u64
     }
@@ -331,7 +365,11 @@ fn apply_gain(cut: EdgeWeight, gain: i64) -> EdgeWeight {
 /// project exactly.
 pub fn rebalance(g: &Graph, p: &mut Bisection) {
     while !p.is_balanced(g) {
-        let heavy = if p.weight(Side::A) > p.weight(Side::B) { Side::A } else { Side::B };
+        let heavy = if p.weight(Side::A) > p.weight(Side::B) {
+            Side::A
+        } else {
+            Side::B
+        };
         let imbalance = p.weight_imbalance();
         // Among vertices whose move strictly reduces the imbalance
         // (weight < imbalance), pick the best gain; such a vertex
@@ -396,7 +434,13 @@ mod tests {
     fn from_sides_rejects_wrong_length() {
         let g = path4();
         let err = Bisection::from_sides(&g, vec![false; 3]).unwrap_err();
-        assert_eq!(err, SideLengthError { got: 3, expected: 4 });
+        assert_eq!(
+            err,
+            SideLengthError {
+                got: 3,
+                expected: 4
+            }
+        );
         assert!(err.to_string().contains("3"));
     }
 
@@ -565,6 +609,31 @@ mod tests {
         let p = Bisection::planted(&g); // each cycle on its own side
         assert_eq!(p.cut(), 0);
         assert!(p.crossing_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn members_into_reuses_buffer() {
+        let g = path4();
+        let p = Bisection::from_sides(&g, vec![true, false, true, false]).unwrap();
+        let mut buf = vec![99, 99, 99, 99, 99];
+        p.members_into(Side::A, &mut buf);
+        assert_eq!(buf, vec![1, 3]);
+        p.members_into(Side::B, &mut buf);
+        assert_eq!(buf, vec![0, 2]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone_across_sizes() {
+        let g = path4();
+        let p = Bisection::planted(&g);
+        let big = bisect_gen::special::grid(5, 5);
+        let mut q = Bisection::planted(&big);
+        q.copy_from(&p);
+        assert_eq!(q, p);
+        let mut r = Bisection::planted(&g);
+        let pb = Bisection::planted(&big);
+        r.copy_from(&pb);
+        assert_eq!(r, pb);
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl KWayPartition {
     ///
     /// Panics if `g` does not match the partition's vertex count.
     pub fn cut(&self, g: &Graph) -> u64 {
-        assert_eq!(g.num_vertices(), self.labels.len(), "partition does not match graph");
+        assert_eq!(
+            g.num_vertices(),
+            self.labels.len(),
+            "partition does not match graph"
+        );
         g.edges()
             .filter(|&(u, v, _)| self.labels[u as usize] != self.labels[v as usize])
             .map(|(_, _, w)| w)
@@ -95,7 +99,11 @@ pub struct InvalidPartCountError {
 
 impl std::fmt::Display for InvalidPartCountError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "part count must be a positive power of two, got {}", self.parts)
+        write!(
+            f,
+            "part count must be a positive power of two, got {}",
+            self.parts
+        )
     }
 }
 
@@ -131,7 +139,10 @@ impl<B: Bisector> RecursiveBisection<B> {
         let mut labels = vec![0u32; g.num_vertices()];
         let all: Vec<VertexId> = g.vertices().collect();
         self.split(g, &all, parts, 0, &mut labels, rng);
-        Ok(KWayPartition { labels, num_parts: parts })
+        Ok(KWayPartition {
+            labels,
+            num_parts: parts,
+        })
     }
 
     fn split(
@@ -161,7 +172,14 @@ impl<B: Bisector> RecursiveBisection<B> {
             }
         }
         self.split(g, &side_a, parts / 2, first_label, labels, rng);
-        self.split(g, &side_b, parts / 2, first_label + (parts / 2) as u32, labels, rng);
+        self.split(
+            g,
+            &side_b,
+            parts / 2,
+            first_label + (parts / 2) as u32,
+            labels,
+            rng,
+        );
     }
 }
 
@@ -175,7 +193,9 @@ mod tests {
 
     fn quad(g: &Graph, parts: usize, seed: u64) -> KWayPartition {
         let mut rng = StdRng::seed_from_u64(seed);
-        RecursiveBisection::new(KernighanLin::new()).partition(g, parts, &mut rng).unwrap()
+        RecursiveBisection::new(KernighanLin::new())
+            .partition(g, parts, &mut rng)
+            .unwrap()
     }
 
     #[test]

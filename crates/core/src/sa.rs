@@ -28,10 +28,10 @@ use rand::{Rng, RngCore};
 use crate::bisector::{Bisector, Refiner};
 use crate::partition::{rebalance, Bisection, Side};
 use crate::seed;
+use crate::workspace::Workspace;
 
 /// The SA move set.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MoveKind {
     /// Swap a random vertex of side A with a random vertex of side B.
     /// Every visited state is balanced.
@@ -45,7 +45,6 @@ pub enum MoveKind {
         imbalance_factor: f64,
     },
 }
-
 
 /// The annealing schedule. "The fine tuning of the annealing schedule
 /// can be a big job, as we found out" — every knob is exposed.
@@ -117,7 +116,10 @@ impl Default for SimulatedAnnealing {
 impl SimulatedAnnealing {
     /// SA with swap moves and the default schedule.
     pub fn new() -> SimulatedAnnealing {
-        SimulatedAnnealing { move_kind: MoveKind::default(), schedule: Schedule::default() }
+        SimulatedAnnealing {
+            move_kind: MoveKind::default(),
+            schedule: Schedule::default(),
+        }
     }
 
     /// Selects the move set.
@@ -138,7 +140,10 @@ impl SimulatedAnnealing {
             "cooling ratio must be in (0, 1)"
         );
         assert!(schedule.sizefactor > 0, "sizefactor must be positive");
-        assert!(schedule.max_temperatures > 0, "need at least one temperature");
+        assert!(
+            schedule.max_temperatures > 0,
+            "need at least one temperature"
+        );
         self.schedule = schedule;
         self
     }
@@ -153,7 +158,13 @@ impl SimulatedAnnealing {
         })
     }
 
-    fn initial_temperature(&self, g: &Graph, p: &Bisection, rng: &mut dyn RngCore) -> f64 {
+    fn initial_temperature(
+        &self,
+        g: &Graph,
+        p: &Bisection,
+        rng: &mut dyn RngCore,
+        members: &mut [Vec<VertexId>; 2],
+    ) -> f64 {
         if let Some(t0) = self.schedule.initial_temperature {
             return t0;
         }
@@ -164,7 +175,7 @@ impl SimulatedAnnealing {
         let mut uphill_count = 0usize;
         for _ in 0..samples {
             let delta = match self.move_kind {
-                MoveKind::Swap => propose_swap(g, p, rng).map(|(d, _, _)| d as f64),
+                MoveKind::Swap => propose_swap(g, p, rng, members).map(|(d, _, _)| d as f64),
                 MoveKind::Flip { imbalance_factor } => {
                     propose_flip(g, p, imbalance_factor, rng).map(|(d, _)| d)
                 }
@@ -186,11 +197,13 @@ impl SimulatedAnnealing {
 
 /// Proposes a random swap; returns `(cut_delta, a, b)` — positive delta
 /// means the cut grows. `None` if a swap cannot be drawn (a side is
-/// empty).
+/// empty). `members` is scratch for the unbalanced fallback; its
+/// contents are irrelevant on entry.
 fn propose_swap(
     g: &Graph,
     p: &Bisection,
     rng: &mut dyn RngCore,
+    members: &mut [Vec<VertexId>; 2],
 ) -> Option<(i64, VertexId, VertexId)> {
     let n = g.num_vertices();
     if p.count(Side::A) == 0 || p.count(Side::B) == 0 {
@@ -205,9 +218,11 @@ fn propose_swap(
             return Some((-p.swap_gain(g, a, b), a, b));
         }
     }
-    // Extremely unbalanced; fall back to explicit member lists.
-    let members_a = p.members(Side::A);
-    let members_b = p.members(Side::B);
+    // Extremely unbalanced; fall back to explicit member lists (reusing
+    // the scratch buffers' allocations).
+    let [members_a, members_b] = members;
+    p.members_into(Side::A, members_a);
+    p.members_into(Side::B, members_b);
     let a = members_a[rng.gen_range(0..members_a.len())];
     let b = members_b[rng.gen_range(0..members_b.len())];
     Some((-p.swap_gain(g, a, b), a, b))
@@ -229,7 +244,11 @@ fn propose_flip(
     let cut_delta = -p.gain(g, v) as f64;
     let w = g.vertex_weight(v) as i64;
     let imb = p.weight(Side::A) as i64 - p.weight(Side::B) as i64;
-    let new_imb = if p.side(v) == Side::A { imb - 2 * w } else { imb + 2 * w };
+    let new_imb = if p.side(v) == Side::A {
+        imb - 2 * w
+    } else {
+        imb + 2 * w
+    };
     let pen_delta = imbalance_factor * ((new_imb * new_imb - imb * imb) as f64);
     Some((cut_delta + pen_delta, v))
 }
@@ -269,11 +288,29 @@ impl SaStats {
 impl SimulatedAnnealing {
     /// As [`Refiner::refine`], additionally returning the run
     /// statistics.
+    ///
+    /// Convenience wrapper over
+    /// [`SimulatedAnnealing::refine_with_stats_in`] with a throwaway
+    /// workspace.
     pub fn refine_with_stats(
         &self,
         g: &Graph,
         init: Bisection,
         rng: &mut dyn RngCore,
+    ) -> (Bisection, SaStats) {
+        self.refine_with_stats_in(g, init, rng, &mut Workspace::new())
+    }
+
+    /// As [`SimulatedAnnealing::refine_with_stats`], drawing the
+    /// best-so-far buffer and the unbalanced-swap member scratch from
+    /// `ws`: once the workspace is warm, the per-temperature and
+    /// per-move loops perform no heap allocations.
+    pub fn refine_with_stats_in(
+        &self,
+        g: &Graph,
+        init: Bisection,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
     ) -> (Bisection, SaStats) {
         let n = g.num_vertices();
         let mut stats = SaStats {
@@ -289,12 +326,20 @@ impl SimulatedAnnealing {
         }
         let schedule = &self.schedule;
         let mut current = init;
-        let mut temperature = self.initial_temperature(g, &current, rng);
+        let mut temperature = self.initial_temperature(g, &current, rng, &mut ws.sa_members);
         stats.initial_temperature = temperature;
 
         // Best balanced solution seen so far ("one must then save the
-        // best bisection found as the algorithm progresses").
-        let mut best = current.clone();
+        // best bisection found as the algorithm progresses"). The
+        // buffer is recycled from the workspace so tracking the best
+        // never allocates after the first run.
+        let mut best = match ws.sa_best.take() {
+            Some(mut b) => {
+                b.copy_from(&current);
+                b
+            }
+            None => current.clone(),
+        };
         if !best.is_balanced(g) {
             rebalance(g, &mut best);
         }
@@ -309,12 +354,16 @@ impl SimulatedAnnealing {
                 stats.proposals += 1;
                 match self.move_kind {
                     MoveKind::Swap => {
-                        let Some((delta, a, b)) = propose_swap(g, &current, rng) else { break };
+                        let Some((delta, a, b)) =
+                            propose_swap(g, &current, rng, &mut ws.sa_members)
+                        else {
+                            break;
+                        };
                         if accept(delta as f64, temperature, rng) {
                             current.swap(g, a, b);
                             accepted += 1;
                             if current.cut() < best.cut() {
-                                best = current.clone();
+                                best.copy_from(&current);
                                 improved_best = true;
                             }
                         }
@@ -328,7 +377,7 @@ impl SimulatedAnnealing {
                             current.move_vertex(g, v);
                             accepted += 1;
                             if current.is_balanced(g) && current.cut() < best.cut() {
-                                best = current.clone();
+                                best.copy_from(&current);
                                 improved_best = true;
                             }
                         }
@@ -358,11 +407,15 @@ impl SimulatedAnnealing {
         if let MoveKind::Flip { .. } = self.move_kind {
             rebalance(g, &mut current);
             if current.cut() < best.cut() {
-                best = current;
+                best.copy_from(&current);
             }
         }
         debug_assert_eq!(best.cut(), best.recompute_cut(g));
-        (best, stats)
+        // Return a bisection equal to `best` while parking the tracking
+        // buffer back in the workspace for the next run.
+        current.copy_from(&best);
+        ws.sa_best = Some(best);
+        (current, stats)
     }
 }
 
@@ -372,14 +425,40 @@ impl Bisector for SimulatedAnnealing {
     }
 
     fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        self.bisect_in(g, rng, &mut Workspace::new())
+    }
+
+    fn bisect_in(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> Bisection {
         let init = seed::random_balanced(g, rng);
-        self.refine(g, init, rng)
+        self.refine_with_stats_in(g, init, rng, ws).0
+    }
+
+    fn bisect_counted(
+        &self,
+        g: &Graph,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        let init = seed::random_balanced(g, rng);
+        let (p, stats) = self.refine_with_stats_in(g, init, rng, ws);
+        (p, stats.temperatures as u64)
     }
 }
 
 impl Refiner for SimulatedAnnealing {
     fn refine(&self, g: &Graph, init: Bisection, rng: &mut dyn RngCore) -> Bisection {
         self.refine_with_stats(g, init, rng).0
+    }
+
+    fn refine_counted(
+        &self,
+        g: &Graph,
+        init: Bisection,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        let (p, stats) = self.refine_with_stats_in(g, init, rng, ws);
+        (p, stats.temperatures as u64)
     }
 }
 
@@ -407,8 +486,9 @@ mod tests {
     #[test]
     fn flip_sa_returns_balanced() {
         let g = special::grid(6, 6);
-        let sa = SimulatedAnnealing::quick()
-            .with_move_kind(MoveKind::Flip { imbalance_factor: 0.05 });
+        let sa = SimulatedAnnealing::quick().with_move_kind(MoveKind::Flip {
+            imbalance_factor: 0.05,
+        });
         let mut rng = StdRng::seed_from_u64(2);
         let p = sa.bisect(&g, &mut rng);
         assert!(p.is_balanced(&g));
@@ -430,7 +510,12 @@ mod tests {
         let g = bisect_gen::g2set::sample(&mut rng, &params);
         let random = crate::bisector::RandomBisector::new().bisect(&g, &mut rng);
         let annealed = SimulatedAnnealing::quick().bisect(&g, &mut rng);
-        assert!(annealed.cut() < random.cut(), "{} !< {}", annealed.cut(), random.cut());
+        assert!(
+            annealed.cut() < random.cut(),
+            "{} !< {}",
+            annealed.cut(),
+            random.cut()
+        );
     }
 
     #[test]
@@ -460,15 +545,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "cooling ratio")]
     fn bad_cooling_rejected() {
-        let _ = SimulatedAnnealing::new()
-            .with_schedule(Schedule { cooling: 1.5, ..Schedule::default() });
+        let _ = SimulatedAnnealing::new().with_schedule(Schedule {
+            cooling: 1.5,
+            ..Schedule::default()
+        });
     }
 
     #[test]
     #[should_panic(expected = "sizefactor")]
     fn zero_sizefactor_rejected() {
-        let _ = SimulatedAnnealing::new()
-            .with_schedule(Schedule { sizefactor: 0, ..Schedule::default() });
+        let _ = SimulatedAnnealing::new().with_schedule(Schedule {
+            sizefactor: 0,
+            ..Schedule::default()
+        });
     }
 
     #[test]
@@ -513,6 +602,20 @@ mod tests {
         let a = SimulatedAnnealing::quick().bisect(&g, &mut StdRng::seed_from_u64(3));
         let b = SimulatedAnnealing::quick().bisect(&g, &mut StdRng::seed_from_u64(3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_results() {
+        // A dirty workspace (left over from other graphs/runs) must not
+        // leak into the next run.
+        let small = special::grid(4, 4);
+        let big = special::grid(6, 6);
+        let sa = SimulatedAnnealing::quick();
+        let mut ws = crate::workspace::Workspace::new();
+        let _ = sa.bisect_in(&big, &mut StdRng::seed_from_u64(7), &mut ws);
+        let reused = sa.bisect_in(&small, &mut StdRng::seed_from_u64(3), &mut ws);
+        let fresh = sa.bisect(&small, &mut StdRng::seed_from_u64(3));
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn weight_balanced_random_on_weighted_graph() {
-        use bisect_graph::{matching::Matching, contraction::contract_matching};
+        use bisect_graph::{contraction::contract_matching, matching::Matching};
         let g = bisect_gen::special::ladder(8);
         let m = Matching::from_pairs(16, &[(0, 8), (1, 9), (2, 10)]);
         let c = contract_matching(&g, &m);
@@ -146,7 +146,11 @@ mod tests {
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
             let p = weight_balanced_random(coarse, &mut rng);
-            assert!(p.weight_imbalance() <= 2, "imbalance {}", p.weight_imbalance());
+            assert!(
+                p.weight_imbalance() <= 2,
+                "imbalance {}",
+                p.weight_imbalance()
+            );
         }
     }
 

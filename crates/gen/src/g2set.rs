@@ -63,7 +63,12 @@ impl G2setParams {
                 n * n
             )));
         }
-        Ok(G2setParams { num_vertices, p_a, p_b, bis })
+        Ok(G2setParams {
+            num_vertices,
+            p_a,
+            p_b,
+            bis,
+        })
     }
 
     /// Parameters with `pA = pB` chosen so the *expected* overall
@@ -115,13 +120,30 @@ impl G2setParams {
 pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
     let n = params.side_size();
     let mut builder = GraphBuilder::new(params.num_vertices);
+    // Expected edge count: both sides' internal edges plus the planted
+    // cross edges (rounded up to absorb sampling variance).
+    let pairs = (n * n.saturating_sub(1) / 2) as f64;
+    let expected = (pairs * (params.p_a + params.p_b)).ceil() as usize + params.bis;
+    builder.reserve_edges(expected + expected / 8);
 
     // Internal edges of each side, reusing the Gnp sampler on n vertices.
-    let side_a = gnp::sample(rng, &gnp::GnpParams { num_vertices: n, p: params.p_a });
+    let side_a = gnp::sample(
+        rng,
+        &gnp::GnpParams {
+            num_vertices: n,
+            p: params.p_a,
+        },
+    );
     for (u, v, _) in side_a.edges() {
         builder.add_edge(u, v).expect("side A edges valid");
     }
-    let side_b = gnp::sample(rng, &gnp::GnpParams { num_vertices: n, p: params.p_b });
+    let side_b = gnp::sample(
+        rng,
+        &gnp::GnpParams {
+            num_vertices: n,
+            p: params.p_b,
+        },
+    );
     for (u, v, _) in side_b.edges() {
         builder
             .add_edge(u + n as VertexId, v + n as VertexId)
@@ -172,7 +194,9 @@ mod tests {
 
     fn cross_cut(g: &Graph) -> usize {
         let sides = planted_sides(g.num_vertices());
-        g.edges().filter(|&(u, v, _)| sides[u as usize] != sides[v as usize]).count()
+        g.edges()
+            .filter(|&(u, v, _)| sides[u as usize] != sides[v as usize])
+            .count()
     }
 
     #[test]
@@ -235,7 +259,11 @@ mod tests {
         assert!((params.expected_average_degree() - 3.0).abs() < 1e-9);
         let mut rng = StdRng::seed_from_u64(3);
         let g = sample(&mut rng, &params);
-        assert!((g.average_degree() - 3.0).abs() < 0.3, "avg {}", g.average_degree());
+        assert!(
+            (g.average_degree() - 3.0).abs() < 0.3,
+            "avg {}",
+            g.average_degree()
+        );
     }
 
     #[test]

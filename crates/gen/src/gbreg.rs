@@ -97,7 +97,9 @@ impl GbregParams {
 pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GbregParams) -> Result<Graph, GenError> {
     let n = params.side_size();
     let (b, d) = (params.b, params.d);
-    let mut last_err = GenError::ConstructionFailed { attempts: regular::MAX_ATTEMPTS };
+    let mut last_err = GenError::ConstructionFailed {
+        attempts: regular::MAX_ATTEMPTS,
+    };
     for _ in 0..regular::MAX_ATTEMPTS {
         // 1. Cross degrees: b stubs per side, each vertex at most d.
         //    Taking the first b entries of a shuffled list containing
@@ -143,7 +145,9 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GbregParams) -> Result<Grap
                 .expect("side B edges valid");
         }
         for (a, bb) in cross {
-            builder.add_edge(a, bb + n as VertexId).expect("cross edges valid");
+            builder
+                .add_edge(a, bb + n as VertexId)
+                .expect("cross edges valid");
         }
         let g = builder.build();
         debug_assert_eq!(g.regular_degree(), Some(d));
@@ -218,7 +222,11 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(seed * 1000 + nv as u64);
                 let g = sample(&mut rng, &params).unwrap();
                 assert_eq!(g.num_vertices(), nv);
-                assert_eq!(g.regular_degree(), Some(d), "nv={nv} b={b} d={d} seed={seed}");
+                assert_eq!(
+                    g.regular_degree(),
+                    Some(d),
+                    "nv={nv} b={b} d={d} seed={seed}"
+                );
                 assert_eq!(planted_cut(&g), b as u64, "nv={nv} b={b} d={d} seed={seed}");
                 assert!(g.is_unit_weighted());
             }

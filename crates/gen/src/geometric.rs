@@ -37,7 +37,10 @@ impl GeometricParams {
                 "radius must be positive and finite, got {radius}"
             )));
         }
-        Ok(GeometricParams { num_vertices, radius })
+        Ok(GeometricParams {
+            num_vertices,
+            radius,
+        })
     }
 
     /// Parameters whose *expected average degree* is approximately
@@ -62,8 +65,7 @@ impl GeometricParams {
                 "average degree must be positive, got {avg_degree}"
             )));
         }
-        let radius =
-            (avg_degree / (std::f64::consts::PI * (num_vertices as f64 - 1.0))).sqrt();
+        let radius = (avg_degree / (std::f64::consts::PI * (num_vertices as f64 - 1.0))).sqrt();
         GeometricParams::new(num_vertices, radius)
     }
 }
@@ -76,7 +78,9 @@ pub fn sample_with_points<R: Rng + ?Sized>(
 ) -> (Graph, Vec<(f64, f64)>) {
     let n = params.num_vertices;
     let r = params.radius;
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut builder = GraphBuilder::new(n);
     if n == 0 {
         return (builder.build(), points);
@@ -105,7 +109,9 @@ pub fn sample_with_points<R: Rng + ?Sized>(
                     let (px, py) = points[j as usize];
                     let (ddx, ddy) = (px - x, py - y);
                     if ddx * ddx + ddy * ddy <= r2 {
-                        builder.add_edge(i as VertexId, j).expect("distinct in-range ids");
+                        builder
+                            .add_edge(i as VertexId, j)
+                            .expect("distinct in-range ids");
                     }
                 }
             }

@@ -48,7 +48,10 @@ impl GnpParams {
     ///
     /// [`GenError::InvalidParameter`] if the implied `p` leaves `[0, 1]`
     /// or `num_vertices < 2`.
-    pub fn with_average_degree(num_vertices: usize, avg_degree: f64) -> Result<GnpParams, GenError> {
+    pub fn with_average_degree(
+        num_vertices: usize,
+        avg_degree: f64,
+    ) -> Result<GnpParams, GenError> {
         if num_vertices < 2 {
             return Err(GenError::InvalidParameter(
                 "need at least 2 vertices to target an average degree".into(),
@@ -82,13 +85,20 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GnpParams) -> Graph {
     // Geometric skipping over the linearized strict upper triangle
     // (Batagelj-Brandes): jump ~Geom(p) positions between present edges.
     let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    // Pre-size for the expected edge count plus slack for variance.
+    let expected = (total_pairs as f64 * p).ceil() as usize;
+    builder.reserve_edges(expected + expected / 8);
     let log_q = (1.0 - p).ln();
     let mut position: u64 = 0;
     // First gap is also geometric; start from -1 conceptually.
     loop {
         let u: f64 = rng.gen::<f64>();
         // Skip of k means k absent pairs before the next present one.
-        let skip = if u <= 0.0 { total_pairs } else { (u.ln() / log_q).floor() as u64 };
+        let skip = if u <= 0.0 {
+            total_pairs
+        } else {
+            (u.ln() / log_q).floor() as u64
+        };
         position = position.saturating_add(skip);
         if position >= total_pairs {
             break;
@@ -172,8 +182,14 @@ mod tests {
     #[test]
     fn tiny_graphs() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(sample(&mut rng, &GnpParams::new(0, 0.5).unwrap()).num_vertices(), 0);
-        assert_eq!(sample(&mut rng, &GnpParams::new(1, 0.5).unwrap()).num_edges(), 0);
+        assert_eq!(
+            sample(&mut rng, &GnpParams::new(0, 0.5).unwrap()).num_vertices(),
+            0
+        );
+        assert_eq!(
+            sample(&mut rng, &GnpParams::new(1, 0.5).unwrap()).num_edges(),
+            0
+        );
     }
 
     #[test]
@@ -209,7 +225,10 @@ mod tests {
         let mean = total as f64 / trials as f64;
         // Std dev of one draw is ~sqrt(m*(1-p)) ≈ 61; mean of 20 draws
         // has std ≈ 14. Allow 5 sigma.
-        assert!((mean - expected).abs() < 70.0, "mean {mean} vs expected {expected}");
+        assert!(
+            (mean - expected).abs() < 70.0,
+            "mean {mean} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -235,6 +254,10 @@ mod tests {
         let params = GnpParams::with_average_degree(2000, 3.0).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         let g = sample(&mut rng, &params);
-        assert!((g.average_degree() - 3.0).abs() < 0.3, "avg {}", g.average_degree());
+        assert!(
+            (g.average_degree() - 3.0).abs() < 0.3,
+            "avg {}",
+            g.average_degree()
+        );
     }
 }

@@ -69,7 +69,9 @@ pub fn sample_degree_sequence<R: Rng + ?Sized>(
         }
         let _ = attempt;
     }
-    Err(GenError::ConstructionFailed { attempts: MAX_ATTEMPTS })
+    Err(GenError::ConstructionFailed {
+        attempts: MAX_ATTEMPTS,
+    })
 }
 
 /// Samples a random simple `d`-regular graph on `n` vertices as an edge
@@ -144,7 +146,9 @@ pub fn sample_bipartite<R: Rng + ?Sized>(
             return Ok(fixed);
         }
     }
-    Err(GenError::ConstructionFailed { attempts: MAX_ATTEMPTS })
+    Err(GenError::ConstructionFailed {
+        attempts: MAX_ATTEMPTS,
+    })
 }
 
 fn norm(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
@@ -184,8 +188,9 @@ fn repair<R: Rng + ?Sized>(
         inc(&mut counts, p);
     }
     for _round in 0..MAX_REPAIR_ROUNDS {
-        let bad: Vec<usize> =
-            (0..pairs.len()).filter(|&i| is_bad(pairs[i], &counts)).collect();
+        let bad: Vec<usize> = (0..pairs.len())
+            .filter(|&i| is_bad(pairs[i], &counts))
+            .collect();
         if bad.is_empty() {
             return Some(pairs);
         }
@@ -249,7 +254,9 @@ fn repair_bipartite<R: Rng + ?Sized>(
         counts.get(&p).copied().unwrap_or(0) > 1
     };
     for _round in 0..MAX_REPAIR_ROUNDS {
-        let bad: Vec<usize> = (0..pairs.len()).filter(|&i| dup(pairs[i], &counts)).collect();
+        let bad: Vec<usize> = (0..pairs.len())
+            .filter(|&i| dup(pairs[i], &counts))
+            .collect();
         if bad.is_empty() {
             return Some(pairs);
         }
@@ -335,7 +342,9 @@ mod tests {
     #[test]
     fn zero_degrees_ok() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(sample_degree_sequence(&mut rng, &[0, 0, 0]).unwrap().is_empty());
+        assert!(sample_degree_sequence(&mut rng, &[0, 0, 0])
+            .unwrap()
+            .is_empty());
         assert!(sample_degree_sequence(&mut rng, &[]).unwrap().is_empty());
     }
 
@@ -426,7 +435,9 @@ mod tests {
     #[test]
     fn bipartite_empty() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(sample_bipartite(&mut rng, &[0, 0], &[0]).unwrap().is_empty());
+        assert!(sample_bipartite(&mut rng, &[0, 0], &[0])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use bisect_graph::{Graph, GraphBuilder, VertexId};
 pub fn path(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
-        b.add_edge((i - 1) as VertexId, i as VertexId).expect("path edges valid");
+        b.add_edge((i - 1) as VertexId, i as VertexId)
+            .expect("path edges valid");
     }
     b.build()
 }
@@ -28,7 +29,8 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 vertices, got {n}");
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
-        b.add_edge(i as VertexId, ((i + 1) % n) as VertexId).expect("cycle edges valid");
+        b.add_edge(i as VertexId, ((i + 1) % n) as VertexId)
+            .expect("cycle edges valid");
     }
     b.build()
 }
@@ -63,10 +65,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1)).expect("grid edges valid");
+                b.add_edge(id(r, c), id(r, c + 1))
+                    .expect("grid edges valid");
             }
             if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c)).expect("grid edges valid");
+                b.add_edge(id(r, c), id(r + 1, c))
+                    .expect("grid edges valid");
             }
         }
     }
@@ -81,13 +85,18 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// Panics if either dimension is `< 3` (wraparound would create
 /// parallel edges or self loops).
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
     let mut b = GraphBuilder::new(rows * cols);
     let id = |r: usize, c: usize| (r * cols + c) as VertexId;
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("torus edges valid");
-            b.add_edge(id(r, c), id((r + 1) % rows, c)).expect("torus edges valid");
+            b.add_edge(id(r, c), id(r, (c + 1) % cols))
+                .expect("torus edges valid");
+            b.add_edge(id(r, c), id((r + 1) % rows, c))
+                .expect("torus edges valid");
         }
     }
     b.build()
@@ -127,7 +136,8 @@ pub fn circular_ladder(k: usize) -> Graph {
         let next = (i + 1) % k;
         b.add_edge(top, bottom).expect("rung valid");
         b.add_edge(top, next as VertexId).expect("rail valid");
-        b.add_edge(bottom, (k + next) as VertexId).expect("rail valid");
+        b.add_edge(bottom, (k + next) as VertexId)
+            .expect("rail valid");
     }
     b.build()
 }
@@ -139,7 +149,8 @@ pub fn circular_ladder(k: usize) -> Graph {
 pub fn binary_tree(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
-        b.add_edge(i as VertexId, ((i - 1) / 2) as VertexId).expect("tree edges valid");
+        b.add_edge(i as VertexId, ((i - 1) / 2) as VertexId)
+            .expect("tree edges valid");
     }
     b.build()
 }
@@ -158,7 +169,8 @@ pub fn hypercube(dim: u32) -> Graph {
         for bit in 0..dim {
             let u = v ^ (1 << bit);
             if u > v {
-                b.add_edge(v as VertexId, u as VertexId).expect("hypercube edges valid");
+                b.add_edge(v as VertexId, u as VertexId)
+                    .expect("hypercube edges valid");
             }
         }
     }
@@ -170,7 +182,8 @@ pub fn complete(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(u as VertexId, v as VertexId).expect("complete edges valid");
+            b.add_edge(u as VertexId, v as VertexId)
+                .expect("complete edges valid");
         }
     }
     b.build()
@@ -202,8 +215,10 @@ pub fn wheel(n: usize) -> Graph {
     let rim = n - 1;
     let mut b = GraphBuilder::new(n);
     for i in 0..rim {
-        b.add_edge(i as VertexId, ((i + 1) % rim) as VertexId).expect("rim valid");
-        b.add_edge(i as VertexId, rim as VertexId).expect("spoke valid");
+        b.add_edge(i as VertexId, ((i + 1) % rim) as VertexId)
+            .expect("rim valid");
+        b.add_edge(i as VertexId, rim as VertexId)
+            .expect("spoke valid");
     }
     b.build()
 }
@@ -221,12 +236,14 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine * (1 + legs);
     let mut b = GraphBuilder::new(n);
     for i in 1..spine {
-        b.add_edge((i - 1) as VertexId, i as VertexId).expect("spine valid");
+        b.add_edge((i - 1) as VertexId, i as VertexId)
+            .expect("spine valid");
     }
     let mut next = spine;
     for i in 0..spine {
         for _ in 0..legs {
-            b.add_edge(i as VertexId, next as VertexId).expect("leg valid");
+            b.add_edge(i as VertexId, next as VertexId)
+                .expect("leg valid");
             next += 1;
         }
     }

@@ -124,7 +124,8 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         // Sort edge records lexicographically, then merge duplicates.
         self.edges.sort_unstable();
-        let mut merged: Vec<(VertexId, VertexId, EdgeWeight)> = Vec::with_capacity(self.edges.len());
+        let mut merged: Vec<(VertexId, VertexId, EdgeWeight)> =
+            Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges {
             match merged.last_mut() {
                 Some(&mut (pu, pv, ref mut pw)) if pu == u && pv == v => *pw += w,
@@ -164,19 +165,25 @@ impl GraphBuilder {
         }
         // The interleaving above does not by itself guarantee sortedness
         // of each list (mirror entries for v arrive keyed by u order),
-        // so sort each adjacency slice with its weights.
+        // so sort each adjacency slice with its weights. One scratch
+        // buffer, sized to the maximum degree, serves every vertex.
+        let mut pairs: Vec<(VertexId, EdgeWeight)> =
+            Vec::with_capacity(degree.iter().copied().max().unwrap_or(0));
         for v in 0..n {
             let lo = xadj[v];
             let hi = xadj[v + 1];
-            let mut pairs: Vec<(VertexId, EdgeWeight)> = adjncy[lo..hi]
-                .iter()
-                .copied()
-                .zip(edge_weights[lo..hi].iter().copied())
-                .collect();
-            if !pairs.windows(2).all(|p| p[0].0 < p[1].0) {
-                pairs.sort_unstable_by_key(|&(nbr, _)| nbr);
+            if adjncy[lo..hi].windows(2).all(|p| p[0] < p[1]) {
+                continue;
             }
-            for (i, (nbr, w)) in pairs.into_iter().enumerate() {
+            pairs.clear();
+            pairs.extend(
+                adjncy[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(edge_weights[lo..hi].iter().copied()),
+            );
+            pairs.sort_unstable_by_key(|&(nbr, _)| nbr);
+            for (i, &(nbr, w)) in pairs.iter().enumerate() {
                 adjncy[lo + i] = nbr;
                 edge_weights[lo + i] = w;
             }
@@ -218,14 +225,23 @@ mod tests {
     #[test]
     fn rejects_zero_weight() {
         let mut b = GraphBuilder::new(2);
-        assert_eq!(b.add_weighted_edge(0, 1, 0).unwrap_err(), GraphError::ZeroWeight);
-        assert_eq!(b.set_vertex_weight(0, 0).unwrap_err(), GraphError::ZeroWeight);
+        assert_eq!(
+            b.add_weighted_edge(0, 1, 0).unwrap_err(),
+            GraphError::ZeroWeight
+        );
+        assert_eq!(
+            b.set_vertex_weight(0, 0).unwrap_err(),
+            GraphError::ZeroWeight
+        );
     }
 
     #[test]
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new(2);
-        assert!(matches!(b.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(
+            b.add_edge(1, 1),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl Contraction {
             self.coarse.num_vertices(),
             "side assignment length must match coarse vertex count"
         );
-        self.fine_to_coarse.iter().map(|&c| coarse_side[c as usize]).collect()
+        self.fine_to_coarse
+            .iter()
+            .map(|&c| coarse_side[c as usize])
+            .collect()
     }
 }
 
@@ -134,7 +137,11 @@ pub fn contract_matching(g: &Graph, m: &Matching) -> Contraction {
                 .expect("coarse endpoints are in range and distinct");
         }
     }
-    Contraction { coarse: builder.build(), fine_to_coarse, num_fine: n }
+    Contraction {
+        coarse: builder.build(),
+        fine_to_coarse,
+        num_fine: n,
+    }
 }
 
 /// Repeatedly contracts random maximal matchings until the graph has at
@@ -227,7 +234,16 @@ mod tests {
         // projected sides, for a hand-built example.
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3), (1, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (2, 3),
+                (1, 4),
+            ],
         )
         .unwrap();
         let m = Matching::from_pairs(6, &[(0, 1), (3, 4)]);
@@ -238,7 +254,11 @@ mod tests {
         for mask in 0..1u32 << k {
             let coarse_side: Vec<bool> = (0..k).map(|i| mask >> i & 1 == 1).collect();
             let fine_side = c.project_sides(&coarse_side);
-            assert_eq!(cut_of(gc, &coarse_side), cut_of(&g, &fine_side), "mask {mask}");
+            assert_eq!(
+                cut_of(gc, &coarse_side),
+                cut_of(&g, &fine_side),
+                "mask {mask}"
+            );
         }
     }
 
@@ -262,8 +282,9 @@ mod tests {
     #[test]
     fn coarsen_to_reduces_size() {
         let n = 64;
-        let edges: Vec<_> =
-            (0..n - 1).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+        let edges: Vec<_> = (0..n - 1)
+            .map(|i| (i as VertexId, (i + 1) as VertexId))
+            .collect();
         let g = Graph::from_edges(n, &edges).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let ladder = coarsen_to(&g, 10, &mut rng);
@@ -287,7 +308,9 @@ mod tests {
     #[test]
     fn random_matching_contraction_preserves_total_weight() {
         let n = 40;
-        let edges: Vec<_> = (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)).collect();
+        let edges: Vec<_> = (0..n)
+            .map(|i| (i as VertexId, ((i + 1) % n) as VertexId))
+            .collect();
         let g = Graph::from_edges(n, &edges).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let m = matching::random_maximal(&g, &mut rng);

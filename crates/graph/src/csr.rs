@@ -166,7 +166,9 @@ impl Graph {
     /// Panics if `v` is out of range.
     pub fn weighted_degree(&self, v: VertexId) -> EdgeWeight {
         let v = v as usize;
-        self.edge_weights[self.xadj[v]..self.xadj[v + 1]].iter().sum()
+        self.edge_weights[self.xadj[v]..self.xadj[v + 1]]
+            .iter()
+            .sum()
     }
 
     /// The weight of vertex `v` (`1` for uncontracted graphs).
@@ -240,7 +242,11 @@ impl Graph {
     /// Iterates over all undirected edges as `(u, v, weight)` with
     /// `u < v`, in lexicographic order.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { graph: self, u: 0, idx: 0 }
+        EdgeIter {
+            graph: self,
+            u: 0,
+            idx: 0,
+        }
     }
 
     /// Iterates over all vertex ids `0..num_vertices()`.
@@ -272,8 +278,7 @@ impl Graph {
     /// Whether all vertex and edge weights are `1` (i.e. the graph is an
     /// ordinary simple graph rather than a contracted multigraph).
     pub fn is_unit_weighted(&self) -> bool {
-        self.vertex_weights.iter().all(|&w| w == 1)
-            && self.edge_weights.iter().all(|&w| w == 1)
+        self.vertex_weights.iter().all(|&w| w == 1) && self.edge_weights.iter().all(|&w| w == 1)
     }
 }
 
@@ -406,7 +411,13 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = Graph::from_edges(3, &[(0, 3)]).unwrap_err();
-        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 3, num_vertices: 3 });
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 3,
+                num_vertices: 3
+            }
+        );
     }
 
     #[test]

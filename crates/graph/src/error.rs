@@ -33,7 +33,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex {vertex} out of range for graph on {num_vertices} vertices"
             ),
@@ -63,8 +66,14 @@ mod tests {
 
     #[test]
     fn display_out_of_range() {
-        let err = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
-        assert_eq!(err.to_string(), "vertex 9 out of range for graph on 4 vertices");
+        let err = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert_eq!(
+            err.to_string(),
+            "vertex 9 out of range for graph on 4 vertices"
+        );
     }
 
     #[test]
@@ -75,7 +84,10 @@ mod tests {
 
     #[test]
     fn display_parse() {
-        let err = GraphError::Parse { line: 2, message: "bad token".into() };
+        let err = GraphError::Parse {
+            line: 2,
+            message: "bad token".into(),
+        };
         assert_eq!(err.to_string(), "parse error at line 2: bad token");
     }
 

@@ -131,7 +131,8 @@ impl Netlist {
     pub fn to_clique_graph(&self) -> Graph {
         let mut b = GraphBuilder::new(self.num_cells());
         for (c, &w) in self.cell_weights.iter().enumerate() {
-            b.set_vertex_weight(c as VertexId, w).expect("cell weights positive");
+            b.set_vertex_weight(c as VertexId, w)
+                .expect("cell weights positive");
         }
         for n in self.net_ids() {
             let pins = self.pins(n);
@@ -151,10 +152,12 @@ impl Netlist {
     pub fn from_graph(g: &Graph) -> Netlist {
         let mut b = NetlistBuilder::new(g.num_vertices());
         for v in g.vertices() {
-            b.set_cell_weight(v, g.vertex_weight(v)).expect("weights valid");
+            b.set_cell_weight(v, g.vertex_weight(v))
+                .expect("weights valid");
         }
         for (u, v, w) in g.edges() {
-            b.add_weighted_net(&[u, v], w).expect("edges are valid 2-pin nets");
+            b.add_weighted_net(&[u, v], w)
+                .expect("edges are valid 2-pin nets");
         }
         b.build()
     }
@@ -196,7 +199,10 @@ impl NetlistContraction {
             self.coarse.num_cells(),
             "side assignment length must match coarse cell count"
         );
-        self.fine_to_coarse.iter().map(|&c| coarse_side[c as usize]).collect()
+        self.fine_to_coarse
+            .iter()
+            .map(|&c| coarse_side[c as usize])
+            .collect()
     }
 }
 
@@ -253,8 +259,11 @@ pub fn contract_cells(nl: &Netlist, pairs: &[(VertexId, VertexId)]) -> NetlistCo
     let mut merged: std::collections::HashMap<Vec<VertexId>, EdgeWeight> =
         std::collections::HashMap::new();
     for net in nl.net_ids() {
-        let mut pins: Vec<VertexId> =
-            nl.pins(net).iter().map(|&p| fine_to_coarse[p as usize]).collect();
+        let mut pins: Vec<VertexId> = nl
+            .pins(net)
+            .iter()
+            .map(|&p| fine_to_coarse[p as usize])
+            .collect();
         pins.sort_unstable();
         pins.dedup();
         if pins.len() < 2 {
@@ -266,9 +275,14 @@ pub fn contract_cells(nl: &Netlist, pairs: &[(VertexId, VertexId)]) -> NetlistCo
     let mut nets: Vec<(Vec<VertexId>, EdgeWeight)> = merged.into_iter().collect();
     nets.sort_unstable();
     for (pins, w) in nets {
-        builder.add_weighted_net(&pins, w).expect("coarse pins valid");
+        builder
+            .add_weighted_net(&pins, w)
+            .expect("coarse pins valid");
     }
-    NetlistContraction { coarse: builder.build(), fine_to_coarse }
+    NetlistContraction {
+        coarse: builder.build(),
+        fine_to_coarse,
+    }
 }
 
 /// Forms a random maximal cell matching along nets: visits cells in a
@@ -304,9 +318,11 @@ pub fn random_cell_matching<R: rand::Rng + ?Sized>(
                 }
             }
         }
-        let best = score
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(a.0)));
+        let best = score.iter().max_by(|a, b| {
+            a.1.partial_cmp(b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.0.cmp(a.0))
+        });
         if let Some((&partner, _)) = best {
             matched[c as usize] = true;
             matched[partner as usize] = true;
@@ -350,7 +366,11 @@ pub struct NetlistBuilder {
 impl NetlistBuilder {
     /// A builder for a netlist on `num_cells` cells with no nets.
     pub fn new(num_cells: usize) -> NetlistBuilder {
-        NetlistBuilder { num_cells, nets: Vec::new(), cell_weights: vec![1; num_cells] }
+        NetlistBuilder {
+            num_cells,
+            nets: Vec::new(),
+            cell_weights: vec![1; num_cells],
+        }
     }
 
     /// Adds a net with weight 1 over the given pins. Duplicate pins are
@@ -447,7 +467,14 @@ impl NetlistBuilder {
         }
         // Nets were appended in increasing id order per cell, so the
         // per-cell lists are already sorted.
-        Netlist { xpins, pins, xnets, nets, cell_weights: self.cell_weights, net_weights }
+        Netlist {
+            xpins,
+            pins,
+            xnets,
+            nets,
+            cell_weights: self.cell_weights,
+            net_weights,
+        }
     }
 }
 

@@ -41,7 +41,10 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, GraphError> {
                 break (i + 1, trimmed.to_string());
             }
             None => {
-                return Err(GraphError::Parse { line: 1, message: "missing header".into() })
+                return Err(GraphError::Parse {
+                    line: 1,
+                    message: "missing header".into(),
+                })
             }
         }
     };
@@ -133,7 +136,8 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, GraphError> {
             // Each undirected edge appears twice in a METIS file; add it
             // only from the smaller endpoint to avoid doubling weights.
             if (vertex as VertexId) < nbr {
-                builder.add_weighted_edge(vertex as VertexId, nbr, w)
+                builder
+                    .add_weighted_edge(vertex as VertexId, nbr, w)
                     .map_err(|e| parse_wrap(e, line_no))?;
             } else if vertex as VertexId == nbr {
                 return Err(GraphError::Parse {
@@ -227,14 +231,25 @@ pub fn read_edge_list<R: Read>(
         }
         let u: u64 = parse_num(toks[0], line_no)?;
         let v: u64 = parse_num(toks[1], line_no)?;
-        let w: EdgeWeight = if toks.len() == 3 { parse_num(toks[2], line_no)? } else { 1 };
+        let w: EdgeWeight = if toks.len() == 3 {
+            parse_num(toks[2], line_no)?
+        } else {
+            1
+        };
         if u > VertexId::MAX as u64 || v > VertexId::MAX as u64 {
-            return Err(GraphError::Parse { line: line_no, message: "vertex id too large".into() });
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "vertex id too large".into(),
+            });
         }
         max_vertex = max_vertex.max(u).max(v);
         edges.push((u as VertexId, v as VertexId, w));
     }
-    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_vertex as usize + 1 });
+    let n = num_vertices.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_vertex as usize + 1
+    });
     let mut builder = GraphBuilder::new(n);
     for (u, v, w) in edges {
         builder.add_weighted_edge(u, v, w).map_err(|e| match e {
@@ -287,13 +302,21 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<crate::hypergraph::Netlist, GraphE
 
     let (header_no, header) = match lines.next() {
         Some((no, line)) => (no, line?),
-        None => return Err(GraphError::Parse { line: 1, message: "missing header".into() }),
+        None => {
+            return Err(GraphError::Parse {
+                line: 1,
+                message: "missing header".into(),
+            })
+        }
     };
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 2 || fields.len() > 3 {
         return Err(GraphError::Parse {
             line: header_no,
-            message: format!("header must be `nets cells [fmt]`, got {} fields", fields.len()),
+            message: format!(
+                "header must be `nets cells [fmt]`, got {} fields",
+                fields.len()
+            ),
         });
     }
     let num_nets: usize = parse_num(fields[0], header_no)?;
@@ -342,7 +365,9 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<crate::hypergraph::Netlist, GraphE
             }
             pins.push((pin1 - 1) as VertexId);
         }
-        builder.add_weighted_net(&pins, weight).map_err(|e| parse_wrap(e, no))?;
+        builder
+            .add_weighted_net(&pins, weight)
+            .map_err(|e| parse_wrap(e, no))?;
     }
     if has_cweights {
         for c in 0..num_cells {
@@ -358,11 +383,16 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<crate::hypergraph::Netlist, GraphE
                     message: "cell weight must be positive".into(),
                 });
             }
-            builder.set_cell_weight(c as VertexId, w).map_err(|e| parse_wrap(e, no))?;
+            builder
+                .set_cell_weight(c as VertexId, w)
+                .map_err(|e| parse_wrap(e, no))?;
         }
     }
     if let Some((no, _)) = lines.next() {
-        return Err(GraphError::Parse { line: no, message: "trailing content".into() });
+        return Err(GraphError::Parse {
+            line: no,
+            message: "trailing content".into(),
+        });
     }
     Ok(builder.build())
 }
@@ -417,7 +447,10 @@ fn parse_num<T: std::str::FromStr>(tok: &str, line: usize) -> Result<T, GraphErr
 }
 
 fn parse_wrap(err: GraphError, line: usize) -> GraphError {
-    GraphError::Parse { line, message: err.to_string() }
+    GraphError::Parse {
+        line,
+        message: err.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -461,31 +494,46 @@ mod tests {
             read_metis("4\n".as_bytes()),
             Err(GraphError::Parse { .. })
         ));
-        assert!(matches!(read_metis("".as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_metis("".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
     fn metis_rejects_wrong_edge_count() {
         let text = "3 5\n2\n1\n\n";
-        assert!(matches!(read_metis(text.as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
     fn metis_rejects_out_of_range_neighbor() {
         let text = "2 1\n3\n1\n";
-        assert!(matches!(read_metis(text.as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
     fn metis_rejects_self_loop() {
         let text = "2 1\n1\n2\n";
-        assert!(matches!(read_metis(text.as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
     fn metis_rejects_too_many_lines() {
         let text = "2 1\n2\n1\n2\n";
-        assert!(matches!(read_metis(text.as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub struct Matching {
 impl Matching {
     /// The empty matching on a graph with `num_vertices` vertices.
     pub fn empty(num_vertices: usize) -> Matching {
-        Matching { mate: vec![UNMATCHED; num_vertices], pairs: Vec::new() }
+        Matching {
+            mate: vec![UNMATCHED; num_vertices],
+            pairs: Vec::new(),
+        }
     }
 
     /// Builds a matching from explicit pairs.
@@ -60,8 +63,14 @@ impl Matching {
 
     fn add(&mut self, u: VertexId, v: VertexId) {
         assert_ne!(u, v, "a vertex cannot be matched with itself");
-        assert_eq!(self.mate[u as usize], UNMATCHED, "vertex {u} already matched");
-        assert_eq!(self.mate[v as usize], UNMATCHED, "vertex {v} already matched");
+        assert_eq!(
+            self.mate[u as usize], UNMATCHED,
+            "vertex {u} already matched"
+        );
+        assert_eq!(
+            self.mate[v as usize], UNMATCHED,
+            "vertex {v} already matched"
+        );
         self.mate[u as usize] = v;
         self.mate[v as usize] = u;
         self.pairs.push(if u < v { (u, v) } else { (v, u) });
@@ -104,7 +113,8 @@ impl Matching {
     /// Whether every edge of `g` has at least one matched endpoint,
     /// i.e. no edge can be added to the matching.
     pub fn is_maximal(&self, g: &Graph) -> bool {
-        g.edges().all(|(u, v, _)| self.is_matched(u) || self.is_matched(v))
+        g.edges()
+            .all(|(u, v, _)| self.is_matched(u) || self.is_matched(v))
     }
 
     /// Whether every matched pair is an edge of `g`.
@@ -197,8 +207,9 @@ mod tests {
     }
 
     fn cycle(n: usize) -> Graph {
-        let edges: Vec<_> =
-            (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)).collect();
+        let edges: Vec<_> = (0..n)
+            .map(|i| (i as VertexId, ((i + 1) % n) as VertexId))
+            .collect();
         Graph::from_edges(n, &edges).unwrap()
     }
 

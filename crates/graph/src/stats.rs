@@ -35,7 +35,12 @@ impl DegreeStats {
     /// Computes the statistics of `g`.
     pub fn of(g: &Graph) -> DegreeStats {
         if g.num_vertices() == 0 {
-            return DegreeStats { min: 0, max: 0, average: 0.0, histogram: vec![] };
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                average: 0.0,
+                histogram: vec![],
+            };
         }
         let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
         let min = degrees.iter().copied().min().unwrap_or(0);
@@ -44,7 +49,12 @@ impl DegreeStats {
         for &d in &degrees {
             histogram[d] += 1;
         }
-        DegreeStats { min, max, average: g.average_degree(), histogram }
+        DegreeStats {
+            min,
+            max,
+            average: g.average_degree(),
+            histogram,
+        }
     }
 
     /// Number of isolated (degree-0) vertices.
@@ -55,7 +65,11 @@ impl DegreeStats {
 
 impl std::fmt::Display for DegreeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "degree min {} / avg {:.2} / max {}", self.min, self.average, self.max)
+        write!(
+            f,
+            "degree min {} / avg {:.2} / max {}",
+            self.min, self.average, self.max
+        )
     }
 }
 

@@ -22,7 +22,11 @@ pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> (Graph, Vec<VertexI
             "vertex {old} out of range for graph on {} vertices",
             g.num_vertices()
         );
-        assert_eq!(old_to_new[old as usize], VertexId::MAX, "duplicate vertex {old}");
+        assert_eq!(
+            old_to_new[old as usize],
+            VertexId::MAX,
+            "duplicate vertex {old}"
+        );
         old_to_new[old as usize] = new as VertexId;
     }
     let mut builder = GraphBuilder::new(vertices.len());
@@ -53,7 +57,10 @@ pub fn split_components(g: &Graph) -> Vec<(Graph, Vec<VertexId>)> {
     for v in g.vertices() {
         groups[labels[v as usize] as usize].push(v);
     }
-    groups.into_iter().map(|vs| induced_subgraph(g, &vs)).collect()
+    groups
+        .into_iter()
+        .map(|vs| induced_subgraph(g, &vs))
+        .collect()
 }
 
 #[cfg(test)]

@@ -137,12 +137,16 @@ mod tests {
     use super::*;
 
     fn path(n: usize) -> Graph {
-        let edges: Vec<_> = (0..n - 1).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+        let edges: Vec<_> = (0..n - 1)
+            .map(|i| (i as VertexId, (i + 1) as VertexId))
+            .collect();
         Graph::from_edges(n, &edges).unwrap()
     }
 
     fn cycle(n: usize) -> Graph {
-        let edges: Vec<_> = (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)).collect();
+        let edges: Vec<_> = (0..n)
+            .map(|i| (i as VertexId, ((i + 1) % n) as VertexId))
+            .collect();
         Graph::from_edges(n, &edges).unwrap()
     }
 
@@ -163,7 +167,10 @@ mod tests {
     #[test]
     fn bfs_distances_path() {
         let g = path(4);
-        assert_eq!(bfs_distances(&g, 0), vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(
+            bfs_distances(&g, 0),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
     }
 
     #[test]
@@ -213,7 +220,9 @@ mod tests {
         assert!(is_connected(&Graph::empty(1)));
         assert!(is_connected(&Graph::empty(0)));
         assert!(!is_connected(&Graph::empty(2)));
-        assert!(!is_connected(&Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap()));
+        assert!(!is_connected(
+            &Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap()
+        ));
     }
 
     #[test]

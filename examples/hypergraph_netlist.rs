@@ -74,8 +74,8 @@ fn main() {
         Box::new(Compacted::new(KernighanLin::new())),
     ] {
         let p = best_of(algo.as_ref(), &clique, 2, &mut rng);
-        let rescored = NetlistBisection::from_sides(&netlist, p.sides().to_vec())
-            .expect("same cell count");
+        let rescored =
+            NetlistBisection::from_sides(&netlist, p.sides().to_vec()).expect("same cell count");
         println!(
             "clique + {:>4}:        {} nets cut (clique-edge cut was {})",
             algo.name(),

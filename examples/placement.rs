@@ -20,8 +20,7 @@ use rand::SeedableRng;
 
 fn main() {
     let mut rng = LaggedFibonacci::seed_from_u64(7);
-    let params = GeometricParams::with_average_degree(1200, 7.0)
-        .expect("parameters feasible");
+    let params = GeometricParams::with_average_degree(1200, 7.0).expect("parameters feasible");
     let (netlist, points) = geometric::sample_with_points(&mut rng, &params);
     println!(
         "die: {} cells, {} local nets, average degree {:.2}",
@@ -32,7 +31,9 @@ fn main() {
 
     let parts = 16usize;
     let placer = RecursiveBisection::new(KernighanLin::new());
-    let placement = placer.partition(&netlist, parts, &mut rng).expect("16 is a power of two");
+    let placement = placer
+        .partition(&netlist, parts, &mut rng)
+        .expect("16 is a power of two");
     println!(
         "{}-way recursive KL bisection: {} nets cross region boundaries",
         parts,

@@ -27,15 +27,20 @@ fn main() {
     );
 
     for d in [3usize, 4] {
-        let params =
-            GbregParams::new(num_vertices, b, d).expect("parameters feasible");
+        let params = GbregParams::new(num_vertices, b, d).expect("parameters feasible");
         let mut rng = LaggedFibonacci::seed_from_u64(7 + d as u64);
         let g = gbreg::sample(&mut rng, &params).expect("construction succeeds");
 
         let kl = best_of(&KernighanLin::new(), &g, 2, &mut rng).cut();
         let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
         let sa = best_of(&SimulatedAnnealing::quick(), &g, 2, &mut rng).cut();
-        let csa = best_of(&Compacted::new(SimulatedAnnealing::quick()), &g, 2, &mut rng).cut();
+        let csa = best_of(
+            &Compacted::new(SimulatedAnnealing::quick()),
+            &g,
+            2,
+            &mut rng,
+        )
+        .cut();
         println!("{d:>3} {kl:>8} {ckl:>8} {sa:>8} {csa:>8}");
     }
 

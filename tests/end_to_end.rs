@@ -45,11 +45,17 @@ fn workloads() -> Vec<(String, Graph)> {
     ];
     graphs.push((
         "gnp 80 deg 3".into(),
-        gnp::sample(&mut rng, &gnp::GnpParams::with_average_degree(80, 3.0).unwrap()),
+        gnp::sample(
+            &mut rng,
+            &gnp::GnpParams::with_average_degree(80, 3.0).unwrap(),
+        ),
     ));
     graphs.push((
         "g2set 80".into(),
-        g2set::sample(&mut rng, &g2set::G2setParams::with_average_degree(80, 3.0, 6).unwrap()),
+        g2set::sample(
+            &mut rng,
+            &g2set::G2setParams::with_average_degree(80, 3.0, 6).unwrap(),
+        ),
     ));
     graphs.push((
         "gbreg 80 d3".into(),
@@ -154,8 +160,7 @@ fn metis_file_roundtrip_preserves_bisection_results() {
 fn facade_crate_reexports_work() {
     // The root `graph-bisect` crate re-exports the three libraries.
     let g = graph_bisect::gen::special::cycle(10);
-    let mut rng =
-        <graph_bisect::gen::rng::LaggedFibonacci as rand::SeedableRng>::seed_from_u64(0);
+    let mut rng = <graph_bisect::gen::rng::LaggedFibonacci as rand::SeedableRng>::seed_from_u64(0);
     let p = graph_bisect::core::seed::random_balanced(&g, &mut rng);
     assert_eq!(graph_bisect::graph::stats::DegreeStats::of(&g).max, 2);
     assert!(p.is_balanced(&g));
@@ -253,5 +258,9 @@ fn planted_bisection_is_respected_by_gbreg() {
     let planted = bisect_core::partition::Bisection::planted(&g);
     assert_eq!(planted.cut(), 6);
     let p = best_of(&Compacted::new(KernighanLin::new()), &g, 4, &mut rng);
-    assert!(p.cut() <= 6 * 3, "CKL cut {} far above planted width", p.cut());
+    assert!(
+        p.cut() <= 6 * 3,
+        "CKL cut {} far above planted width",
+        p.cut()
+    );
 }

@@ -29,7 +29,10 @@ fn observation1_degree_cliff() {
         cuts[i] = best_of(&KernighanLin::new(), &g, 2, &mut rng).cut();
     }
     let [d3, d4] = cuts;
-    assert_eq!(d4, b as u64, "KL should find the planted bisection at degree 4");
+    assert_eq!(
+        d4, b as u64,
+        "KL should find the planted bisection at degree 4"
+    );
     assert!(
         d3 >= 5 * b as u64,
         "KL at degree 3 should be far from planted: got {d3} vs b = {b}"
@@ -66,7 +69,10 @@ fn observation3_compaction_on_binary_trees() {
     let mut rng = LaggedFibonacci::seed_from_u64(3);
     let kl = best_of(&KernighanLin::new(), &g, 2, &mut rng).cut();
     let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
-    assert!(ckl < kl, "CKL ({ckl}) should beat KL ({kl}) on a binary tree");
+    assert!(
+        ckl < kl,
+        "CKL ({ckl}) should beat KL ({kl}) on a binary tree"
+    );
 }
 
 /// Observation 4a: KL is much faster than SA (the paper: SA up to 20×
@@ -154,5 +160,8 @@ fn degree2_instances_near_zero_cut() {
     let mut rng = LaggedFibonacci::seed_from_u64(6);
     let g = gbreg::sample(&mut rng, &params).unwrap();
     let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
-    assert!(ckl <= 4, "CKL on a union of cycles found {ckl}, expected near zero");
+    assert!(
+        ckl <= 4,
+        "CKL on a union of cycles found {ckl}, expected near zero"
+    );
 }
