@@ -11,9 +11,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bisect_core::bisector::Bisector;
-use bisect_core::compaction::{Compacted, MatchingKind};
 use bisect_core::kl::{KernighanLin, PairSelection};
-use bisect_core::multilevel::Multilevel;
+use bisect_core::pipeline::{EdgeOrderMatching, HeavyEdgeMatching, Pipeline};
 use bisect_core::sa::{MoveKind, SimulatedAnnealing};
 use bisect_gen::rng::LaggedFibonacci;
 use bisect_gen::{gbreg, special};
@@ -30,12 +29,18 @@ fn bench_matching_kind(c: &mut Criterion) {
     let g = sparse_planted();
     let mut group = c.benchmark_group("matching");
     group.sample_size(10);
-    for (name, kind) in [
-        ("random", MatchingKind::Random),
-        ("heavy-edge", MatchingKind::HeavyEdge),
-        ("edge-order", MatchingKind::EdgeOrder),
-    ] {
-        let algo = Compacted::new(KernighanLin::new()).with_matching_kind(kind);
+    let variants = [
+        ("random", Pipeline::ckl()),
+        (
+            "heavy-edge",
+            Pipeline::ckl().with_coarsener(HeavyEdgeMatching),
+        ),
+        (
+            "edge-order",
+            Pipeline::ckl().with_coarsener(EdgeOrderMatching),
+        ),
+    ];
+    for (name, algo) in variants {
         group.bench_function(name, |b| {
             let mut seed = 0u64;
             b.iter(|| {
@@ -101,13 +106,10 @@ fn bench_compaction_depth(c: &mut Criterion) {
     group.sample_size(10);
     let algos: Vec<(&str, Box<dyn Bisector>)> = vec![
         ("plain-KL", Box::new(KernighanLin::new())),
-        (
-            "one-level-CKL",
-            Box::new(Compacted::new(KernighanLin::new())),
-        ),
+        ("one-level-CKL", Box::new(Pipeline::ckl())),
         (
             "full-multilevel",
-            Box::new(Multilevel::new(KernighanLin::new())),
+            Box::new(Pipeline::multilevel(KernighanLin::new())),
         ),
     ];
     for (name, algo) in algos {

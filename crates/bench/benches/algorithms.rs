@@ -9,11 +9,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bisect_core::bisector::Bisector;
-use bisect_core::compaction::Compacted;
 use bisect_core::fm::FiducciaMattheyses;
 use bisect_core::greedy::GreedyGrowth;
 use bisect_core::kl::KernighanLin;
-use bisect_core::multilevel::Multilevel;
+use bisect_core::pipeline::Pipeline;
 use bisect_core::sa::SimulatedAnnealing;
 use bisect_core::spectral::SpectralBisector;
 use bisect_gen::rng::LaggedFibonacci;
@@ -38,9 +37,12 @@ fn algorithms() -> Vec<(&'static str, Box<dyn Bisector>)> {
         ("KL", Box::new(KernighanLin::new())),
         ("FM", Box::new(FiducciaMattheyses::new())),
         ("SA", Box::new(SimulatedAnnealing::quick())),
-        ("CKL", Box::new(Compacted::new(KernighanLin::new()))),
-        ("CSA", Box::new(Compacted::new(SimulatedAnnealing::quick()))),
-        ("ML-KL", Box::new(Multilevel::new(KernighanLin::new()))),
+        ("CKL", Box::new(Pipeline::ckl())),
+        (
+            "CSA",
+            Box::new(Pipeline::compacted(SimulatedAnnealing::quick())),
+        ),
+        ("ML-KL", Box::new(Pipeline::multilevel(KernighanLin::new()))),
         ("Spectral", Box::new(SpectralBisector::new())),
         ("Greedy", Box::new(GreedyGrowth::new())),
     ]

@@ -1,134 +1,42 @@
 //! Reproduce the paper's tables.
 //!
-//! ```text
-//! repro [OPTIONS] [EXPERIMENT...]
-//!
-//! EXPERIMENT   any of: table1 ladder grid btree g2set gnp gbreg obs1 obs4
-//!              (default: all)
-//!
-//! OPTIONS
-//!   --profile <smoke|quick|paper>   grid scale (default quick)
-//!   --seed <N>                      base seed (default 1989)
-//!   --starts <N>                    random starts per run (default 2)
-//!   --replicates <N>                graphs per random setting (default: profile's)
-//!   --threads <N>                   worker threads (default: all cores)
-//!   --csv <DIR>                     also write each table as CSV into DIR
-//!   --json <PATH>                   machine-readable results (default BENCH_results.json)
-//!   --no-json                       skip the JSON report
-//!   --help                          this text
-//! ```
+//! Argument parsing lives in [`bisect_bench::cli`] (unit tested there);
+//! this binary only wires the parsed [`Options`] to the experiment
+//! runner and renders any [`BenchError`] once, at top level, with a
+//! non-zero exit code — no panics on bad flags or malformed input.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bisect_bench::experiments::{self, ALL_IDS};
-use bisect_bench::profile::{Profile, Scale};
-use bisect_bench::BenchReport;
-
-struct Options {
-    profile: Profile,
-    csv_dir: Option<std::path::PathBuf>,
-    json_path: Option<std::path::PathBuf>,
-    experiments: Vec<String>,
-}
-
-fn parse_args() -> Result<Option<Options>, String> {
-    let mut args = std::env::args().skip(1);
-    let mut scale = Scale::Quick;
-    let mut seed = 1989u64;
-    let mut starts: Option<usize> = None;
-    let mut replicates: Option<usize> = None;
-    let mut csv_dir = None;
-    let mut json_path = Some(std::path::PathBuf::from("BENCH_results.json"));
-    let mut experiments = Vec::new();
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--help" | "-h" => return Ok(None),
-            "--profile" => {
-                let value = args.next().ok_or("--profile needs a value")?;
-                scale = value.parse()?;
-            }
-            "--seed" => {
-                let value = args.next().ok_or("--seed needs a value")?;
-                seed = value
-                    .parse()
-                    .map_err(|_| format!("invalid seed `{value}`"))?;
-            }
-            "--starts" => {
-                let value = args.next().ok_or("--starts needs a value")?;
-                starts = Some(
-                    value
-                        .parse()
-                        .map_err(|_| format!("invalid starts `{value}`"))?,
-                );
-            }
-            "--replicates" => {
-                let value = args.next().ok_or("--replicates needs a value")?;
-                replicates = Some(
-                    value
-                        .parse()
-                        .map_err(|_| format!("invalid replicates `{value}`"))?,
-                );
-            }
-            "--threads" => {
-                let value = args.next().ok_or("--threads needs a value")?;
-                let n: usize = value
-                    .parse()
-                    .map_err(|_| format!("invalid threads `{value}`"))?;
-                bisect_par::set_thread_override(n.max(1));
-            }
-            "--csv" => {
-                let value = args.next().ok_or("--csv needs a directory")?;
-                csv_dir = Some(std::path::PathBuf::from(value));
-            }
-            "--json" => {
-                let value = args.next().ok_or("--json needs a path")?;
-                json_path = Some(std::path::PathBuf::from(value));
-            }
-            "--no-json" => json_path = None,
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option `{other}` (see --help)"));
-            }
-            exp => experiments.push(exp.to_string()),
-        }
-    }
-    let mut profile = match scale {
-        Scale::Smoke => Profile::smoke(),
-        Scale::Quick => Profile::quick(),
-        Scale::Paper => Profile::paper(),
-    };
-    profile.seed = seed;
-    if let Some(s) = starts {
-        profile.starts = s.max(1);
-    }
-    if let Some(r) = replicates {
-        profile.replicates = r.max(1);
-    }
-    if experiments.is_empty() {
-        experiments = ALL_IDS.iter().map(|s| s.to_string()).collect();
-    }
-    Ok(Some(Options {
-        profile,
-        csv_dir,
-        json_path,
-        experiments,
-    }))
-}
+use bisect_bench::cli::{self, Invocation, Options};
+use bisect_bench::{experiments, BenchError, BenchReport};
 
 fn main() -> ExitCode {
-    let options = match parse_args() {
-        Ok(Some(options)) => options,
-        Ok(None) => {
-            print!("{}", HELP);
+    let options = match cli::parse(std::env::args().skip(1)) {
+        Ok(Invocation::Run(options)) => options,
+        Ok(Invocation::Help) => {
+            print!("{HELP}");
             return ExitCode::SUCCESS;
         }
-        Err(message) => {
-            eprintln!("error: {message}");
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
+fn run(options: &Options) -> Result<(), BenchError> {
+    if let Some(n) = options.threads {
+        bisect_par::set_thread_override(n);
+    }
     let threads = bisect_par::num_threads();
     println!(
         "# Reproduction of Bui/Heigham/Jones/Leighton DAC'89 — profile {:?}, seed {}, {} starts, {} replicates, {} threads\n",
@@ -138,21 +46,12 @@ fn main() -> ExitCode {
     let wall = Instant::now();
     let mut records = Vec::new();
     for id in &options.experiments {
-        let result = match experiments::run(id, &options.profile) {
-            Ok(result) => result,
-            Err(message) => {
-                eprintln!("error: {message}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let result = experiments::run(id, &options.profile)?;
         println!("## {} — {}\n", result.id, result.title);
         for (i, table) in result.tables.iter().enumerate() {
             println!("{table}");
             if let Some(dir) = &options.csv_dir {
-                if let Err(e) = write_csv(dir, &result.id, i, table) {
-                    eprintln!("error writing CSV: {e}");
-                    return ExitCode::FAILURE;
-                }
+                write_csv(dir, &result.id, i, table)?;
             }
         }
         records.extend(result.records);
@@ -167,13 +66,10 @@ fn main() -> ExitCode {
             wall_time_s: wall.elapsed().as_secs_f64(),
             records,
         };
-        if let Err(e) = std::fs::write(path, report.to_json()) {
-            eprintln!("error writing {}: {e}", path.display());
-            return ExitCode::FAILURE;
-        }
+        std::fs::write(path, report.to_json())?;
         println!("wrote {}", path.display());
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn write_csv(
@@ -213,13 +109,14 @@ EXPERIMENTS (default: all)
 
 OPTIONS
   --profile <smoke|quick|paper>   grid scale (default quick)
+  --smoke, --quick, --paper       shorthands for --profile <scale>
   --seed <N>                      base seed (default 1989)
   --starts <N>                    random starts per run (default 2)
   --replicates <N>                graphs per random setting
   --threads <N>                   worker threads (default: all cores; results
                                   are bit-identical at any thread count)
   --csv <DIR>                     also write each table as CSV into DIR
-  --json <PATH>                   machine-readable per-algorithm results
+  --json [PATH]                   machine-readable per-algorithm results
                                   (default BENCH_results.json)
   --no-json                       skip the JSON report
   --help                          this text

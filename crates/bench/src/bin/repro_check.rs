@@ -1,0 +1,118 @@
+//! Compare a fresh `BENCH_results.json` against a committed baseline.
+//!
+//! ```text
+//! repro_check <current.json> <baseline.json> [--tolerance X]
+//! ```
+//!
+//! Exits non-zero when any `(experiment, setting, algorithm)` record's
+//! mean cut got worse than the baseline by more than the tolerance
+//! (default 0 — runs are deterministic, so exact reproduction is the
+//! bar), or when a baseline record is missing from the current report.
+//! Improvements are listed but do not fail; refresh the baseline when
+//! they are intentional.
+
+use std::process::ExitCode;
+
+use bisect_bench::check;
+use bisect_bench::{BenchError, BenchReport};
+
+const HELP: &str = "\
+repro_check — fail on cut regressions between two repro JSON reports
+
+USAGE
+  repro_check <current.json> <baseline.json> [--tolerance X]
+
+OPTIONS
+  --tolerance <X>   allowed absolute mean-cut drift (default 0: exact)
+  --help            this text
+";
+
+struct Args {
+    current: std::path::PathBuf,
+    baseline: std::path::PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Option<Args>, BenchError> {
+    let mut paths = Vec::new();
+    let mut tolerance = 0.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--tolerance" => {
+                let value = args.next().ok_or_else(|| {
+                    BenchError::InvalidArgument("--tolerance needs a value (see --help)".into())
+                })?;
+                tolerance = value.parse().map_err(|_| {
+                    BenchError::InvalidArgument(format!("invalid tolerance `{value}` (see --help)"))
+                })?;
+            }
+            other if other.starts_with('-') => {
+                return Err(BenchError::InvalidArgument(format!(
+                    "unknown option `{other}` (see --help)"
+                )));
+            }
+            path => paths.push(std::path::PathBuf::from(path)),
+        }
+    }
+    let [current, baseline] = <[_; 2]>::try_from(paths).map_err(|_| {
+        BenchError::InvalidArgument(
+            "expected exactly two paths: <current.json> <baseline.json> (see --help)".into(),
+        )
+    })?;
+    Ok(Some(Args {
+        current,
+        baseline,
+        tolerance,
+    }))
+}
+
+fn load(path: &std::path::Path) -> Result<BenchReport, BenchError> {
+    BenchReport::from_json(&std::fs::read_to_string(path)?)
+}
+
+fn run(args: &Args) -> Result<bool, BenchError> {
+    let current = load(&args.current)?;
+    let baseline = load(&args.baseline)?;
+    let result = check::compare(&current, &baseline, args.tolerance)?;
+    println!(
+        "compared {} records (profile {}, tolerance {})",
+        result.compared, baseline.profile, args.tolerance
+    );
+    for d in &result.improvements {
+        println!("improved: {d}");
+    }
+    for key in &result.missing {
+        println!("MISSING: {key} (in baseline, not in current report)");
+    }
+    for d in &result.regressions {
+        println!("REGRESSION: {d}");
+    }
+    if result.is_ok() {
+        println!("OK: no cut regressions");
+    }
+    Ok(result.is_ok())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Regression checking between two `BENCH_results.json` reports.
+//!
+//! The harness is deterministic: the same profile, seed, and thread
+//! count reproduce every mean cut exactly. [`compare`] therefore
+//! matches records by `(experiment, setting, algorithm)` and flags any
+//! difference in `mean_cut` beyond the tolerance (default 0) as a
+//! regression or an improvement; timing columns are ignored, since wall
+//! time varies run to run. The `repro_check` binary wraps this for CI.
+
+use std::fmt;
+
+use crate::error::BenchError;
+use crate::json::{BenchRecord, BenchReport};
+
+/// One cut difference between a current report and the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutDelta {
+    /// Experiment id of the record.
+    pub experiment: String,
+    /// Setting label of the record.
+    pub setting: String,
+    /// Algorithm column (`SA`, `CSA`, `KL`, `CKL`).
+    pub algorithm: String,
+    /// Mean cut in the baseline report.
+    pub baseline: f64,
+    /// Mean cut in the current report.
+    pub current: f64,
+}
+
+impl fmt::Display for CutDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} {}: baseline {} -> current {}",
+            self.experiment, self.setting, self.algorithm, self.baseline, self.current
+        )
+    }
+}
+
+/// Outcome of comparing a current report against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Records whose current mean cut is *worse* (higher) than the
+    /// baseline by more than the tolerance.
+    pub regressions: Vec<CutDelta>,
+    /// Records whose current mean cut is *better* (lower) than the
+    /// baseline by more than the tolerance — not a failure, but worth a
+    /// baseline refresh.
+    pub improvements: Vec<CutDelta>,
+    /// `(experiment, setting, algorithm)` keys present in the baseline
+    /// but absent from the current report.
+    pub missing: Vec<String>,
+    /// Number of baseline records matched (within tolerance or not).
+    pub compared: usize,
+}
+
+impl Comparison {
+    /// Whether the current report is acceptable: every baseline record
+    /// is present and none got worse. Improvements do not fail.
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+fn key(r: &BenchRecord) -> (&str, &str, &str) {
+    (&r.experiment, &r.setting, &r.algorithm)
+}
+
+/// Compares `current` against `baseline` on mean cuts.
+///
+/// Records are matched by `(experiment, setting, algorithm)`; extra
+/// records in `current` (new experiments) are ignored. `tolerance` is
+/// an absolute cut allowance in either direction — 0 demands exact
+/// reproduction, which deterministic same-profile runs provide.
+///
+/// # Errors
+///
+/// Returns [`BenchError::MalformedReport`] if the reports were run with
+/// different profiles, so apples are never compared to oranges.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> Result<Comparison, BenchError> {
+    if current.profile != baseline.profile {
+        return Err(BenchError::MalformedReport(format!(
+            "profile mismatch: current is `{}`, baseline is `{}`",
+            current.profile, baseline.profile
+        )));
+    }
+    if current.seed != baseline.seed || current.starts != baseline.starts {
+        return Err(BenchError::MalformedReport(format!(
+            "run-parameter mismatch: current seed={} starts={}, baseline seed={} starts={}",
+            current.seed, current.starts, baseline.seed, baseline.starts
+        )));
+    }
+    let mut out = Comparison::default();
+    for b in &baseline.records {
+        let Some(c) = current.records.iter().find(|c| key(c) == key(b)) else {
+            out.missing
+                .push(format!("{}/{} {}", b.experiment, b.setting, b.algorithm));
+            continue;
+        };
+        out.compared += 1;
+        let delta = CutDelta {
+            experiment: b.experiment.clone(),
+            setting: b.setting.clone(),
+            algorithm: b.algorithm.clone(),
+            baseline: b.mean_cut,
+            current: c.mean_cut,
+        };
+        if c.mean_cut > b.mean_cut + tolerance {
+            out.regressions.push(delta);
+        } else if c.mean_cut < b.mean_cut - tolerance {
+            out.improvements.push(delta);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(setting: &str, algorithm: &str, mean_cut: f64) -> BenchRecord {
+        BenchRecord {
+            experiment: "gbreg".into(),
+            setting: setting.into(),
+            algorithm: algorithm.into(),
+            mean_cut,
+            total_time_s: 0.1,
+            mean_passes: 3.0,
+            graphs: 3,
+        }
+    }
+
+    fn report(records: Vec<BenchRecord>) -> BenchReport {
+        BenchReport {
+            profile: "quick".into(),
+            seed: 1989,
+            starts: 2,
+            replicates: 3,
+            threads: 4,
+            wall_time_s: 1.0,
+            records,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![record("500", "CKL", 16.0), record("500", "CSA", 18.0)]);
+        let c = compare(&r, &r, 0.0).unwrap();
+        assert!(c.is_ok());
+        assert_eq!(c.compared, 2);
+        assert!(c.improvements.is_empty());
+    }
+
+    #[test]
+    fn worse_cut_is_a_regression_and_better_is_an_improvement() {
+        let baseline = report(vec![record("500", "CKL", 16.0), record("500", "KL", 20.0)]);
+        let current = report(vec![record("500", "CKL", 17.0), record("500", "KL", 19.0)]);
+        let c = compare(&current, &baseline, 0.0).unwrap();
+        assert!(!c.is_ok());
+        assert_eq!(c.regressions.len(), 1);
+        assert_eq!(c.regressions[0].algorithm, "CKL");
+        assert_eq!(c.improvements.len(), 1);
+        assert_eq!(c.improvements[0].algorithm, "KL");
+        assert!(c.regressions[0].to_string().contains("16 -> current 17"));
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_drift() {
+        let baseline = report(vec![record("500", "CKL", 16.0)]);
+        let current = report(vec![record("500", "CKL", 16.5)]);
+        assert!(!compare(&current, &baseline, 0.0).unwrap().is_ok());
+        assert!(compare(&current, &baseline, 0.5).unwrap().is_ok());
+    }
+
+    #[test]
+    fn missing_baseline_record_fails_but_extra_current_is_fine() {
+        let baseline = report(vec![record("500", "CKL", 16.0)]);
+        let current = report(vec![record("900", "CKL", 30.0)]);
+        let c = compare(&current, &baseline, 0.0).unwrap();
+        assert!(!c.is_ok());
+        assert_eq!(c.missing, vec!["gbreg/500 CKL"]);
+
+        let c = compare(
+            &report(vec![record("500", "CKL", 16.0), record("900", "CKL", 30.0)]),
+            &baseline,
+            0.0,
+        )
+        .unwrap();
+        assert!(c.is_ok());
+        assert_eq!(c.compared, 1);
+    }
+
+    #[test]
+    fn profile_or_seed_mismatch_is_an_error() {
+        let baseline = report(vec![]);
+        let mut other = report(vec![]);
+        other.profile = "smoke".into();
+        let err = compare(&other, &baseline, 0.0).unwrap_err();
+        assert!(err.to_string().contains("profile mismatch"));
+
+        let mut other = report(vec![]);
+        other.seed = 7;
+        let err = compare(&other, &baseline, 0.0).unwrap_err();
+        assert!(err.to_string().contains("run-parameter mismatch"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Argument parsing for the `repro` binary, split out so it is unit
+//! testable: [`parse`] consumes an iterator of arguments (no process
+//! state) and returns typed [`Options`] or a [`BenchError`] whose
+//! message names the offending flag. Experiment ids are validated here,
+//! at parse time, so a typo fails before any experiment runs.
+
+use std::path::PathBuf;
+
+use crate::error::BenchError;
+use crate::experiments;
+use crate::profile::{Profile, Scale};
+
+/// Default path of the machine-readable report.
+pub const DEFAULT_JSON_PATH: &str = "BENCH_results.json";
+
+/// A fully parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// The run profile (scale, seed, starts, replicates).
+    pub profile: Profile,
+    /// Directory for per-table CSV dumps, if requested.
+    pub csv_dir: Option<PathBuf>,
+    /// Path of the JSON report; `None` with `--no-json`.
+    pub json_path: Option<PathBuf>,
+    /// Worker-thread override, if requested.
+    pub threads: Option<usize>,
+    /// Experiment ids to run, in order (never empty; defaults to all).
+    pub experiments: Vec<String>,
+}
+
+/// What a parsed command line asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Invocation {
+    /// Run the experiments.
+    Run(Box<Options>),
+    /// Print the help text and exit successfully.
+    Help,
+}
+
+fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> Result<String, BenchError> {
+    args.next()
+        .ok_or_else(|| BenchError::InvalidArgument(format!("{flag} needs a value (see --help)")))
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, BenchError> {
+    value.parse().map_err(|_| {
+        BenchError::InvalidArgument(format!("invalid {} `{value}` (see --help)", &flag[2..]))
+    })
+}
+
+/// Parses `repro` arguments (exclusive of the program name).
+///
+/// `--json`'s path operand is optional: when the next argument is
+/// another option (or the end of the line), the report goes to
+/// [`DEFAULT_JSON_PATH`].
+///
+/// # Errors
+///
+/// Returns [`BenchError::InvalidArgument`] for unknown or malformed
+/// flags and [`BenchError::UnknownExperiment`] for an experiment id
+/// outside [`experiments::ALL_IDS`].
+pub fn parse<I>(args: I) -> Result<Invocation, BenchError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter().peekable();
+    let mut scale = Scale::Quick;
+    let mut seed = 1989u64;
+    let mut starts: Option<usize> = None;
+    let mut replicates: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut csv_dir = None;
+    let mut json_path = Some(PathBuf::from(DEFAULT_JSON_PATH));
+    let mut experiments = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Invocation::Help),
+            "--profile" => {
+                scale = value_of("--profile", &mut args)?
+                    .parse()
+                    .map_err(|message: String| BenchError::InvalidArgument(message))?
+            }
+            "--smoke" => scale = Scale::Smoke,
+            "--quick" => scale = Scale::Quick,
+            "--paper" => scale = Scale::Paper,
+            "--seed" => seed = parse_number("--seed", &value_of("--seed", &mut args)?)?,
+            "--starts" => {
+                starts = Some(parse_number("--starts", &value_of("--starts", &mut args)?)?);
+            }
+            "--replicates" => {
+                replicates = Some(parse_number(
+                    "--replicates",
+                    &value_of("--replicates", &mut args)?,
+                )?);
+            }
+            "--threads" => {
+                threads = Some(parse_number(
+                    "--threads",
+                    &value_of("--threads", &mut args)?,
+                )?);
+            }
+            "--csv" => csv_dir = Some(PathBuf::from(value_of("--csv", &mut args)?)),
+            "--json" => {
+                // The path operand is optional: `--json --seed 7` and a
+                // trailing `--json` both mean the default path.
+                json_path = Some(match args.peek() {
+                    Some(next) if !next.starts_with('-') => {
+                        PathBuf::from(args.next().expect("peeked"))
+                    }
+                    _ => PathBuf::from(DEFAULT_JSON_PATH),
+                });
+            }
+            "--no-json" => json_path = None,
+            other if other.starts_with('-') => {
+                return Err(BenchError::InvalidArgument(format!(
+                    "unknown option `{other}` (see --help)"
+                )));
+            }
+            exp => {
+                if !experiments::is_known(exp) {
+                    return Err(BenchError::UnknownExperiment { id: exp.into() });
+                }
+                experiments.push(exp.to_string());
+            }
+        }
+    }
+    let mut profile = match scale {
+        Scale::Smoke => Profile::smoke(),
+        Scale::Quick => Profile::quick(),
+        Scale::Paper => Profile::paper(),
+    };
+    profile.seed = seed;
+    if let Some(s) = starts {
+        profile.starts = s.max(1);
+    }
+    if let Some(r) = replicates {
+        profile.replicates = r.max(1);
+    }
+    if experiments.is_empty() {
+        experiments = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Invocation::Run(Box::new(Options {
+        profile,
+        csv_dir,
+        json_path,
+        threads: threads.map(|n| n.max(1)),
+        experiments,
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn parse_run(list: &[&str]) -> Options {
+        match parse(args(list)).expect("parse succeeds") {
+            Invocation::Run(options) => *options,
+            Invocation::Help => panic!("unexpected help"),
+        }
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_run(&[]);
+        assert_eq!(o.profile, Profile::quick());
+        assert_eq!(o.json_path, Some(PathBuf::from(DEFAULT_JSON_PATH)));
+        assert_eq!(o.csv_dir, None);
+        assert_eq!(o.threads, None);
+        assert_eq!(o.experiments.len(), experiments::ALL_IDS.len());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(args(&["--help"])).unwrap(), Invocation::Help);
+        assert_eq!(
+            parse(args(&["-h", "bogus-ignored"])).unwrap(),
+            Invocation::Help
+        );
+    }
+
+    #[test]
+    fn profile_shorthands() {
+        assert_eq!(parse_run(&["--smoke"]).profile.scale, Scale::Smoke);
+        assert_eq!(parse_run(&["--quick"]).profile.scale, Scale::Quick);
+        assert_eq!(parse_run(&["--paper"]).profile.scale, Scale::Paper);
+        assert_eq!(
+            parse_run(&["--profile", "paper"]).profile.scale,
+            Scale::Paper
+        );
+        // Later flags win.
+        assert_eq!(
+            parse_run(&["--paper", "--profile", "smoke"]).profile.scale,
+            Scale::Smoke
+        );
+    }
+
+    #[test]
+    fn numeric_options_apply_with_floors() {
+        let o = parse_run(&["--seed", "7", "--starts", "0", "--replicates", "5"]);
+        assert_eq!(o.profile.seed, 7);
+        assert_eq!(o.profile.starts, 1); // floored to 1
+        assert_eq!(o.profile.replicates, 5);
+        assert_eq!(parse_run(&["--threads", "0"]).threads, Some(1));
+    }
+
+    #[test]
+    fn bad_flag_values_are_errors_not_panics() {
+        for bad in [
+            &["--seed", "banana"][..],
+            &["--starts", "-3"],
+            &["--threads", "many"],
+            &["--replicates"],
+            &["--profile", "fast"],
+            &["--weird"],
+        ] {
+            let err = parse(args(bad)).unwrap_err();
+            assert!(
+                matches!(err, BenchError::InvalidArgument(_)),
+                "{bad:?} -> {err}"
+            );
+            let message = err.to_string();
+            assert!(
+                message.contains("--help") || message.contains("smoke"),
+                "{bad:?} -> {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_ids_validated_at_parse_time() {
+        let o = parse_run(&["gbreg", "table1"]);
+        assert_eq!(o.experiments, vec!["gbreg", "table1"]);
+        let err = parse(args(&["gbreg", "tabel1"])).unwrap_err();
+        assert!(matches!(err, BenchError::UnknownExperiment { ref id } if id == "tabel1"));
+    }
+
+    #[test]
+    fn json_path_operand_is_optional() {
+        assert_eq!(
+            parse_run(&["--json", "out.json"]).json_path,
+            Some(PathBuf::from("out.json"))
+        );
+        // Next token is a flag: default path, flag still parsed.
+        let o = parse_run(&["--json", "--seed", "3"]);
+        assert_eq!(o.json_path, Some(PathBuf::from(DEFAULT_JSON_PATH)));
+        assert_eq!(o.profile.seed, 3);
+        // Trailing --json: default path.
+        assert_eq!(
+            parse_run(&["--json"]).json_path,
+            Some(PathBuf::from(DEFAULT_JSON_PATH))
+        );
+        assert_eq!(parse_run(&["--no-json"]).json_path, None);
+    }
+
+    #[test]
+    fn csv_and_threads() {
+        let o = parse_run(&["--csv", "out", "--threads", "4"]);
+        assert_eq!(o.csv_dir, Some(PathBuf::from("out")));
+        assert_eq!(o.threads, Some(4));
+    }
+}

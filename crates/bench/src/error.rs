@@ -1,0 +1,116 @@
+//! Typed errors of the benchmark harness.
+//!
+//! [`BenchError`] is the single error type every fallible harness entry
+//! point returns: experiment lookup and execution
+//! ([`crate::experiments::run`]), CLI parsing ([`crate::cli`]), report
+//! parsing and regression checks ([`crate::json`], [`crate::check`]).
+//! It wraps the generator errors ([`GenError`]) and the core algorithm
+//! errors ([`BisectError`]) so `?` works across the crate boundary, and
+//! the `repro` binary renders it once at top level instead of panicking
+//! mid-run.
+
+use std::fmt;
+
+use bisect_core::error::BisectError;
+use bisect_gen::GenError;
+
+/// Any error the benchmark harness can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// An experiment id that is not in [`crate::experiments::ALL_IDS`].
+    UnknownExperiment {
+        /// The rejected id.
+        id: String,
+    },
+    /// A graph generator rejected its parameters or failed to construct
+    /// an instance.
+    Gen(GenError),
+    /// A bisection pipeline reported a typed failure.
+    Bisect(BisectError),
+    /// A malformed command-line invocation (message explains the flag).
+    InvalidArgument(String),
+    /// A malformed `BENCH_results.json` document (message has the
+    /// offset and cause).
+    MalformedReport(String),
+    /// Reading or writing a report/CSV file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownExperiment { id } => write!(
+                f,
+                "unknown experiment `{id}`; valid ids: {}",
+                crate::experiments::ALL_IDS.join(", ")
+            ),
+            BenchError::Gen(e) => write!(f, "graph generation failed: {e}"),
+            BenchError::Bisect(e) => write!(f, "bisection failed: {e}"),
+            BenchError::InvalidArgument(message) => write!(f, "{message}"),
+            BenchError::MalformedReport(message) => write!(f, "malformed report: {message}"),
+            BenchError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Gen(e) => Some(e),
+            BenchError::Bisect(e) => Some(e),
+            BenchError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GenError> for BenchError {
+    fn from(e: GenError) -> BenchError {
+        BenchError::Gen(e)
+    }
+}
+
+impl From<BisectError> for BenchError {
+    fn from(e: BisectError) -> BenchError {
+        BenchError::Bisect(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> BenchError {
+        BenchError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_lists_valid_ids() {
+        let e = BenchError::UnknownExperiment { id: "bogus".into() };
+        let s = e.to_string();
+        assert!(s.contains("bogus"));
+        assert!(s.contains("gbreg"));
+        assert!(s.contains("table1"));
+    }
+
+    #[test]
+    fn wraps_gen_and_bisect_errors_with_source() {
+        use std::error::Error as _;
+        let e: BenchError = GenError::InvalidParameter("d too big".into()).into();
+        assert!(e.to_string().contains("d too big"));
+        assert!(e.source().is_some());
+
+        let e: BenchError = BisectError::InvalidPartCount { parts: 3 }.into();
+        assert!(e.to_string().contains("power of two"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BenchError>();
+    }
+}

@@ -20,12 +20,18 @@ use bisect_gen::{g2set, gnp, special};
 use rand::SeedableRng;
 
 use super::{derive_seed, ExperimentResult};
+use crate::error::BenchError;
 use crate::profile::Profile;
 use crate::runner::Suite;
 use crate::table::Table;
 
 /// Model diagnostics: random-cut vs best-found cut per model.
-pub fn models(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Gen`] if a profile degree is infeasible for
+/// the profile size.
+pub fn models(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let size = *profile
         .random_model_sizes()
@@ -41,8 +47,7 @@ pub fn models(profile: &Profile) -> ExperimentResult {
             .collect(),
     );
     for &degree in &profile.gnp_degrees() {
-        let params =
-            gnp::GnpParams::with_average_degree(size, degree).expect("profile degrees feasible");
+        let params = gnp::GnpParams::with_average_degree(size, degree)?;
         let seed = derive_seed(profile.seed, &[70, degree.to_bits()]);
         let mut rng = LaggedFibonacci::seed_from_u64(seed);
         let g = gnp::sample(&mut rng, &params);
@@ -89,17 +94,21 @@ pub fn models(profile: &Profile) -> ExperimentResult {
         ]);
     }
 
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "models".into(),
         title: "Model diagnostics: why the paper introduced Gbreg".into(),
         tables: vec![gnp_table, g2set_table],
         records: vec![],
-    }
+    })
 }
 
 /// KL cut after each pass on a ladder graph, for increasing pass
 /// budgets.
-pub fn klpasses(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` keeps the signature uniform.
+pub fn klpasses(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let rungs = *profile
         .ladder_rungs()
         .last()
@@ -129,18 +138,23 @@ pub fn klpasses(profile: &Profile) -> ExperimentResult {
             break;
         }
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "klpasses".into(),
         title: "KL pass-by-pass convergence on a ladder (the 1989 failure is a pass budget)".into(),
         tables: vec![table],
         records: vec![],
-    }
+    })
 }
 
 /// Hypergraph extension: native net-cut FM (plain and compacted) vs
 /// graph algorithms on the clique expansion, all scored by nets cut —
 /// the objective of the paper's VLSI motivation.
-pub fn netlist(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Currently infallible (the synthesized netlist is valid by
+/// construction); the `Result` keeps the signature uniform.
+pub fn netlist(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     use bisect_core::netlist::{
         CompactedNetlistFm, MultilevelNetlistFm, NetlistBisection, NetlistFm,
     };
@@ -258,12 +272,12 @@ pub fn netlist(profile: &Profile) -> ExperimentResult {
         ]);
     }
 
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "netlist".into(),
         title: "Hypergraph extension: native net-cut FM vs the clique approximation".into(),
         tables: vec![table],
         records: vec![],
-    }
+    })
 }
 
 /// SA schedule sweep: the paper's §VII lament that "one may have to
@@ -271,7 +285,12 @@ pub fn netlist(profile: &Profile) -> ExperimentResult {
 /// of the parameters" rendered as a table — cut quality, run time, and
 /// run statistics across (sizefactor, cooling) settings on a sparse
 /// `Gbreg` instance.
-pub fn satune(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Gen`] if the `Gbreg` parameters are infeasible
+/// or the randomized construction exhausts its restarts.
+pub fn satune(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     use bisect_core::sa::{Schedule, SimulatedAnnealing};
     use std::time::Instant;
 
@@ -280,10 +299,10 @@ pub fn satune(profile: &Profile) -> ExperimentResult {
         .first()
         .expect("profile has sizes");
     let b = super::random::feasible_width(size / 2, 3, 8);
-    let params = bisect_gen::gbreg::GbregParams::new(size, b, 3).expect("feasible parameters");
+    let params = bisect_gen::gbreg::GbregParams::new(size, b, 3)?;
     let seed = derive_seed(profile.seed, &[74]);
     let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
-    let g = bisect_gen::gbreg::sample(&mut gen_rng, &params).expect("construction succeeds");
+    let g = bisect_gen::gbreg::sample(&mut gen_rng, &params)?;
 
     let mut table = Table::new(
         format!("SA schedule sweep on Gbreg({size}, {b}, 3): quality/time tradeoff (§VII)"),
@@ -313,12 +332,12 @@ pub fn satune(profile: &Profile) -> ExperimentResult {
             ]);
         }
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "satune".into(),
         title: "SA schedule tuning sweep (the §VII 'fine tuning' cost)".into(),
         tables: vec![table],
         records: vec![],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -327,19 +346,19 @@ mod tests {
 
     #[test]
     fn satune_covers_the_grid() {
-        let result = satune(&Profile::smoke());
+        let result = satune(&Profile::smoke()).unwrap();
         assert_eq!(result.tables[0].rows().len(), 12);
     }
 
     #[test]
     fn netlist_experiment_has_five_rows() {
-        let result = netlist(&Profile::smoke());
+        let result = netlist(&Profile::smoke()).unwrap();
         assert_eq!(result.tables[0].rows().len(), 5);
     }
 
     #[test]
     fn models_tables_have_rows() {
-        let result = models(&Profile::smoke());
+        let result = models(&Profile::smoke()).unwrap();
         assert_eq!(result.tables.len(), 2);
         assert!(!result.tables[0].rows().is_empty());
         assert!(!result.tables[1].rows().is_empty());
@@ -347,7 +366,7 @@ mod tests {
 
     #[test]
     fn klpasses_monotone_and_terminates() {
-        let result = klpasses(&Profile::smoke());
+        let result = klpasses(&Profile::smoke()).unwrap();
         let rows = result.tables[0].rows();
         assert!(rows.len() >= 2);
         let cuts: Vec<u64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();

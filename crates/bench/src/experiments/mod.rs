@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use crate::error::BenchError;
 use crate::json::BenchRecord;
 use crate::profile::Profile;
 use crate::runner::QuadAverage;
@@ -37,31 +38,35 @@ pub const ALL_IDS: &[&str] = &[
     "klpasses", "netlist", "satune", "winrate",
 ];
 
+/// Whether `id` names a known experiment.
+pub fn is_known(id: &str) -> bool {
+    ALL_IDS.contains(&id)
+}
+
 /// Runs the experiment with the given id.
 ///
 /// # Errors
 ///
-/// Returns a message listing the valid ids when `id` is unknown.
-pub fn run(id: &str, profile: &Profile) -> Result<ExperimentResult, String> {
+/// Returns [`BenchError::UnknownExperiment`] for an id outside
+/// [`ALL_IDS`], and propagates generator and pipeline errors from the
+/// experiment itself.
+pub fn run(id: &str, profile: &Profile) -> Result<ExperimentResult, BenchError> {
     match id {
-        "table1" => Ok(special::table1(profile)),
-        "ladder" => Ok(special::family(profile, special::Family::Ladder)),
-        "grid" => Ok(special::family(profile, special::Family::Grid)),
-        "btree" => Ok(special::family(profile, special::Family::BinaryTree)),
-        "g2set" => Ok(random::g2set(profile)),
-        "gnp" => Ok(random::gnp(profile)),
-        "gbreg" => Ok(random::gbreg(profile)),
-        "obs1" => Ok(observations::obs1(profile)),
-        "obs4" => Ok(observations::obs4(profile)),
-        "winrate" => Ok(observations::winrate(profile)),
-        "models" => Ok(analysis::models(profile)),
-        "klpasses" => Ok(analysis::klpasses(profile)),
-        "netlist" => Ok(analysis::netlist(profile)),
-        "satune" => Ok(analysis::satune(profile)),
-        other => Err(format!(
-            "unknown experiment `{other}`; valid ids: {}",
-            ALL_IDS.join(", ")
-        )),
+        "table1" => special::table1(profile),
+        "ladder" => special::family(profile, special::Family::Ladder),
+        "grid" => special::family(profile, special::Family::Grid),
+        "btree" => special::family(profile, special::Family::BinaryTree),
+        "g2set" => random::g2set(profile),
+        "gnp" => random::gnp(profile),
+        "gbreg" => random::gbreg(profile),
+        "obs1" => observations::obs1(profile),
+        "obs4" => observations::obs4(profile),
+        "winrate" => observations::winrate(profile),
+        "models" => analysis::models(profile),
+        "klpasses" => analysis::klpasses(profile),
+        "netlist" => analysis::netlist(profile),
+        "satune" => analysis::satune(profile),
+        other => Err(BenchError::UnknownExperiment { id: other.into() }),
     }
 }
 
@@ -135,8 +140,17 @@ mod tests {
     #[test]
     fn unknown_id_lists_valid_ones() {
         let err = run("bogus", &Profile::quick()).unwrap_err();
-        assert!(err.contains("gbreg"));
-        assert!(err.contains("table1"));
+        assert!(matches!(err, BenchError::UnknownExperiment { ref id } if id == "bogus"));
+        assert!(err.to_string().contains("gbreg"));
+        assert!(err.to_string().contains("table1"));
+    }
+
+    #[test]
+    fn is_known_matches_all_ids() {
+        for id in ALL_IDS {
+            assert!(is_known(id));
+        }
+        assert!(!is_known("bogus"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use bisect_gen::{gbreg, special};
 use rand::SeedableRng;
 
 use super::{derive_seed, ExperimentResult};
+use crate::error::BenchError;
 use crate::json::quad_records;
 use crate::profile::Profile;
 use crate::runner::{QuadAverage, Suite};
@@ -20,7 +21,12 @@ use crate::table::{fmt_duration, Table};
 /// Observation 1: the degree-3 vs degree-4 cliff on `Gbreg`. Rows per
 /// degree report found/planted cut ratios and times for all four
 /// algorithms.
-pub fn obs1(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Gen`] if the `Gbreg` parameters are infeasible
+/// or the randomized construction exhausts its restarts.
+pub fn obs1(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let size = *profile
         .random_model_sizes()
@@ -47,18 +53,19 @@ pub fn obs1(profile: &Profile) -> ExperimentResult {
     let mut records = Vec::new();
     for d in [3usize, 4] {
         let b = super::random::feasible_width(size / 2, d, b0);
-        let params = gbreg::GbregParams::new(size, b, d).expect("feasible parameters");
+        let params = gbreg::GbregParams::new(size, b, d)?;
         let reps = bisect_par::par_map(profile.replicates, |rep| {
             let seed = derive_seed(profile.seed, &[50, d as u64, rep as u64]);
             let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
-            let g = gbreg::sample(&mut gen_rng, &params).expect("construction succeeds");
+            let g = gbreg::sample(&mut gen_rng, &params)?;
             let quad = suite.run(&g, profile.starts, seed ^ 0xABCD);
             // Pass count behind the speed difference ("it takes fewer
             // passes for the algorithms to converge on degree 4").
             let init = bisect_core::seed::random_balanced(&g, &mut gen_rng);
             let (_, passes) = bisect_core::kl::KernighanLin::new().refine_with_passes(&g, init);
-            (quad, passes)
+            Ok::<_, bisect_gen::GenError>((quad, passes))
         });
+        let reps = reps.into_iter().collect::<Result<Vec<_>, _>>()?;
         let mut ratios = [0.0f64; 4];
         let mut t_sa = std::time::Duration::ZERO;
         let mut t_kl = std::time::Duration::ZERO;
@@ -88,17 +95,22 @@ pub fn obs1(profile: &Profile) -> ExperimentResult {
             fmt_duration(t_kl / profile.replicates as u32),
         ]);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "obs1".into(),
         title: "Observation 1: algorithms improve as average degree increases".into(),
         tables: vec![table],
         records,
-    }
+    })
 }
 
 /// Observation 4: KL vs SA head to head — speed everywhere, quality on
 /// special graphs (SA wins on trees and ladders).
-pub fn obs4(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Currently infallible (special-graph construction cannot fail); the
+/// `Result` keeps the signature uniform across experiments.
+pub fn obs4(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let mut table = Table::new(
         "Observation 4: KL vs SA (uncompacted, best of starts)",
@@ -159,12 +171,12 @@ pub fn obs4(profile: &Profile) -> ExperimentResult {
             winner.into(),
         ]);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "obs4".into(),
         title: "Observation 4: KL is faster; SA wins trees and ladders".into(),
         tables: vec![table],
         records,
-    }
+    })
 }
 
 /// §VI head-to-head claim: "On graphs of average degree of 2.5 to 3.5,
@@ -172,7 +184,12 @@ pub fn obs4(profile: &Profile) -> ExperimentResult {
 /// bisection returned, the Kernighan-Lin procedure had the better
 /// bisection sixty percent of the time." Counts KL-better / SA-better /
 /// tie over a `G2set` corpus at those degrees.
-pub fn winrate(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Currently infallible (infeasible `(degree, b)` instances are skipped
+/// by design); the `Result` keeps the signature uniform.
+pub fn winrate(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let size = *profile
         .random_model_sizes()
@@ -229,12 +246,12 @@ pub fn winrate(profile: &Profile) -> ExperimentResult {
             share,
         ]);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "winrate".into(),
         title: "§VI head-to-head: KL wins ~60% of decided instances at degree 2.5-3.5".into(),
         tables: vec![table],
         records: vec![],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -243,7 +260,7 @@ mod tests {
 
     #[test]
     fn winrate_rows_and_consistency() {
-        let result = winrate(&Profile::smoke());
+        let result = winrate(&Profile::smoke()).unwrap();
         assert_eq!(result.tables[0].rows().len(), 3);
         for row in result.tables[0].rows() {
             let kl: usize = row[1].parse().unwrap();
@@ -255,7 +272,7 @@ mod tests {
 
     #[test]
     fn obs1_rows_per_degree() {
-        let result = obs1(&Profile::smoke());
+        let result = obs1(&Profile::smoke()).unwrap();
         assert_eq!(result.tables[0].rows().len(), 2);
         assert_eq!(result.tables[0].rows()[0][0], "3");
         assert_eq!(result.tables[0].rows()[1][0], "4");
@@ -263,7 +280,7 @@ mod tests {
 
     #[test]
     fn obs4_covers_three_workloads() {
-        let result = obs4(&Profile::smoke());
+        let result = obs4(&Profile::smoke()).unwrap();
         assert_eq!(result.tables[0].rows().len(), 3);
         let winners: Vec<&str> = result.tables[0]
             .rows()

@@ -12,6 +12,7 @@ use bisect_gen::{g2set, gbreg, gnp};
 use rand::SeedableRng;
 
 use super::{derive_seed, quad_headers, quad_row, ExperimentResult};
+use crate::error::BenchError;
 use crate::json::quad_records;
 use crate::profile::Profile;
 use crate::runner::{QuadAverage, Suite};
@@ -20,7 +21,13 @@ use crate::table::Table;
 /// The appendix `G2set(2n, pA, pB, b)` tables: one sub-table per
 /// (vertex count, average degree), rows swept over the planted cross
 /// count `b`.
-pub fn g2set(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Infeasible `(degree, b)` rows are skipped rather than reported (the
+/// sweep intentionally probes the edge-budget boundary); generation is
+/// otherwise infallible for `G2set`.
+pub fn g2set(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let mut tables = Vec::new();
     let mut records = Vec::new();
@@ -58,26 +65,30 @@ pub fn g2set(profile: &Profile) -> ExperimentResult {
             tables.push(table);
         }
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "g2set".into(),
         title: "Appendix: G2set(2n, pA, pB, b) tables".into(),
         tables,
         records,
-    }
+    })
 }
 
 /// The appendix `Gnp(2n, p)` tables: one sub-table per vertex count,
 /// rows swept over expected average degree (each entry averaged over
 /// `2·replicates + 1` graphs, the paper's 7).
-pub fn gnp(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Gen`] if a profile degree is infeasible for a
+/// profile size.
+pub fn gnp(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let mut tables = Vec::new();
     let mut records = Vec::new();
     for &size in &profile.random_model_sizes() {
         let mut table = Table::new(format!("Gnp({size}, p)"), quad_headers("deg"));
         for &degree in &profile.gnp_degrees() {
-            let params = gnp::GnpParams::with_average_degree(size, degree)
-                .expect("profile degrees are feasible");
+            let params = gnp::GnpParams::with_average_degree(size, degree)?;
             let reps = bisect_par::par_map(profile.gnp_replicates(), |rep| {
                 let seed = derive_seed(
                     profile.seed,
@@ -97,12 +108,12 @@ pub fn gnp(profile: &Profile) -> ExperimentResult {
         }
         tables.push(table);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "gnp".into(),
         title: "Appendix: Gnp(2n, p) tables".into(),
         tables,
         records,
-    }
+    })
 }
 
 /// The appendix `Gbreg(2n, b, d)` tables: one sub-table per (vertex
@@ -110,7 +121,12 @@ pub fn gnp(profile: &Profile) -> ExperimentResult {
 /// (averaged over `replicates` graphs, the paper's 3). The planted
 /// width is adjusted by one when parity demands it (`n·d − b` must be
 /// even).
-pub fn gbreg(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Returns [`BenchError::Gen`] if a profile width is infeasible or the
+/// randomized regular-graph construction exhausts its restarts.
+pub fn gbreg(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let mut tables = Vec::new();
     let mut records = Vec::new();
@@ -119,21 +135,20 @@ pub fn gbreg(profile: &Profile) -> ExperimentResult {
             let mut table = Table::new(format!("Gbreg({size}, b, {d})"), quad_headers("b"));
             for &b0 in &profile.gbreg_widths() {
                 let b = feasible_width(size / 2, d, b0);
-                let params = gbreg::GbregParams::new(size, b, d)
-                    .expect("profile widths are feasible after parity adjustment");
+                let params = gbreg::GbregParams::new(size, b, d)?;
                 let reps = bisect_par::par_map(profile.replicates, |rep| {
                     let seed = derive_seed(
                         profile.seed,
                         &[40, size as u64, d as u64, b as u64, rep as u64],
                     );
                     let mut gen_rng = LaggedFibonacci::seed_from_u64(seed);
-                    let g = gbreg::sample(&mut gen_rng, &params)
-                        .expect("Gbreg construction succeeds for the paper's parameters");
-                    suite.run(&g, profile.starts, seed ^ 0xABCD)
+                    let g = gbreg::sample(&mut gen_rng, &params)?;
+                    Ok(suite.run(&g, profile.starts, seed ^ 0xABCD))
                 });
                 let mut avg = QuadAverage::default();
-                for r in &reps {
-                    avg.add(r);
+                for r in reps {
+                    let r: Result<_, bisect_gen::GenError> = r;
+                    avg.add(&r?);
                 }
                 let avg = avg.finish();
                 records.extend(quad_records(
@@ -146,12 +161,12 @@ pub fn gbreg(profile: &Profile) -> ExperimentResult {
             tables.push(table);
         }
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "gbreg".into(),
         title: "Appendix: Gbreg(2n, b, d) tables".into(),
         tables,
         records,
-    }
+    })
 }
 
 /// Adjusts a requested planted width to the parity `n·d − b ≡ 0 (mod
@@ -180,7 +195,7 @@ mod tests {
     #[test]
     fn gbreg_tables_cover_sizes_and_degrees() {
         let profile = Profile::smoke();
-        let result = gbreg(&profile);
+        let result = gbreg(&profile).unwrap();
         // one size × degrees {3,4}
         assert_eq!(result.tables.len(), 2);
         for t in &result.tables {
@@ -191,7 +206,7 @@ mod tests {
     #[test]
     fn gnp_tables_have_degree_rows() {
         let profile = Profile::smoke();
-        let result = gnp(&profile);
+        let result = gnp(&profile).unwrap();
         assert_eq!(result.tables.len(), 1);
         assert_eq!(result.tables[0].rows().len(), profile.gnp_degrees().len());
     }
@@ -199,7 +214,7 @@ mod tests {
     #[test]
     fn g2set_tables_per_degree() {
         let profile = Profile::smoke();
-        let result = g2set(&profile);
+        let result = g2set(&profile).unwrap();
         assert_eq!(result.tables.len(), profile.g2set_degrees().len());
     }
 }

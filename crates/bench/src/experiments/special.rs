@@ -10,6 +10,7 @@ use bisect_gen::special;
 use bisect_graph::Graph;
 
 use super::{derive_seed, improvement, quad_headers, quad_row, ExperimentResult};
+use crate::error::BenchError;
 use crate::json::quad_records;
 use crate::profile::Profile;
 use crate::runner::{QuadAverage, Suite};
@@ -73,7 +74,12 @@ impl Family {
 
 /// One appendix special-graph table: rows are instance sizes, columns
 /// the standard four-algorithm layout.
-pub fn family(profile: &Profile, family: Family) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Currently infallible (special-graph construction cannot fail); the
+/// `Result` keeps the signature uniform across experiments.
+pub fn family(profile: &Profile, family: Family) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let mut table = Table::new(
         format!(
@@ -102,18 +108,22 @@ pub fn family(profile: &Profile, family: Family) -> ExperimentResult {
         records.extend(quad_records(id, &family.label(*size), avg));
         table.push_row(quad_row(family.label(*size), avg));
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: id.into(),
         title: format!("Appendix: {} graphs", family.name()),
         tables: vec![table],
         records,
-    }
+    })
 }
 
 /// Table 1: average percentage improvement in cut size from compaction
 /// on grids, ladders, and binary trees, for KL and SA (best of two
 /// starts).
-pub fn table1(profile: &Profile) -> ExperimentResult {
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` keeps the signature uniform.
+pub fn table1(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let mut table = Table::new(
         "Table 1: bisection width improvement made by compaction (best of starts)",
@@ -139,12 +149,12 @@ pub fn table1(profile: &Profile) -> ExperimentResult {
             format!("{:.0}%", mean(&sa_improvements)),
         ]);
     }
-    ExperimentResult {
+    Ok(ExperimentResult {
         id: "table1".into(),
         title: "Table 1: cut improvement made by compaction".into(),
         tables: vec![table],
         records: vec![],
-    }
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +182,7 @@ mod tests {
     #[test]
     fn ladder_experiment_has_row_per_size() {
         let profile = tiny_profile();
-        let result = family(&profile, Family::Ladder);
+        let result = family(&profile, Family::Ladder).unwrap();
         assert_eq!(result.id, "ladder");
         assert_eq!(result.tables.len(), 1);
         assert_eq!(result.tables[0].rows().len(), profile.ladder_rungs().len());
@@ -180,7 +190,7 @@ mod tests {
 
     #[test]
     fn table1_has_three_rows() {
-        let result = table1(&tiny_profile());
+        let result = table1(&tiny_profile()).unwrap();
         assert_eq!(result.tables[0].rows().len(), 3);
         assert_eq!(result.tables[0].rows()[0][0], "Grid");
     }

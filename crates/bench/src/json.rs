@@ -1,7 +1,12 @@
-//! Minimal hand-rolled JSON emission for `BENCH_results.json` — the
-//! machine-readable companion of the text tables (the container has no
-//! serde; the subset needed here is a flat record schema).
+//! Minimal hand-rolled JSON emission *and parsing* for
+//! `BENCH_results.json` — the machine-readable companion of the text
+//! tables (the container has no serde; the subset needed here is a flat
+//! record schema). [`BenchReport::to_json`] writes the report;
+//! [`BenchReport::from_json`] reads one back (for the regression
+//! checker, `repro_check`), via the small general-purpose [`parse`]
+//! function.
 
+use crate::error::BenchError;
 use crate::runner::QuadAverage;
 
 /// One `(experiment, setting, algorithm)` measurement: the unit of
@@ -96,6 +101,307 @@ impl BenchReport {
         }
         out.push_str("]\n}\n");
         out
+    }
+}
+
+/// A parsed JSON value (the subset `BENCH_results.json` uses; no
+/// number-precision games — every number is an `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns [`BenchError::MalformedReport`] with the byte offset of the
+/// first syntax error.
+pub fn parse(input: &str) -> Result<JsonValue, BenchError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.error("trailing data after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn byte(&self, at: usize) -> Option<u8> {
+        self.input.as_bytes().get(at).copied()
+    }
+
+    fn error(&self, message: &str) -> BenchError {
+        BenchError::MalformedReport(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.byte(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), BenchError> {
+        if self.byte(self.pos) == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, BenchError> {
+        if self.input[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, BenchError> {
+        match self.byte(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, BenchError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.byte(self.pos) == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.byte(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, BenchError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.byte(self.pos) == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.byte(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, BenchError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.byte(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.byte(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .input
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogates never appear in our label
+                            // alphabet; map them to the replacement
+                            // character rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let c = self.input[self.pos..].chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, BenchError> {
+        let start = self.pos;
+        if self.byte(self.pos) == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.byte(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = &self.input[start..self.pos];
+        text.parse()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error(&format!("invalid number `{text}`")))
+    }
+}
+
+impl BenchReport {
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::MalformedReport`] for syntax errors or
+    /// missing/mistyped fields.
+    pub fn from_json(input: &str) -> Result<BenchReport, BenchError> {
+        let doc = parse(input)?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| BenchError::MalformedReport(format!("missing field `{key}`")))
+        };
+        let num = |key: &str| {
+            field(key)?.as_number().ok_or_else(|| {
+                BenchError::MalformedReport(format!("field `{key}` is not a number"))
+            })
+        };
+        let mut records = Vec::new();
+        for (i, r) in field("records")?
+            .as_array()
+            .ok_or_else(|| BenchError::MalformedReport("`records` is not an array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let rfield = |key: &str| {
+                r.get(key).ok_or_else(|| {
+                    BenchError::MalformedReport(format!("record {i} missing field `{key}`"))
+                })
+            };
+            let rstr = |key: &str| {
+                rfield(key)?.as_str().map(str::to_string).ok_or_else(|| {
+                    BenchError::MalformedReport(format!("record {i} field `{key}` is not a string"))
+                })
+            };
+            let rnum = |key: &str| {
+                rfield(key)?.as_number().ok_or_else(|| {
+                    BenchError::MalformedReport(format!("record {i} field `{key}` is not a number"))
+                })
+            };
+            records.push(BenchRecord {
+                experiment: rstr("experiment")?,
+                setting: rstr("setting")?,
+                algorithm: rstr("algorithm")?,
+                mean_cut: rnum("mean_cut")?,
+                total_time_s: rnum("total_time_s")?,
+                mean_passes: rnum("mean_passes")?,
+                graphs: rnum("graphs")? as usize,
+            });
+        }
+        Ok(BenchReport {
+            profile: field("profile")?
+                .as_str()
+                .ok_or_else(|| BenchError::MalformedReport("`profile` is not a string".into()))?
+                .to_string(),
+            seed: num("seed")? as u64,
+            starts: num("starts")? as usize,
+            replicates: num("replicates")? as usize,
+            threads: num("threads")? as usize,
+            wall_time_s: num("wall_time_s")?,
+            records,
+        })
     }
 }
 
@@ -211,5 +517,65 @@ mod tests {
         assert_eq!(number(f64::INFINITY), "null");
         assert_eq!(number(2.5), "2.5");
         assert_eq!(number(3.0), "3");
+    }
+
+    #[test]
+    fn parse_handles_the_full_value_grammar() {
+        let doc = parse(r#" {"a": [1, -2.5e1, true, false, null], "b\n": "x\"\\A"} "#)
+            .expect("valid document");
+        assert_eq!(
+            doc.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(5)
+        );
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[1].as_number(),
+            Some(-25.0)
+        );
+        assert_eq!(doc.get("b\n").and_then(JsonValue::as_str), Some("x\"\\A"));
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents_with_offsets() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "1 2", "\"open"] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                matches!(err, BenchError::MalformedReport(_)),
+                "{bad:?} -> {err}"
+            );
+            assert!(err.to_string().contains("at byte"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            profile: "quick".into(),
+            seed: 1989,
+            starts: 2,
+            replicates: 3,
+            threads: 4,
+            wall_time_s: 12.25,
+            records: quad_records("gbreg", "n=500 \"odd\" label", &sample_avg()),
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_reports_missing_and_mistyped_fields() {
+        let err = BenchReport::from_json("{\"profile\": \"quick\"}").unwrap_err();
+        assert!(err.to_string().contains("missing field `records`"));
+
+        let doc = r#"{"profile": "quick", "seed": 1, "starts": 1, "replicates": 1,
+                      "threads": 1, "wall_time_s": 0,
+                      "records": [{"experiment": "g", "setting": "s",
+                                   "algorithm": "KL", "mean_cut": "oops",
+                                   "total_time_s": 0, "mean_passes": 0, "graphs": 1}]}"#;
+        let err = BenchReport::from_json(doc).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("record 0 field `mean_cut` is not a number"));
     }
 }

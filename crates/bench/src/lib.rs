@@ -25,12 +25,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
+pub mod cli;
+pub mod error;
 pub mod experiments;
 pub mod json;
 pub mod profile;
 pub mod runner;
 pub mod table;
 
+pub use error::BenchError;
 pub use json::{BenchRecord, BenchReport};
 pub use profile::{Profile, Scale};
 pub use runner::{AlgoResult, Suite};

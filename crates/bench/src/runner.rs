@@ -14,8 +14,7 @@ use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use bisect_core::bisector::Bisector;
-use bisect_core::compaction::Compacted;
-use bisect_core::kl::KernighanLin;
+use bisect_core::pipeline::Pipeline;
 use bisect_core::sa::{Schedule, SimulatedAnnealing};
 use bisect_core::workspace::Workspace;
 use bisect_gen::rng::SeedSequence;
@@ -121,16 +120,19 @@ pub fn run_best_of_sides<B: Bisector + Sync + ?Sized>(
 }
 
 /// The four algorithms every table compares, constructed to match the
-/// profile (the paper profile uses a longer annealing schedule).
+/// profile (the paper profile uses a longer annealing schedule). Each
+/// slot is a [`Pipeline`]: the bare heuristics are flat pipelines, the
+/// compacted variants one-level pipelines — bit-identical to the
+/// pre-pipeline `SimulatedAnnealing`/`Compacted` wiring.
 pub struct Suite {
     /// Simulated annealing (Figure 1).
-    pub sa: SimulatedAnnealing,
+    pub sa: Pipeline,
     /// Compacted simulated annealing (§V).
-    pub csa: Compacted<SimulatedAnnealing>,
+    pub csa: Pipeline,
     /// Kernighan-Lin (Figure 2).
-    pub kl: KernighanLin,
+    pub kl: Pipeline,
     /// Compacted Kernighan-Lin (§V).
-    pub ckl: Compacted<KernighanLin>,
+    pub ckl: Pipeline,
 }
 
 impl Suite {
@@ -146,10 +148,10 @@ impl Suite {
             Scale::Paper => SimulatedAnnealing::new(),
         };
         Suite {
-            sa: sa.clone(),
-            csa: Compacted::new(sa),
-            kl: KernighanLin::new(),
-            ckl: Compacted::new(KernighanLin::new()),
+            sa: Pipeline::flat(sa.clone()),
+            csa: Pipeline::compacted(sa),
+            kl: Pipeline::kl(),
+            ckl: Pipeline::ckl(),
         }
     }
 

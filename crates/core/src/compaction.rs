@@ -1,40 +1,36 @@
-//! The compaction heuristic (§V of the paper, from \[BCLS87\]) — the
-//! paper's contribution. Wrapping Kernighan-Lin gives **CKL**, wrapping
-//! simulated annealing gives **CSA**.
+//! The compaction heuristic (§V of the paper, from \[BCLS87\]) — now a
+//! thin, deprecated shim over the [`pipeline`](crate::pipeline) engine.
 //!
-//! Bisection using compaction works on a graph `G = (V, E)` as follows
-//! (quoting the paper):
+//! `Compacted::new(KernighanLin::new())` (the paper's **CKL**) and
+//! `Compacted::new(SimulatedAnnealing::new())` (**CSA**) delegate to
+//! [`pipeline::engine::run`](crate::pipeline::engine::run) with one
+//! level of coarsening and are bit-identical — same rng draws, same
+//! bisection, same pass counts — to both the pre-pipeline
+//! implementation and to [`Pipeline::compacted`]. New code should use
+//! [`Pipeline::ckl`](crate::pipeline::Pipeline::ckl) /
+//! [`Pipeline::csa`](crate::pipeline::Pipeline::csa) /
+//! [`Pipeline::compacted`] directly.
 //!
-//! 1. Form a maximum random matching `M` of the graph `G`.
-//! 2. Form a new graph `G'` by contracting the edges in the random
-//!    matching `M`.
-//! 3. Run the bisection heuristic on `G'` to obtain the bisection
-//!    `(A', B')`.
-//! 4. Uncompact the edges to obtain the original graph and create an
-//!    initial bisection `(A, B)` from `(A', B')`.
-//! 5. Use `(A, B)` as the starting configuration for the bisection
-//!    procedure on the original graph.
-//!
-//! Contraction roughly doubles the average degree, moving the instance
-//! into the regime where KL and SA work well (Observation 1); the
-//! projected bisection then gives the fine-level search a strong start.
-//!
-//! Two deviations from the letter of the paper, both required for
-//! correctness on weighted coarse graphs: the coarse-level starting
-//! bisection is balanced by vertex *weight* (so that step 4 projects to
-//! a nearly vertex-balanced fine bisection), and the projected bisection
-//! is explicitly rebalanced before step 5 (projection can be off by one
-//! unit when the matching leaves singletons).
+//! [`Pipeline::compacted`]: crate::pipeline::Pipeline::compacted
 
-use bisect_graph::{contraction, matching, Graph};
+#![allow(deprecated)]
+
+use bisect_graph::Graph;
 use rand::RngCore;
 
 use crate::bisector::{Bisector, Refiner};
-use crate::partition::{rebalance, Bisection};
-use crate::seed;
+use crate::partition::Bisection;
+use crate::pipeline::{
+    engine, CoarsenDepth, CoarsenScheme, EdgeOrderMatching, HeavyEdgeMatching, RandomMatching,
+    WeightBalancedInit,
+};
 use crate::workspace::Workspace;
 
 /// Which maximal matching the contraction uses.
+#[deprecated(
+    since = "0.2.0",
+    note = "use a `pipeline::CoarsenScheme` (`RandomMatching`, `HeavyEdgeMatching`, `EdgeOrderMatching`) with `Pipeline::with_coarsener`"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MatchingKind {
     /// Random vertex visiting order, random free neighbor (the paper's
@@ -49,11 +45,11 @@ pub enum MatchingKind {
 }
 
 impl MatchingKind {
-    fn run(self, g: &Graph, rng: &mut dyn RngCore) -> matching::Matching {
+    fn scheme(self) -> &'static dyn CoarsenScheme {
         match self {
-            MatchingKind::Random => matching::random_maximal(g, rng),
-            MatchingKind::HeavyEdge => matching::heavy_edge(g, rng),
-            MatchingKind::EdgeOrder => matching::random_edge_order(g, rng),
+            MatchingKind::Random => &RandomMatching,
+            MatchingKind::HeavyEdge => &HeavyEdgeMatching,
+            MatchingKind::EdgeOrder => &EdgeOrderMatching,
         }
     }
 }
@@ -61,20 +57,13 @@ impl MatchingKind {
 /// The compaction wrapper: `Compacted::new(KernighanLin::new())` is the
 /// paper's CKL, `Compacted::new(SimulatedAnnealing::new())` is CSA.
 ///
-/// # Example
-///
-/// ```
-/// use bisect_core::{bisector::Bisector, compaction::Compacted, kl::KernighanLin};
-/// use bisect_gen::special;
-/// use rand::SeedableRng;
-///
-/// let g = special::binary_tree(62);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let ckl = Compacted::new(KernighanLin::new());
-/// assert_eq!(ckl.name(), "CKL");
-/// let p = ckl.bisect(&g, &mut rng);
-/// assert!(p.is_balanced(&g));
-/// ```
+/// Deprecated: this is now a shim over the pipeline engine; prefer
+/// [`Pipeline::compacted`](crate::pipeline::Pipeline::compacted), which
+/// produces bit-identical results.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::ckl()`, `Pipeline::csa()`, or `Pipeline::compacted(refiner)` — bit-identical results"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct Compacted<B> {
     inner: B,
@@ -101,32 +90,18 @@ impl<B: Refiner> Compacted<B> {
     pub fn inner(&self) -> &B {
         &self.inner
     }
-}
 
-impl<B: Refiner> Compacted<B> {
     fn run(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> (Bisection, u64) {
-        // Step 1: random maximal matching.
-        let m = self.matching_kind.run(g, rng);
-        if m.is_empty() {
-            // Nothing to contract (edgeless or trivial graph).
-            return self.inner.bisect_counted(g, rng, ws);
-        }
-        // Step 2: contract.
-        let c = contraction::contract_matching(g, &m);
-        let coarse = c.coarse();
-        // Step 3: bisect G' (weight-balanced start, then the inner
-        // heuristic).
-        let coarse_init = seed::weight_balanced_random(coarse, rng);
-        let (coarse_bisection, coarse_count) =
-            self.inner.refine_counted(coarse, coarse_init, rng, ws);
-        // Step 4: uncompact / project, restore exact balance.
-        let mut projected = Bisection::from_sides(g, c.project_sides(coarse_bisection.sides()))
-            .expect("projection has one side entry per fine vertex");
-        rebalance(g, &mut projected);
-        // Step 5: refine on the original graph from the projected start.
-        let (refined, fine_count) = self.inner.refine_counted(g, projected, rng, ws);
-        debug_assert!(refined.is_balanced(g));
-        (refined, coarse_count + fine_count)
+        engine::run(
+            self.matching_kind.scheme(),
+            CoarsenDepth::Levels(1),
+            &WeightBalancedInit,
+            &self.inner,
+            g,
+            rng,
+            ws,
+        )
+        .expect("compaction stages are infallible")
     }
 }
 
@@ -158,6 +133,7 @@ mod tests {
     use super::*;
     use crate::bisector::best_of;
     use crate::kl::KernighanLin;
+    use crate::pipeline::Pipeline;
     use crate::sa::SimulatedAnnealing;
     use bisect_gen::special;
     use rand::rngs::StdRng;
@@ -216,6 +192,19 @@ mod tests {
         let g = bisect_gen::gbreg::sample(&mut rng, &params).unwrap();
         let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng);
         assert!(ckl.cut() <= 12, "CKL cut {} vs planted 6", ckl.cut());
+    }
+
+    #[test]
+    fn shim_is_bit_identical_to_pipeline_ckl() {
+        let g = special::grid(8, 8);
+        let mut ws = Workspace::new();
+        let legacy = Compacted::new(KernighanLin::new()).bisect_counted(
+            &g,
+            &mut StdRng::seed_from_u64(77),
+            &mut ws,
+        );
+        let piped = Pipeline::ckl().bisect_counted(&g, &mut StdRng::seed_from_u64(77), &mut ws);
+        assert_eq!(legacy, piped);
     }
 
     #[test]

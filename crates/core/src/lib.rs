@@ -9,20 +9,21 @@
 //! * [`sa::SimulatedAnnealing`] — Figure 1's generic annealing with a
 //!   Johnson-et-al.-style schedule and both swap and single-flip move
 //!   sets (§II).
-//! * [`compaction::Compacted`] — the paper's contribution: contract a
-//!   random maximal matching, bisect the denser coarse graph, project
-//!   back, and refine (§V). `Compacted<KernighanLin>` is **CKL**,
-//!   `Compacted<SimulatedAnnealing>` is **CSA**.
+//! * [`pipeline::Pipeline`] — the paper's contribution as a composable
+//!   coarsen → partition → refine cycle: contract a random maximal
+//!   matching, bisect the denser coarse graph, project back, and refine
+//!   (§V). [`pipeline::Pipeline::ckl`] is **CKL**,
+//!   [`pipeline::Pipeline::csa`] is **CSA**, and the same engine covers
+//!   multilevel (V-cycle) bisection and recursive `2^k`-way
+//!   partitioning.
 //!
 //! Extensions and baselines used by tests and the benchmark harness:
 //!
 //! * [`fm::FiducciaMattheyses`] — the 1982 bucket-gain successor of KL
 //!   (single moves, linear-time passes), for ablations.
-//! * [`multilevel::Multilevel`] — recursive compaction (what the
-//!   heuristic became in METIS-style partitioners).
-//! * [`recursive::RecursiveBisection`] — recursive `2^k`-way
-//!   partitioning, the min-cut placement loop the paper's introduction
-//!   motivates.
+//! * [`pipeline::CoarsenScheme`] / [`pipeline::InitialPartitioner`] —
+//!   swappable coarsening (random, heavy-edge, edge-order matchings)
+//!   and initial-partition (random, greedy, spectral, exact) stages.
 //! * [`exact`] — branch-and-bound optimum for small graphs (ground
 //!   truth in tests).
 //! * [`degree2`] — the paper's `O(n²)` exact solver for maximum-degree-2
@@ -44,18 +45,25 @@
 //!
 //! ```
 //! use bisect_core::bisector::{best_of, Bisector};
-//! use bisect_core::compaction::Compacted;
-//! use bisect_core::kl::KernighanLin;
+//! use bisect_core::pipeline::Pipeline;
 //! use bisect_gen::special;
 //! use rand::SeedableRng;
 //!
 //! let g = special::grid(10, 10);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1989);
-//! let ckl = Compacted::new(KernighanLin::new());
+//! let ckl = Pipeline::ckl();
 //! let p = best_of(&ckl, &g, 2, &mut rng); // the paper's best-of-two protocol
 //! assert!(p.is_balanced(&g));
 //! assert!(p.cut() <= 14); // bisection width of the 10×10 grid is 10
 //! ```
+//!
+//! Fallible configurations surface a typed [`error::BisectError`]
+//! through [`pipeline::Pipeline::try_bisect`] instead of panicking.
+//!
+//! The pre-pipeline wrappers [`compaction::Compacted`],
+//! [`multilevel::Multilevel`], and [`recursive::RecursiveBisection`]
+//! remain as deprecated shims that delegate to the pipeline engine and
+//! produce bit-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +71,7 @@
 pub mod bisector;
 pub mod compaction;
 pub mod degree2;
+pub mod error;
 pub mod exact;
 pub mod fm;
 pub(crate) mod gain;
@@ -72,6 +81,7 @@ pub mod metrics;
 pub mod multilevel;
 pub mod netlist;
 pub mod partition;
+pub mod pipeline;
 pub mod recursive;
 pub mod sa;
 pub mod seed;

@@ -1,35 +1,33 @@
-//! Multilevel bisection — *recursive* compaction.
+//! Multilevel bisection — *recursive* compaction — now a thin,
+//! deprecated shim over the [`pipeline`](crate::pipeline) engine.
 //!
-//! The paper applies one level of compaction. Recursing — contract
-//! matchings until the graph is tiny, bisect the tiny graph, then
-//! project back level by level with refinement at each level — is
-//! exactly the multilevel scheme that later partitioners (Chaco, METIS,
-//! KaHIP) built on this idea. It is included as the paper's natural
-//! "future work" extension and compared against single-level compaction
-//! in the `ablate-multilevel` benchmark.
+//! `Multilevel::new(inner)` delegates to
+//! [`pipeline::engine::run`](crate::pipeline::engine::run) with
+//! [`CoarsenDepth::ToSize`](crate::pipeline::CoarsenDepth::ToSize) and
+//! is bit-identical — same rng draws, same bisection — to both the
+//! pre-pipeline implementation and to
+//! [`Pipeline::multilevel`](crate::pipeline::Pipeline::multilevel),
+//! which new code should use directly.
 
-use bisect_graph::{contraction, Graph};
+#![allow(deprecated)]
+
+use bisect_graph::Graph;
 use rand::RngCore;
 
 use crate::bisector::{Bisector, Refiner};
-use crate::partition::{rebalance, Bisection};
-use crate::seed;
+use crate::partition::Bisection;
+use crate::pipeline::{engine, CoarsenDepth, RandomMatching, WeightBalancedInit};
+use crate::workspace::Workspace;
 
 /// Multilevel (V-cycle) bisection around any [`Refiner`].
 ///
-/// # Example
-///
-/// ```
-/// use bisect_core::{bisector::Bisector, multilevel::Multilevel, kl::KernighanLin};
-/// use bisect_gen::special;
-/// use rand::SeedableRng;
-///
-/// let g = special::grid(12, 12);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let ml = Multilevel::new(KernighanLin::new());
-/// let p = ml.bisect(&g, &mut rng);
-/// assert!(p.is_balanced(&g));
-/// ```
+/// Deprecated: this is now a shim over the pipeline engine; prefer
+/// [`Pipeline::multilevel`](crate::pipeline::Pipeline::multilevel),
+/// which produces bit-identical results.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::multilevel(refiner)` or `Pipeline::multilevel_to(refiner, size)` — bit-identical results"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct Multilevel<B> {
     inner: B,
@@ -42,7 +40,7 @@ impl<B: Refiner> Multilevel<B> {
     pub fn new(inner: B) -> Multilevel<B> {
         Multilevel {
             inner,
-            coarsest_size: 32,
+            coarsest_size: crate::pipeline::DEFAULT_COARSEST_SIZE,
         }
     }
 
@@ -69,29 +67,21 @@ impl<B: Refiner> Bisector for Multilevel<B> {
     }
 
     fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
-        // Coarsening phase: ladder of contractions, finest first.
-        let ladder = contraction::coarsen_to(g, self.coarsest_size, rng);
+        self.bisect_in(g, rng, &mut Workspace::new())
+    }
 
-        // Initial bisection of the coarsest graph.
-        let coarsest: &Graph = ladder.last().map_or(g, |c| c.coarse());
-        let init = seed::weight_balanced_random(coarsest, rng);
-        let mut current = self.inner.refine(coarsest, init, rng);
-
-        // Uncoarsening phase: project and refine level by level. The
-        // fine graph of ladder level `i` is the coarse graph of level
-        // `i − 1` (or the input graph at the bottom).
-        for i in (0..ladder.len()).rev() {
-            let fine: &Graph = if i == 0 { g } else { ladder[i - 1].coarse() };
-            let mut projected =
-                Bisection::from_sides(fine, ladder[i].project_sides(current.sides()))
-                    .expect("projection matches fine vertex count");
-            rebalance(fine, &mut projected);
-            current = self.inner.refine(fine, projected, rng);
-        }
-        if !current.is_balanced(g) {
-            rebalance(g, &mut current);
-        }
-        current
+    fn bisect_in(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> Bisection {
+        engine::run(
+            &RandomMatching,
+            CoarsenDepth::ToSize(self.coarsest_size),
+            &WeightBalancedInit,
+            &self.inner,
+            g,
+            rng,
+            ws,
+        )
+        .expect("multilevel stages are infallible")
+        .0
     }
 }
 
@@ -101,6 +91,7 @@ mod tests {
     use crate::bisector::best_of;
     use crate::fm::FiducciaMattheyses;
     use crate::kl::KernighanLin;
+    use crate::pipeline::Pipeline;
     use bisect_gen::special;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -179,5 +170,22 @@ mod tests {
             .with_coarsest_size(8)
             .bisect(&g, &mut rng);
         assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn shim_is_bit_identical_to_pipeline_multilevel() {
+        let g = special::grid(10, 10);
+        let legacy = Multilevel::new(KernighanLin::new()).bisect(&g, &mut StdRng::seed_from_u64(9));
+        let piped =
+            Pipeline::multilevel(KernighanLin::new()).bisect(&g, &mut StdRng::seed_from_u64(9));
+        assert_eq!(legacy, piped);
+
+        let legacy8 = Multilevel::new(KernighanLin::new())
+            .with_coarsest_size(8)
+            .bisect(&g, &mut StdRng::seed_from_u64(9));
+        let piped8 = Pipeline::multilevel_to(KernighanLin::new(), 8)
+            .unwrap()
+            .bisect(&g, &mut StdRng::seed_from_u64(9));
+        assert_eq!(legacy8, piped8);
     }
 }

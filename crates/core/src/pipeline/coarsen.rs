@@ -1,0 +1,152 @@
+//! Coarsening schemes: how one level of the pipeline contracts a graph.
+//!
+//! A [`CoarsenScheme`] produces at most one [`Contraction`] per call;
+//! the [engine](super) drives it repeatedly according to the pipeline's
+//! [`CoarsenDepth`](super::CoarsenDepth). All three schemes here match
+//! a maximal matching and contract it — they differ only in how the
+//! matching is chosen:
+//!
+//! * [`RandomMatching`] — the paper's "maximum random matching" (§V
+//!   step 1): random vertex order, random free neighbor.
+//! * [`HeavyEdgeMatching`] — random vertex order, heaviest free
+//!   neighbor; the refinement later multilevel partitioners (Chaco,
+//!   METIS) settled on, where it concentrates weight inside coarse
+//!   vertices and keeps the projected cut small on weighted graphs.
+//! * [`EdgeOrderMatching`] — greedy over a random edge order, for the
+//!   `ablate-matching` benchmark.
+
+use bisect_graph::contraction::{contract_matching, Contraction};
+use bisect_graph::{matching, Graph};
+use rand::RngCore;
+
+/// One level of coarsening. Implementations draw all randomness from
+/// the supplied rng (and nothing else), so a pipeline built from them
+/// inherits the crate-wide determinism guarantee: same graph, same rng
+/// stream, same ladder.
+pub trait CoarsenScheme: Send + Sync {
+    /// Scheme name for diagnostics and pipeline descriptions.
+    fn name(&self) -> &'static str;
+
+    /// Contracts one matching of `g`, or returns `None` when the scheme
+    /// cannot make progress (its matching came back empty — for the
+    /// matching-based schemes that means `g` has no edges).
+    ///
+    /// Implementations must consume the rng exactly as their matching
+    /// routine does even when returning `None`, so that legacy callers
+    /// and pipeline callers observe identical streams.
+    fn coarsen(&self, g: &Graph, rng: &mut dyn RngCore) -> Option<Contraction>;
+}
+
+/// The paper's compaction matching: random vertex visiting order,
+/// uniformly random free neighbor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomMatching;
+
+impl CoarsenScheme for RandomMatching {
+    fn name(&self) -> &'static str {
+        "random-matching"
+    }
+
+    fn coarsen(&self, g: &Graph, rng: &mut dyn RngCore) -> Option<Contraction> {
+        let m = matching::random_maximal(g, rng);
+        (!m.is_empty()).then(|| contract_matching(g, &m))
+    }
+}
+
+/// Heavy-edge matching: random vertex order, heaviest free neighbor
+/// (ties broken randomly). On unit-weight graphs this degenerates to a
+/// random maximal matching with a different tie-breaking distribution;
+/// on the weighted coarse graphs deeper in a multilevel ladder it hides
+/// heavy edges inside coarse vertices, which is why later multilevel
+/// partitioners adopted it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeavyEdgeMatching;
+
+impl CoarsenScheme for HeavyEdgeMatching {
+    fn name(&self) -> &'static str {
+        "heavy-edge-matching"
+    }
+
+    fn coarsen(&self, g: &Graph, rng: &mut dyn RngCore) -> Option<Contraction> {
+        let m = matching::heavy_edge(g, rng);
+        (!m.is_empty()).then(|| contract_matching(g, &m))
+    }
+}
+
+/// Greedy matching over a uniformly random edge order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeOrderMatching;
+
+impl CoarsenScheme for EdgeOrderMatching {
+    fn name(&self) -> &'static str {
+        "edge-order-matching"
+    }
+
+    fn coarsen(&self, g: &Graph, rng: &mut dyn RngCore) -> Option<Contraction> {
+        let m = matching::random_edge_order(g, rng);
+        (!m.is_empty()).then(|| contract_matching(g, &m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schemes_contract_nontrivial_graphs() {
+        let g = special::grid(6, 6);
+        let schemes: [&dyn CoarsenScheme; 3] =
+            [&RandomMatching, &HeavyEdgeMatching, &EdgeOrderMatching];
+        for s in schemes {
+            let mut rng = StdRng::seed_from_u64(1);
+            let c = s.coarsen(&g, &mut rng).expect("grid has edges");
+            assert!(c.coarse().num_vertices() < g.num_vertices(), "{}", s.name());
+            assert_eq!(
+                c.coarse().total_vertex_weight(),
+                g.num_vertices() as u64,
+                "{}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_yields_none() {
+        let g = bisect_graph::Graph::empty(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(RandomMatching.coarsen(&g, &mut rng).is_none());
+        assert!(HeavyEdgeMatching.coarsen(&g, &mut rng).is_none());
+        assert!(EdgeOrderMatching.coarsen(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_matching_stream_matches_legacy_call() {
+        // The scheme must consume the rng exactly like a direct
+        // `matching::random_maximal` call so the pipeline stays
+        // bit-identical to the legacy compaction path.
+        let g = special::ladder(10);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let c = RandomMatching.coarsen(&g, &mut a).unwrap();
+        let m = matching::random_maximal(&g, &mut b);
+        let d = contract_matching(&g, &m);
+        assert_eq!(c.fine_to_coarse(), d.fine_to_coarse());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            RandomMatching.name(),
+            HeavyEdgeMatching.name(),
+            EdgeOrderMatching.name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Initial partitioners: how the pipeline bisects the coarsest graph.
+//!
+//! An [`InitialPartitioner`] produces the starting bisection that the
+//! pipeline's [`Refiner`](crate::bisector::Refiner) then improves at
+//! every level. The paper's protocol corresponds to [`RandomInit`]
+//! (flat pipelines) and [`WeightBalancedInit`] (coarse graphs, where
+//! count balance does not project to vertex balance); the structured
+//! alternatives ([`GreedyInit`], [`SpectralInit`], [`ExactInit`],
+//! [`BfsInit`], [`DfsInit`]) slot in alternative initial solutions the
+//! way later multilevel partitioners do.
+
+use bisect_graph::Graph;
+use rand::RngCore;
+
+use crate::bisector::Bisector;
+use crate::error::BisectError;
+use crate::exact;
+use crate::greedy::GreedyGrowth;
+use crate::partition::Bisection;
+use crate::seed;
+use crate::spectral::SpectralBisector;
+
+/// Produces the initial bisection of (usually) the coarsest graph.
+///
+/// Implementations must return a *balanced* bisection (per
+/// [`Bisection::is_balanced`]) and draw all randomness from the
+/// supplied rng, preserving the crate's determinism guarantee.
+pub trait InitialPartitioner: Send + Sync {
+    /// Partitioner name for diagnostics and pipeline descriptions.
+    fn name(&self) -> &'static str;
+
+    /// Computes a balanced starting bisection of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; the only built-in fallible partitioner
+    /// is [`ExactInit`], which refuses graphs beyond the exact solver's
+    /// limit with [`BisectError::TooLarge`].
+    fn partition(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Bisection, BisectError>;
+}
+
+/// A uniformly random *count*-balanced bisection
+/// ([`seed::random_balanced`]) — the paper's starting configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomInit;
+
+impl InitialPartitioner for RandomInit {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn partition(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(seed::random_balanced(g, rng))
+    }
+}
+
+/// A random *weight*-balanced bisection
+/// ([`seed::weight_balanced_random`]): what contracted graphs need so
+/// the projection is vertex-balanced on the fine graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeightBalancedInit;
+
+impl InitialPartitioner for WeightBalancedInit {
+    fn name(&self) -> &'static str {
+        "weight-balanced"
+    }
+
+    fn partition(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(seed::weight_balanced_random(g, rng))
+    }
+}
+
+/// BFS region growing ([`GreedyGrowth`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GreedyInit(pub GreedyGrowth);
+
+impl GreedyInit {
+    /// Greedy growth with its default number of attempts.
+    pub fn new() -> GreedyInit {
+        GreedyInit(GreedyGrowth::new())
+    }
+}
+
+impl InitialPartitioner for GreedyInit {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn partition(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(self.0.bisect(g, rng))
+    }
+}
+
+/// Fiedler-vector bisection ([`SpectralBisector`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpectralInit(pub SpectralBisector);
+
+impl SpectralInit {
+    /// Spectral bisection with its default iteration budget.
+    pub fn new() -> SpectralInit {
+        SpectralInit(SpectralBisector::new())
+    }
+}
+
+impl InitialPartitioner for SpectralInit {
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+
+    fn partition(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(self.0.bisect(g, rng))
+    }
+}
+
+/// Branch-and-bound optimum ([`exact::minimum_bisection`]) — only for
+/// coarsest graphs within the solver's limit
+/// ([`exact::MAX_VERTICES`]); larger graphs yield
+/// [`BisectError::TooLarge`]. Pairs naturally with
+/// [`CoarsenDepth::ToSize`](super::CoarsenDepth::ToSize) at or below
+/// the limit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactInit;
+
+impl InitialPartitioner for ExactInit {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn partition(&self, g: &Graph, _rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(exact::minimum_bisection(g)?)
+    }
+}
+
+/// A BFS ball around a random root ([`seed::bfs_balanced`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BfsInit;
+
+impl InitialPartitioner for BfsInit {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn partition(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(seed::bfs_balanced(g, rng))
+    }
+}
+
+/// The first half of a depth-first preorder ([`seed::dfs_balanced`]);
+/// deterministic, near-optimal on degree-2 graphs (§VI of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DfsInit;
+
+impl InitialPartitioner for DfsInit {
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+
+    fn partition(&self, g: &Graph, _rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(seed::dfs_balanced(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_infallible_partitioners_balance() {
+        let g = special::grid(6, 6);
+        let parts: [&dyn InitialPartitioner; 6] = [
+            &RandomInit,
+            &WeightBalancedInit,
+            &GreedyInit::new(),
+            &SpectralInit::new(),
+            &BfsInit,
+            &DfsInit,
+        ];
+        for p in parts {
+            let mut rng = StdRng::seed_from_u64(7);
+            let b = p.partition(&g, &mut rng).expect("infallible on a grid");
+            assert!(b.is_balanced(&g), "{}", p.name());
+            assert_eq!(b.cut(), b.recompute_cut(&g), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn exact_init_solves_small_and_rejects_large() {
+        let small = special::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = ExactInit.partition(&small, &mut rng).expect("16 vertices");
+        assert_eq!(b.cut(), 4); // bisection width of the 4x4 grid
+
+        let large = special::grid(8, 8);
+        let err = ExactInit.partition(&large, &mut rng).unwrap_err();
+        assert!(matches!(err, BisectError::TooLarge { vertices: 64, .. }));
+    }
+
+    #[test]
+    fn random_init_matches_seed_module_stream() {
+        // Bit-identity anchor: the partitioner is a plain passthrough.
+        let g = special::grid(5, 4);
+        let a = RandomInit
+            .partition(&g, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let b = seed::random_balanced(&g, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,202 @@
+//! Recursive `2^k`-way partitioning on top of any bisector — the
+//! min-cut VLSI placement loop the paper's introduction motivates,
+//! expressed as a pipeline post-stage: bisect, then recurse on each
+//! half's *induced subgraph*, so edges already cut at a higher level
+//! are paid for once.
+
+use bisect_graph::{subgraph, Graph, VertexId};
+use rand::RngCore;
+
+use crate::bisector::Bisector;
+use crate::error::BisectError;
+
+/// A partition of a graph's vertices into `num_parts` labeled parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWayPartition {
+    labels: Vec<u32>,
+    num_parts: usize,
+}
+
+impl KWayPartition {
+    /// The part of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn part(&self, v: VertexId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Labels indexed by vertex id, each in `0..num_parts`.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Vertices per part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Total weight of edges whose endpoints lie in different parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` does not match the partition's vertex count.
+    pub fn cut(&self, g: &Graph) -> u64 {
+        assert_eq!(
+            g.num_vertices(),
+            self.labels.len(),
+            "partition does not match graph"
+        );
+        g.edges()
+            .filter(|&(u, v, _)| self.labels[u as usize] != self.labels[v as usize])
+            .map(|(_, _, w)| w)
+            .sum()
+    }
+}
+
+/// Partitions `g` into `parts` (a positive power of two) balanced parts
+/// by recursive bisection with `bisector`. Part sizes differ by at most
+/// `⌈n / parts⌉ − ⌊n / parts⌋ + 1`.
+///
+/// # Errors
+///
+/// Returns [`BisectError::InvalidPartCount`] unless `parts` is a
+/// positive power of two.
+pub fn recursive_partition<B: Bisector + ?Sized>(
+    bisector: &B,
+    g: &Graph,
+    parts: usize,
+    rng: &mut dyn RngCore,
+) -> Result<KWayPartition, BisectError> {
+    if parts == 0 || !parts.is_power_of_two() {
+        return Err(BisectError::InvalidPartCount { parts });
+    }
+    let mut labels = vec![0u32; g.num_vertices()];
+    let all: Vec<VertexId> = g.vertices().collect();
+    split(bisector, g, &all, parts, 0, &mut labels, rng);
+    Ok(KWayPartition {
+        labels,
+        num_parts: parts,
+    })
+}
+
+fn split<B: Bisector + ?Sized>(
+    bisector: &B,
+    g: &Graph,
+    region: &[VertexId],
+    parts: usize,
+    first_label: u32,
+    labels: &mut [u32],
+    rng: &mut dyn RngCore,
+) {
+    if parts == 1 {
+        for &v in region {
+            labels[v as usize] = first_label;
+        }
+        return;
+    }
+    let (sub, map) = subgraph::induced_subgraph(g, region);
+    let bisection = bisector.bisect(&sub, rng);
+    let mut side_a = Vec::with_capacity(region.len() / 2 + 1);
+    let mut side_b = Vec::with_capacity(region.len() / 2 + 1);
+    for (new_id, &old_id) in map.iter().enumerate() {
+        if bisection.sides()[new_id] {
+            side_b.push(old_id);
+        } else {
+            side_a.push(old_id);
+        }
+    }
+    split(bisector, g, &side_a, parts / 2, first_label, labels, rng);
+    split(
+        bisector,
+        g,
+        &side_b,
+        parts / 2,
+        first_label + (parts / 2) as u32,
+        labels,
+        rng,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kl::KernighanLin;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quad(g: &Graph, parts: usize, seed: u64) -> KWayPartition {
+        let mut rng = StdRng::seed_from_u64(seed);
+        recursive_partition(&KernighanLin::new(), g, parts, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let g = special::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        for parts in [0usize, 3, 6, 12] {
+            let err = recursive_partition(&KernighanLin::new(), &g, parts, &mut rng).unwrap_err();
+            assert_eq!(err, BisectError::InvalidPartCount { parts });
+        }
+    }
+
+    #[test]
+    fn one_part_is_trivial() {
+        let g = special::grid(4, 4);
+        let p = quad(&g, 1, 0);
+        assert_eq!(p.cut(&g), 0);
+        assert_eq!(p.part_sizes(), vec![16]);
+    }
+
+    #[test]
+    fn four_way_grid_partition_is_good() {
+        // Optimal 4-way cut of an 8x8 grid (quadrants) costs 16.
+        let g = special::grid(8, 8);
+        let p = quad(&g, 4, 3);
+        assert_eq!(p.part_sizes(), vec![16, 16, 16, 16]);
+        assert!(p.cut(&g) <= 28, "cut {}", p.cut(&g));
+        assert!(p.labels().iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn eight_way_with_uneven_total() {
+        let g = special::binary_tree(100);
+        let p = quad(&g, 8, 4);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 2, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn cut_counts_inter_part_edges_exactly() {
+        let g = special::cycle(16);
+        let p = quad(&g, 4, 5);
+        assert!(p.cut(&g) >= 4);
+        let manual: u64 = g
+            .edges()
+            .filter(|&(u, v, _)| p.part(u) != p.part(v))
+            .map(|(_, _, w)| w)
+            .sum();
+        assert_eq!(p.cut(&g), manual);
+    }
+
+    #[test]
+    fn parts_equal_vertices_gives_singletons() {
+        let g = special::grid(2, 4); // 8 vertices
+        let p = quad(&g, 8, 6);
+        assert_eq!(p.part_sizes(), vec![1; 8]);
+        assert_eq!(p.cut(&g), g.num_edges() as u64);
+    }
+}

@@ -1,0 +1,459 @@
+//! The composable coarsen → partition → refine pipeline.
+//!
+//! The paper's compaction trick — contract a random maximal matching,
+//! bisect the compacted graph, project back, refine (§V) — is one level
+//! of what later became the multilevel paradigm. This module expresses
+//! the whole family as one architecture with three swappable stages:
+//!
+//! * a [`CoarsenScheme`] contracts the graph one level at a time
+//!   (random maximal matching — the paper's compaction — heavy-edge
+//!   matching, or edge-order matching),
+//! * an [`InitialPartitioner`] bisects the coarsest graph (random,
+//!   weight-balanced, greedy, spectral, or exact), and
+//! * a [`Refiner`] (Kernighan-Lin, Fiduccia-Mattheyses, or simulated
+//!   annealing) improves the bisection at every level, threading one
+//!   [`Workspace`] through the whole cycle so the hot paths stay
+//!   allocation-free.
+//!
+//! A [`Pipeline`] composes the three behind the ordinary
+//! [`Bisector`] interface. Descriptors reproduce the paper's
+//! algorithms *bit-for-bit* relative to the legacy wrappers they
+//! replace:
+//!
+//! | descriptor | legacy equivalent | table name |
+//! |---|---|---|
+//! | [`Pipeline::ckl`] | `Compacted::new(KernighanLin::new())` | `CKL` |
+//! | [`Pipeline::csa`] | `Compacted::new(SimulatedAnnealing::new())` | `CSA` |
+//! | [`Pipeline::compacted`] | `Compacted::new(r)` | `C{r}` |
+//! | [`Pipeline::multilevel`] | `Multilevel::new(r)` | `ML-{r}` |
+//! | [`Pipeline::flat`] | the bare refiner | `{r}` |
+//!
+//! # Example
+//!
+//! ```
+//! use bisect_core::bisector::{best_of, Bisector};
+//! use bisect_core::pipeline::Pipeline;
+//! use bisect_gen::special;
+//! use rand::SeedableRng;
+//!
+//! let g = special::grid(10, 10);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1989);
+//! let ckl = Pipeline::ckl();
+//! assert_eq!(ckl.name(), "CKL");
+//! let p = best_of(&ckl, &g, 2, &mut rng);
+//! assert!(p.is_balanced(&g));
+//! ```
+//!
+//! Fallible configurations (an exact initial partitioner, a custom
+//! coarsest size) surface a typed [`BisectError`] through the `try_*`
+//! entry points instead of panicking.
+
+pub mod coarsen;
+pub mod engine;
+pub mod initial;
+pub mod kway;
+
+use std::sync::Arc;
+
+use bisect_graph::Graph;
+use rand::RngCore;
+
+use crate::bisector::{Bisector, Refiner};
+use crate::error::BisectError;
+use crate::kl::KernighanLin;
+use crate::partition::Bisection;
+use crate::sa::SimulatedAnnealing;
+use crate::workspace::Workspace;
+
+pub use coarsen::{CoarsenScheme, EdgeOrderMatching, HeavyEdgeMatching, RandomMatching};
+pub use engine::CoarsenDepth;
+pub use initial::{
+    BfsInit, DfsInit, ExactInit, GreedyInit, InitialPartitioner, RandomInit, SpectralInit,
+    WeightBalancedInit,
+};
+pub use kway::{recursive_partition, KWayPartition};
+
+/// Default coarsest size of [`Pipeline::multilevel`], matching the
+/// legacy `Multilevel` wrapper.
+pub const DEFAULT_COARSEST_SIZE: usize = 32;
+
+/// A composed coarsen → partition → refine bisection algorithm.
+///
+/// Cheap to clone (the stages are shared behind [`Arc`]s) and `Sync`,
+/// so one pipeline value can drive every worker thread of the parallel
+/// experiment engine.
+#[derive(Clone)]
+pub struct Pipeline {
+    coarsener: Arc<dyn CoarsenScheme>,
+    depth: CoarsenDepth,
+    initial: Arc<dyn InitialPartitioner>,
+    refiner: Arc<dyn Refiner + Send + Sync>,
+    name: String,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("name", &self.name)
+            .field("coarsener", &self.coarsener.name())
+            .field("depth", &self.depth)
+            .field("initial", &self.initial.name())
+            .field("refiner", &self.refiner.name())
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// The paper's **CKL**: one level of random-matching compaction
+    /// around Kernighan-Lin. Bit-identical to the deprecated
+    /// `Compacted::new(KernighanLin::new())`.
+    pub fn ckl() -> Pipeline {
+        Pipeline::compacted(KernighanLin::new())
+    }
+
+    /// The paper's **CSA**: one level of random-matching compaction
+    /// around simulated annealing with the paper's schedule.
+    /// Bit-identical to the deprecated
+    /// `Compacted::new(SimulatedAnnealing::new())`.
+    pub fn csa() -> Pipeline {
+        Pipeline::compacted(SimulatedAnnealing::new())
+    }
+
+    /// Plain Kernighan-Lin from a random start, as a flat pipeline.
+    pub fn kl() -> Pipeline {
+        Pipeline::flat(KernighanLin::new())
+    }
+
+    /// Plain simulated annealing from a random start, as a flat
+    /// pipeline.
+    pub fn sa() -> Pipeline {
+        Pipeline::flat(SimulatedAnnealing::new())
+    }
+
+    /// One level of compaction (§V) around any refiner: random maximal
+    /// matching, weight-balanced coarse start, refine coarse then fine.
+    /// Named `C{refiner}` after the paper's CKL/CSA convention.
+    pub fn compacted<R: Refiner + Send + Sync + 'static>(refiner: R) -> Pipeline {
+        let name = format!("C{}", refiner.name());
+        Pipeline {
+            coarsener: Arc::new(RandomMatching),
+            depth: CoarsenDepth::Levels(1),
+            initial: Arc::new(WeightBalancedInit),
+            refiner: Arc::new(refiner),
+            name,
+        }
+    }
+
+    /// Multilevel (V-cycle) bisection around any refiner, coarsening to
+    /// at most [`DEFAULT_COARSEST_SIZE`] vertices. Bit-identical to the
+    /// deprecated `Multilevel::new(refiner)`. Named `ML-{refiner}`.
+    pub fn multilevel<R: Refiner + Send + Sync + 'static>(refiner: R) -> Pipeline {
+        Pipeline::multilevel_to(refiner, DEFAULT_COARSEST_SIZE)
+            .expect("default coarsest size is valid")
+    }
+
+    /// As [`Pipeline::multilevel`] with an explicit coarsest size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BisectError::InvalidConfig`] if `coarsest_size < 2`.
+    pub fn multilevel_to<R: Refiner + Send + Sync + 'static>(
+        refiner: R,
+        coarsest_size: usize,
+    ) -> Result<Pipeline, BisectError> {
+        let depth = CoarsenDepth::ToSize(coarsest_size).validate()?;
+        let name = format!("ML-{}", refiner.name());
+        Ok(Pipeline {
+            coarsener: Arc::new(RandomMatching),
+            depth,
+            initial: Arc::new(WeightBalancedInit),
+            refiner: Arc::new(refiner),
+            name,
+        })
+    }
+
+    /// A flat pipeline: no coarsening, random balanced start, one
+    /// refinement — the bare heuristic of the paper's protocol,
+    /// bit-identical to calling the refiner directly. Named after the
+    /// refiner.
+    pub fn flat<R: Refiner + Send + Sync + 'static>(refiner: R) -> Pipeline {
+        let name = refiner.name();
+        Pipeline {
+            coarsener: Arc::new(RandomMatching),
+            depth: CoarsenDepth::Flat,
+            initial: Arc::new(RandomInit),
+            refiner: Arc::new(refiner),
+            name,
+        }
+    }
+
+    /// Replaces the coarsening scheme (e.g. [`HeavyEdgeMatching`]).
+    pub fn with_coarsener<C: CoarsenScheme + 'static>(mut self, coarsener: C) -> Pipeline {
+        self.coarsener = Arc::new(coarsener);
+        self
+    }
+
+    /// Replaces the initial partitioner of the coarsest graph.
+    pub fn with_initial<I: InitialPartitioner + 'static>(mut self, initial: I) -> Pipeline {
+        self.initial = Arc::new(initial);
+        self
+    }
+
+    /// Replaces the coarsening depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BisectError::InvalidConfig`] for a `ToSize` target
+    /// below 2.
+    pub fn with_depth(mut self, depth: CoarsenDepth) -> Result<Pipeline, BisectError> {
+        self.depth = depth.validate()?;
+        Ok(self)
+    }
+
+    /// Overrides the display name used in experiment tables.
+    pub fn named(mut self, name: impl Into<String>) -> Pipeline {
+        self.name = name.into();
+        self
+    }
+
+    /// The configured coarsening depth.
+    pub fn depth(&self) -> CoarsenDepth {
+        self.depth
+    }
+
+    /// A one-line description of the composed stages, for diagnostics
+    /// (e.g. `"random-matching → levels(1) → weight-balanced → KL"`).
+    pub fn describe(&self) -> String {
+        let depth = match self.depth {
+            CoarsenDepth::Flat => "flat".to_string(),
+            CoarsenDepth::Levels(k) => format!("levels({k})"),
+            CoarsenDepth::ToSize(s) => format!("to-size({s})"),
+        };
+        format!(
+            "{} → {} → {} → {}",
+            self.coarsener.name(),
+            depth,
+            self.initial.name(),
+            self.refiner.name()
+        )
+    }
+
+    /// As [`Bisector::bisect_counted`], surfacing stage errors instead
+    /// of panicking. The built-in descriptors never fail; pipelines
+    /// with a fallible initial partitioner (e.g. [`ExactInit`]) should
+    /// be run through here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial partitioner's [`BisectError`].
+    pub fn try_bisect_counted(
+        &self,
+        g: &Graph,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> Result<(Bisection, u64), BisectError> {
+        engine::run(
+            self.coarsener.as_ref(),
+            self.depth,
+            self.initial.as_ref(),
+            self.refiner.as_ref(),
+            g,
+            rng,
+            ws,
+        )
+    }
+
+    /// As [`Bisector::bisect`], surfacing stage errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial partitioner's [`BisectError`].
+    pub fn try_bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Result<Bisection, BisectError> {
+        Ok(self.try_bisect_counted(g, rng, &mut Workspace::new())?.0)
+    }
+
+    /// Partitions `g` into `parts` balanced parts by recursive
+    /// bisection with this pipeline (see [`kway::recursive_partition`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BisectError::InvalidPartCount`] unless `parts` is a
+    /// positive power of two, and propagates any stage error.
+    pub fn partition_into(
+        &self,
+        g: &Graph,
+        parts: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<KWayPartition, BisectError> {
+        recursive_partition(self, g, parts, rng)
+    }
+}
+
+impl Bisector for Pipeline {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        self.bisect_in(g, rng, &mut Workspace::new())
+    }
+
+    fn bisect_in(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> Bisection {
+        self.bisect_counted(g, rng, ws).0
+    }
+
+    fn bisect_counted(
+        &self,
+        g: &Graph,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        match self.try_bisect_counted(g, rng, ws) {
+            Ok(result) => result,
+            Err(e) => panic!(
+                "pipeline `{}` ({}) failed: {e}; use try_bisect for fallible configurations",
+                self.name,
+                self.describe()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fm::FiducciaMattheyses;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn descriptor_names_match_the_tables() {
+        assert_eq!(Pipeline::ckl().name(), "CKL");
+        assert_eq!(Pipeline::csa().name(), "CSA");
+        assert_eq!(Pipeline::kl().name(), "KL");
+        assert_eq!(Pipeline::sa().name(), "SA");
+        assert_eq!(Pipeline::compacted(FiducciaMattheyses::new()).name(), "CFM");
+        assert_eq!(Pipeline::multilevel(KernighanLin::new()).name(), "ML-KL");
+    }
+
+    #[test]
+    fn flat_pipeline_is_bit_identical_to_bare_refiner() {
+        let g = special::grid(8, 8);
+        let mut ws = Workspace::new();
+        let direct =
+            KernighanLin::new().bisect_counted(&g, &mut StdRng::seed_from_u64(42), &mut ws);
+        let piped = Pipeline::kl().bisect_counted(&g, &mut StdRng::seed_from_u64(42), &mut ws);
+        assert_eq!(direct, piped);
+    }
+
+    #[test]
+    fn compacted_pipeline_balances_and_improves_trees() {
+        let g = special::binary_tree(254);
+        let mut rng = StdRng::seed_from_u64(1989);
+        let kl = crate::bisector::best_of(&Pipeline::kl(), &g, 2, &mut rng);
+        let ckl = crate::bisector::best_of(&Pipeline::ckl(), &g, 2, &mut rng);
+        assert!(ckl.is_balanced(&g));
+        assert!(ckl.cut() <= kl.cut(), "CKL {} > KL {}", ckl.cut(), kl.cut());
+    }
+
+    #[test]
+    fn multilevel_pipeline_near_optimal_on_grid() {
+        let g = special::grid(12, 12);
+        let mut rng = StdRng::seed_from_u64(1989);
+        let p =
+            crate::bisector::best_of(&Pipeline::multilevel(KernighanLin::new()), &g, 2, &mut rng);
+        assert!(p.cut() <= 16, "ML-KL cut {} (optimal 12)", p.cut());
+    }
+
+    #[test]
+    fn heavy_edge_coarsener_slots_in() {
+        let g = special::grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Pipeline::ckl()
+            .with_coarsener(HeavyEdgeMatching)
+            .bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn spectral_initial_slots_in() {
+        let g = special::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Pipeline::multilevel(KernighanLin::new())
+            .with_initial(SpectralInit::new())
+            .bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn exact_initial_errors_are_typed_not_panics() {
+        // ToSize(48) leaves a coarsest graph above the exact limit on a
+        // large enough input; the typed error must surface via try_*.
+        let g = special::grid(12, 12);
+        let pipeline = Pipeline::multilevel(KernighanLin::new())
+            .with_depth(CoarsenDepth::ToSize(100))
+            .unwrap()
+            .with_initial(ExactInit);
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = pipeline.try_bisect(&g, &mut rng).unwrap_err();
+        assert!(matches!(err, BisectError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn exact_initial_on_small_coarsest_succeeds() {
+        let g = special::grid(6, 6);
+        let pipeline = Pipeline::multilevel(KernighanLin::new())
+            .with_depth(CoarsenDepth::ToSize(12))
+            .unwrap()
+            .with_initial(ExactInit);
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = pipeline.try_bisect(&g, &mut rng).expect("coarsest <= 12");
+        assert!(p.is_balanced(&g));
+    }
+
+    #[test]
+    fn invalid_coarsest_size_is_a_typed_error() {
+        let err = Pipeline::multilevel_to(KernighanLin::new(), 1).unwrap_err();
+        assert!(matches!(err, BisectError::InvalidConfig(_)));
+        assert!(err.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn kway_partitioning_through_a_pipeline() {
+        let g = special::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Pipeline::kl().partition_into(&g, 4, &mut rng).unwrap();
+        assert_eq!(p.part_sizes(), vec![16, 16, 16, 16]);
+        let err = Pipeline::kl().partition_into(&g, 3, &mut rng).unwrap_err();
+        assert_eq!(err, BisectError::InvalidPartCount { parts: 3 });
+    }
+
+    #[test]
+    fn clone_shares_stages_and_is_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pipeline>();
+        let a = Pipeline::ckl();
+        let b = a.clone();
+        let g = special::grid(6, 6);
+        let x = a.bisect(&g, &mut StdRng::seed_from_u64(9));
+        let y = b.bisect(&g, &mut StdRng::seed_from_u64(9));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn describe_lists_all_stages() {
+        let d = Pipeline::ckl().describe();
+        assert!(d.contains("random-matching"), "{d}");
+        assert!(d.contains("levels(1)"), "{d}");
+        assert!(d.contains("weight-balanced"), "{d}");
+        assert!(d.contains("KL"), "{d}");
+    }
+
+    #[test]
+    fn named_overrides_table_name() {
+        assert_eq!(Pipeline::ckl().named("CKL-he").name(), "CKL-he");
+    }
+}

@@ -1,89 +1,32 @@
-//! Recursive bisection into `2^k` parts — the way the paper's
-//! motivating application (min-cut VLSI placement) actually consumes a
-//! bisection algorithm: bisect the netlist, then bisect each half,
-//! recursing until each region holds one block of cells.
+//! Recursive bisection into `2^k` parts — now a thin, deprecated shim
+//! over [`pipeline::kway`](crate::pipeline::kway).
 //!
-//! Any [`Bisector`] can drive the recursion; each level bisects the
-//! *induced subgraph* of the current region, so only edges inside a
-//! region influence its split (edges already cut at a higher level are
-//! paid for once).
+//! `RecursiveBisection::new(b).partition(g, parts, rng)` delegates to
+//! [`recursive_partition`](crate::pipeline::recursive_partition) and is
+//! bit-identical to the pre-pipeline implementation. New code should
+//! call [`Pipeline::partition_into`](crate::pipeline::Pipeline::partition_into)
+//! or [`pipeline::recursive_partition`](crate::pipeline::recursive_partition)
+//! directly, which report failures as
+//! [`BisectError`](crate::error::BisectError).
 
-use bisect_graph::{subgraph, Graph, VertexId};
+#![allow(deprecated)]
+
+use bisect_graph::Graph;
 use rand::RngCore;
 
 use crate::bisector::Bisector;
+use crate::error::BisectError;
 
-/// A partition of a graph's vertices into `num_parts` labeled parts.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct KWayPartition {
-    labels: Vec<u32>,
-    num_parts: usize,
-}
-
-impl KWayPartition {
-    /// The part of vertex `v`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v` is out of range.
-    pub fn part(&self, v: VertexId) -> u32 {
-        self.labels[v as usize]
-    }
-
-    /// Labels indexed by vertex id, each in `0..num_parts`.
-    pub fn labels(&self) -> &[u32] {
-        &self.labels
-    }
-
-    /// Number of parts.
-    pub fn num_parts(&self) -> usize {
-        self.num_parts
-    }
-
-    /// Vertices per part.
-    pub fn part_sizes(&self) -> Vec<usize> {
-        let mut sizes = vec![0usize; self.num_parts];
-        for &l in &self.labels {
-            sizes[l as usize] += 1;
-        }
-        sizes
-    }
-
-    /// Total weight of edges whose endpoints lie in different parts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `g` does not match the partition's vertex count.
-    pub fn cut(&self, g: &Graph) -> u64 {
-        assert_eq!(
-            g.num_vertices(),
-            self.labels.len(),
-            "partition does not match graph"
-        );
-        g.edges()
-            .filter(|&(u, v, _)| self.labels[u as usize] != self.labels[v as usize])
-            .map(|(_, _, w)| w)
-            .sum()
-    }
-}
+pub use crate::pipeline::KWayPartition;
 
 /// Recursive bisection driver.
 ///
-/// # Example
-///
-/// ```
-/// use bisect_core::{kl::KernighanLin, recursive::RecursiveBisection};
-/// use bisect_gen::special;
-/// use rand::SeedableRng;
-///
-/// let g = special::grid(8, 8);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let quad = RecursiveBisection::new(KernighanLin::new())
-///     .partition(&g, 4, &mut rng)
-///     .unwrap();
-/// assert_eq!(quad.num_parts(), 4);
-/// assert_eq!(quad.part_sizes(), vec![16, 16, 16, 16]);
-/// ```
+/// Deprecated: this is now a shim over
+/// [`pipeline::recursive_partition`](crate::pipeline::recursive_partition).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::partition_into` or `pipeline::recursive_partition` — bit-identical results"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecursiveBisection<B> {
     bisector: B,
@@ -91,6 +34,7 @@ pub struct RecursiveBisection<B> {
 
 /// Error returned for a part count that is not a power of two (or is
 /// zero).
+#[deprecated(since = "0.2.0", note = "use `error::BisectError::InvalidPartCount`")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvalidPartCountError {
     /// The rejected count.
@@ -133,53 +77,10 @@ impl<B: Bisector> RecursiveBisection<B> {
         parts: usize,
         rng: &mut dyn RngCore,
     ) -> Result<KWayPartition, InvalidPartCountError> {
-        if parts == 0 || !parts.is_power_of_two() {
-            return Err(InvalidPartCountError { parts });
-        }
-        let mut labels = vec![0u32; g.num_vertices()];
-        let all: Vec<VertexId> = g.vertices().collect();
-        self.split(g, &all, parts, 0, &mut labels, rng);
-        Ok(KWayPartition {
-            labels,
-            num_parts: parts,
+        crate::pipeline::recursive_partition(&self.bisector, g, parts, rng).map_err(|e| match e {
+            BisectError::InvalidPartCount { parts } => InvalidPartCountError { parts },
+            other => unreachable!("recursive_partition only rejects part counts: {other}"),
         })
-    }
-
-    fn split(
-        &self,
-        g: &Graph,
-        region: &[VertexId],
-        parts: usize,
-        first_label: u32,
-        labels: &mut [u32],
-        rng: &mut dyn RngCore,
-    ) {
-        if parts == 1 {
-            for &v in region {
-                labels[v as usize] = first_label;
-            }
-            return;
-        }
-        let (sub, map) = subgraph::induced_subgraph(g, region);
-        let bisection = self.bisector.bisect(&sub, rng);
-        let mut side_a = Vec::with_capacity(region.len() / 2 + 1);
-        let mut side_b = Vec::with_capacity(region.len() / 2 + 1);
-        for (new_id, &old_id) in map.iter().enumerate() {
-            if bisection.sides()[new_id] {
-                side_b.push(old_id);
-            } else {
-                side_a.push(old_id);
-            }
-        }
-        self.split(g, &side_a, parts / 2, first_label, labels, rng);
-        self.split(
-            g,
-            &side_b,
-            parts / 2,
-            first_label + (parts / 2) as u32,
-            labels,
-            rng,
-        );
     }
 }
 
@@ -211,14 +112,6 @@ mod tests {
     }
 
     #[test]
-    fn one_part_is_trivial() {
-        let g = special::grid(4, 4);
-        let p = quad(&g, 1, 0);
-        assert_eq!(p.cut(&g), 0);
-        assert_eq!(p.part_sizes(), vec![16]);
-    }
-
-    #[test]
     fn two_parts_match_plain_bisection_balance() {
         let g = special::grid(6, 6);
         let p = quad(&g, 2, 1);
@@ -227,48 +120,13 @@ mod tests {
     }
 
     #[test]
-    fn four_way_grid_partition_is_good() {
-        // Optimal 4-way cut of an 8x8 grid (quadrants) costs 16.
+    fn shim_is_bit_identical_to_pipeline_kway() {
         let g = special::grid(8, 8);
-        let p = quad(&g, 4, 3);
-        assert_eq!(p.part_sizes(), vec![16, 16, 16, 16]);
-        assert!(p.cut(&g) <= 28, "cut {}", p.cut(&g));
-        // All labels in range.
-        assert!(p.labels().iter().all(|&l| l < 4));
-    }
-
-    #[test]
-    fn eight_way_with_uneven_total() {
-        let g = special::binary_tree(100);
-        let p = quad(&g, 8, 4);
-        let sizes = p.part_sizes();
-        assert_eq!(sizes.iter().sum::<usize>(), 100);
-        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        assert!(max - min <= 2, "sizes {sizes:?}");
-    }
-
-    #[test]
-    fn cut_counts_inter_part_edges_exactly() {
-        let g = special::cycle(16);
-        let p = quad(&g, 4, 5);
-        // A cycle split into 4 contiguous arcs cuts 4 edges; any 4-way
-        // balanced split cuts at least 4.
-        assert!(p.cut(&g) >= 4);
-        // Cross-check against a manual count.
-        let manual: u64 = g
-            .edges()
-            .filter(|&(u, v, _)| p.part(u) != p.part(v))
-            .map(|(_, _, w)| w)
-            .sum();
-        assert_eq!(p.cut(&g), manual);
-    }
-
-    #[test]
-    fn parts_equal_vertices_gives_singletons() {
-        let g = special::grid(2, 4); // 8 vertices
-        let p = quad(&g, 8, 6);
-        assert_eq!(p.part_sizes(), vec![1; 8]);
-        assert_eq!(p.cut(&g), g.num_edges() as u64);
+        let legacy = quad(&g, 4, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let piped =
+            crate::pipeline::recursive_partition(&KernighanLin::new(), &g, 4, &mut rng).unwrap();
+        assert_eq!(legacy, piped);
     }
 
     #[test]

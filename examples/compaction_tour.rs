@@ -1,14 +1,15 @@
 //! A step-by-step tour of the compaction heuristic (§V of the paper),
-//! driving each of its five steps through the public API instead of
-//! using the packaged `Compacted` wrapper.
+//! driving each of its five steps through the public API, then showing
+//! that one [`Pipeline`] call replays the exact same five steps.
 //!
 //! ```text
 //! cargo run --release --example compaction_tour
 //! ```
 
-use bisect_core::bisector::Refiner;
+use bisect_core::bisector::{Bisector, Refiner};
 use bisect_core::kl::KernighanLin;
 use bisect_core::partition::{rebalance, Bisection};
+use bisect_core::pipeline::Pipeline;
 use bisect_core::seed;
 use bisect_gen::rng::LaggedFibonacci;
 use bisect_gen::special;
@@ -66,4 +67,21 @@ fn main() {
     let plain = kl.refine(&g, plain_init, &mut rng);
     println!("\nplain KL from a random start: cut {}", plain.cut());
     println!("compacted KL:                 cut {}", compacted.cut());
+
+    // The packaged pipeline runs the same five steps — same rng draw
+    // order, so from the same seed it reproduces the manual tour bit
+    // for bit.
+    let ckl = Pipeline::ckl();
+    let mut fresh = LaggedFibonacci::seed_from_u64(1989);
+    let packaged = ckl.bisect(&g, &mut fresh);
+    println!(
+        "\npipeline [{}] in one call: cut {}",
+        ckl.describe(),
+        packaged.cut()
+    );
+    assert_eq!(
+        packaged.sides(),
+        compacted.sides(),
+        "the pipeline replays the manual steps exactly"
+    );
 }

@@ -13,9 +13,9 @@
 //! ```
 
 use bisect_core::bisector::{best_of, Bisector};
-use bisect_core::compaction::Compacted;
 use bisect_core::kl::KernighanLin;
 use bisect_core::netlist::{NetlistBisection, NetlistFm};
+use bisect_core::pipeline::Pipeline;
 use bisect_gen::rng::LaggedFibonacci;
 use bisect_graph::hypergraph::{Netlist, NetlistBuilder};
 use rand::seq::SliceRandom;
@@ -71,7 +71,7 @@ fn main() {
     let clique = netlist.to_clique_graph();
     for algo in [
         Box::new(KernighanLin::new()) as Box<dyn Bisector>,
-        Box::new(Compacted::new(KernighanLin::new())),
+        Box::new(Pipeline::ckl()),
     ] {
         let p = best_of(algo.as_ref(), &clique, 2, &mut rng);
         let rescored =

@@ -12,8 +12,7 @@
 //! cargo run --release --example placement
 //! ```
 
-use bisect_core::kl::KernighanLin;
-use bisect_core::recursive::RecursiveBisection;
+use bisect_core::pipeline::Pipeline;
 use bisect_gen::geometric::{self, GeometricParams};
 use bisect_gen::rng::LaggedFibonacci;
 use rand::SeedableRng;
@@ -30,9 +29,9 @@ fn main() {
     );
 
     let parts = 16usize;
-    let placer = RecursiveBisection::new(KernighanLin::new());
+    let placer = Pipeline::kl();
     let placement = placer
-        .partition(&netlist, parts, &mut rng)
+        .partition_into(&netlist, parts, &mut rng)
         .expect("16 is a power of two");
     println!(
         "{}-way recursive KL bisection: {} nets cross region boundaries",

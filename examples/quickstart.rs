@@ -5,9 +5,9 @@
 //! ```
 
 use bisect_core::bisector::{best_of, Bisector};
-use bisect_core::compaction::Compacted;
 use bisect_core::exact::minimum_bisection;
 use bisect_core::kl::KernighanLin;
+use bisect_core::pipeline::Pipeline;
 use bisect_core::sa::SimulatedAnnealing;
 use bisect_gen::rng::LaggedFibonacci;
 use bisect_gen::special;
@@ -29,8 +29,8 @@ fn main() {
     let algorithms: Vec<Box<dyn Bisector>> = vec![
         Box::new(KernighanLin::new()),
         Box::new(SimulatedAnnealing::new()),
-        Box::new(Compacted::new(KernighanLin::new())), // CKL
-        Box::new(Compacted::new(SimulatedAnnealing::new())), // CSA
+        Box::new(Pipeline::ckl()),
+        Box::new(Pipeline::csa()),
     ];
     let mut rng = LaggedFibonacci::seed_from_u64(1989);
     for algo in &algorithms {

@@ -10,8 +10,8 @@
 //! ```
 
 use bisect_core::bisector::best_of;
-use bisect_core::compaction::Compacted;
 use bisect_core::kl::KernighanLin;
+use bisect_core::pipeline::Pipeline;
 use bisect_core::sa::SimulatedAnnealing;
 use bisect_gen::gbreg::{self, GbregParams};
 use bisect_gen::rng::LaggedFibonacci;
@@ -32,10 +32,10 @@ fn main() {
         let g = gbreg::sample(&mut rng, &params).expect("construction succeeds");
 
         let kl = best_of(&KernighanLin::new(), &g, 2, &mut rng).cut();
-        let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
+        let ckl = best_of(&Pipeline::ckl(), &g, 2, &mut rng).cut();
         let sa = best_of(&SimulatedAnnealing::quick(), &g, 2, &mut rng).cut();
         let csa = best_of(
-            &Compacted::new(SimulatedAnnealing::quick()),
+            &Pipeline::compacted(SimulatedAnnealing::quick()),
             &g,
             2,
             &mut rng,

@@ -17,9 +17,9 @@
 //! ```
 
 use bisect_core::bisector::{best_of, Bisector};
-use bisect_core::compaction::Compacted;
 use bisect_core::kl::KernighanLin;
 use bisect_core::partition::Side;
+use bisect_core::pipeline::Pipeline;
 use bisect_core::spectral::SpectralBisector;
 use bisect_gen::rng::LaggedFibonacci;
 use bisect_graph::{io, GraphBuilder, VertexId};
@@ -86,7 +86,7 @@ fn main() {
 
     let algorithms: Vec<Box<dyn Bisector>> = vec![
         Box::new(KernighanLin::new()),
-        Box::new(Compacted::new(KernighanLin::new())),
+        Box::new(Pipeline::ckl()),
         Box::new(SpectralBisector::new()),
     ];
     for algo in &algorithms {

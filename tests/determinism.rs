@@ -74,6 +74,47 @@ fn sa_family_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn composed_pipelines_are_bit_identical_across_thread_counts() {
+    // Custom pipeline compositions (not just the packaged descriptors)
+    // go through the same derived-seed trial engine, so they must also
+    // be scheduling-independent.
+    use bisect_core::kl::KernighanLin;
+    use bisect_core::pipeline::{HeavyEdgeMatching, Pipeline, SpectralInit};
+    let g = gbreg_500();
+    let algos: [(&str, Pipeline); 3] = [
+        ("ML-KL", Pipeline::multilevel(KernighanLin::new())),
+        (
+            "ML-KL-8",
+            Pipeline::multilevel_to(KernighanLin::new(), 8).expect("8 >= 2"),
+        ),
+        (
+            "CKL-heavy-spectral",
+            Pipeline::ckl()
+                .with_coarsener(HeavyEdgeMatching)
+                .with_initial(SpectralInit::default()),
+        ),
+    ];
+    for (name, algo) in &algos {
+        let serial = run_best_of_sides(algo, &g, 4, 77, 1);
+        for threads in [2, 4] {
+            let par = run_best_of_sides(algo, &g, 4, 77, threads);
+            assert_eq!(
+                par.0.cut, serial.0.cut,
+                "{name} cut differs at {threads} threads"
+            );
+            assert_eq!(
+                par.0.passes, serial.0.passes,
+                "{name} passes differ at {threads} threads"
+            );
+            assert_eq!(
+                par.1, serial.1,
+                "{name} bisection differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn suite_results_do_not_depend_on_ambient_thread_count() {
     // Suite::run fans the four algorithms out in parallel; the results
     // must still match a rerun (same seeds, arbitrary scheduling).

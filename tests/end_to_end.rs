@@ -2,12 +2,11 @@
 //! algorithm, with invariants checked end to end.
 
 use bisect_core::bisector::{best_of, Bisector, RandomBisector};
-use bisect_core::compaction::Compacted;
 use bisect_core::exact::minimum_bisection;
 use bisect_core::fm::FiducciaMattheyses;
 use bisect_core::greedy::GreedyGrowth;
 use bisect_core::kl::KernighanLin;
-use bisect_core::multilevel::Multilevel;
+use bisect_core::pipeline::Pipeline;
 use bisect_core::sa::SimulatedAnnealing;
 use bisect_core::spectral::SpectralBisector;
 use bisect_gen::rng::LaggedFibonacci;
@@ -22,11 +21,11 @@ fn all_algorithms() -> Vec<Box<dyn Bisector>> {
         Box::new(KernighanLin::new()),
         Box::new(FiducciaMattheyses::new()),
         Box::new(SimulatedAnnealing::quick()),
-        Box::new(Compacted::new(KernighanLin::new())),
-        Box::new(Compacted::new(SimulatedAnnealing::quick())),
-        Box::new(Compacted::new(FiducciaMattheyses::new())),
-        Box::new(Multilevel::new(KernighanLin::new())),
-        Box::new(Multilevel::new(FiducciaMattheyses::new())),
+        Box::new(Pipeline::ckl()),
+        Box::new(Pipeline::compacted(SimulatedAnnealing::quick())),
+        Box::new(Pipeline::compacted(FiducciaMattheyses::new())),
+        Box::new(Pipeline::multilevel(KernighanLin::new())),
+        Box::new(Pipeline::multilevel(FiducciaMattheyses::new())),
         Box::new(SpectralBisector::new()),
     ]
 }
@@ -123,7 +122,7 @@ fn local_search_reaches_optimum_on_easy_instances() {
         for algo in [
             Box::new(KernighanLin::new()) as Box<dyn Bisector>,
             Box::new(FiducciaMattheyses::new()),
-            Box::new(Compacted::new(KernighanLin::new())),
+            Box::new(Pipeline::ckl()),
         ] {
             let mut rng = LaggedFibonacci::seed_from_u64(9);
             let p = best_of(algo.as_ref(), &g, 8, &mut rng);
@@ -170,14 +169,11 @@ fn facade_crate_reexports_work() {
 fn recursive_placement_pipeline() {
     // The full min-cut placement workflow: geometric netlist →
     // recursive KL → labeled regions.
-    use bisect_core::recursive::RecursiveBisection;
     use bisect_gen::geometric::{self, GeometricParams};
     let mut rng = LaggedFibonacci::seed_from_u64(12);
     let params = GeometricParams::with_average_degree(400, 6.0).unwrap();
     let g = geometric::sample(&mut rng, &params);
-    let placement = RecursiveBisection::new(KernighanLin::new())
-        .partition(&g, 8, &mut rng)
-        .unwrap();
+    let placement = Pipeline::kl().partition_into(&g, 8, &mut rng).unwrap();
     let sizes = placement.part_sizes();
     assert_eq!(sizes.iter().sum::<usize>(), 400);
     assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 2);
@@ -257,7 +253,7 @@ fn planted_bisection_is_respected_by_gbreg() {
     let g = gbreg::sample(&mut rng, &params).unwrap();
     let planted = bisect_core::partition::Bisection::planted(&g);
     assert_eq!(planted.cut(), 6);
-    let p = best_of(&Compacted::new(KernighanLin::new()), &g, 4, &mut rng);
+    let p = best_of(&Pipeline::ckl(), &g, 4, &mut rng);
     assert!(
         p.cut() <= 6 * 3,
         "CKL cut {} far above planted width",

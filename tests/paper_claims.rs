@@ -4,8 +4,8 @@
 //! (who wins, roughly by how much) must hold for fixed seeds.
 
 use bisect_core::bisector::best_of;
-use bisect_core::compaction::Compacted;
 use bisect_core::kl::KernighanLin;
+use bisect_core::pipeline::Pipeline;
 use bisect_core::sa::SimulatedAnnealing;
 use bisect_gen::rng::LaggedFibonacci;
 use bisect_gen::{gbreg, special};
@@ -48,13 +48,13 @@ fn observation2_compaction_rescues_sparse_instances() {
     let mut rng = LaggedFibonacci::seed_from_u64(2);
     let g = gbreg::sample(&mut rng, &params).unwrap();
     let kl = best_of(&KernighanLin::new(), &g, 2, &mut rng).cut();
-    let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
+    let ckl = best_of(&Pipeline::ckl(), &g, 2, &mut rng).cut();
     assert!(
         (ckl as f64) < 0.5 * kl as f64,
         "CKL ({ckl}) should cut at most half of KL ({kl}) on degree-3 Gbreg"
     );
     let sa_cut = best_of(&sa(), &g, 2, &mut rng).cut();
-    let csa_cut = best_of(&Compacted::new(sa()), &g, 2, &mut rng).cut();
+    let csa_cut = best_of(&Pipeline::compacted(sa()), &g, 2, &mut rng).cut();
     assert!(
         csa_cut <= sa_cut,
         "CSA ({csa_cut}) should not be worse than SA ({sa_cut}) on degree-3 Gbreg"
@@ -68,7 +68,7 @@ fn observation3_compaction_on_binary_trees() {
     let g = special::binary_tree(510);
     let mut rng = LaggedFibonacci::seed_from_u64(3);
     let kl = best_of(&KernighanLin::new(), &g, 2, &mut rng).cut();
-    let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
+    let ckl = best_of(&Pipeline::ckl(), &g, 2, &mut rng).cut();
     assert!(
         ckl < kl,
         "CKL ({ckl}) should beat KL ({kl}) on a binary tree"
@@ -142,8 +142,8 @@ fn observation5_compacted_gap_closes() {
     let params = gbreg::GbregParams::new(400, 8, 3).unwrap();
     let mut rng = LaggedFibonacci::seed_from_u64(5);
     let g = gbreg::sample(&mut rng, &params).unwrap();
-    let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
-    let csa = best_of(&Compacted::new(sa()), &g, 2, &mut rng).cut();
+    let ckl = best_of(&Pipeline::ckl(), &g, 2, &mut rng).cut();
+    let csa = best_of(&Pipeline::compacted(sa()), &g, 2, &mut rng).cut();
     let spread = ckl.abs_diff(csa);
     assert!(
         spread <= 16,
@@ -159,7 +159,7 @@ fn degree2_instances_near_zero_cut() {
     let params = gbreg::GbregParams::new(200, 4, 2).unwrap();
     let mut rng = LaggedFibonacci::seed_from_u64(6);
     let g = gbreg::sample(&mut rng, &params).unwrap();
-    let ckl = best_of(&Compacted::new(KernighanLin::new()), &g, 2, &mut rng).cut();
+    let ckl = best_of(&Pipeline::ckl(), &g, 2, &mut rng).cut();
     assert!(
         ckl <= 4,
         "CKL on a union of cycles found {ckl}, expected near zero"

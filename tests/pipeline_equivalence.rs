@@ -1,0 +1,193 @@
+//! Equivalence guarantees of the pipeline refactor: the composable
+//! [`Pipeline`] descriptors must be *bit-identical* — same cut, same
+//! side vector, same pass counts — to the legacy bespoke
+//! implementations they replaced, at every thread count. Property tests
+//! exercise random `Gbreg`/`Gnp` instances against the deprecated shims
+//! and golden pins lock the absolute values captured from the
+//! pre-refactor tree, so neither side can drift silently.
+
+#![allow(deprecated)]
+
+use bisect_bench::profile::Profile;
+use bisect_bench::runner::run_best_of_sides;
+use bisect_bench::Suite;
+use bisect_core::bisector::Bisector;
+use bisect_core::compaction::Compacted;
+use bisect_core::kl::KernighanLin;
+use bisect_core::pipeline::Pipeline;
+use bisect_core::sa::SimulatedAnnealing;
+use bisect_gen::gbreg::{self, GbregParams};
+use bisect_gen::gnp::{self, GnpParams};
+use bisect_gen::rng::LaggedFibonacci;
+use bisect_gen::special;
+use bisect_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FNV-1a over the side bits — the fingerprint used when the golden
+/// values were captured from the pre-refactor tree.
+fn sides_fingerprint(sides: &[bool]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &s in sides {
+        h ^= s as u64 + 1;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Asserts one pipeline/legacy pair bit-identical under the paper's
+/// best-of-starts protocol, serially and with a parallel trial pool.
+fn assert_bit_identical(
+    pipeline: &(dyn Bisector + Sync),
+    legacy: &(dyn Bisector + Sync),
+    g: &Graph,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    for threads in [1usize, 4] {
+        let (pr, ps) = run_best_of_sides(pipeline, g, 2, seed, threads);
+        let (lr, ls) = run_best_of_sides(legacy, g, 2, seed, threads);
+        prop_assert_eq!(
+            pr.cut,
+            lr.cut,
+            "cut differs at {} threads ({})",
+            threads,
+            pipeline.name()
+        );
+        prop_assert_eq!(
+            pr.passes,
+            lr.passes,
+            "passes differ at {} threads ({})",
+            threads,
+            pipeline.name()
+        );
+        prop_assert_eq!(
+            ps,
+            ls,
+            "side vector differs at {} threads ({})",
+            threads,
+            pipeline.name()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ckl_matches_legacy_compaction_on_gbreg(
+        half in 10usize..=30,
+        b in 1usize..=4,
+        d in 3usize..=4,
+        seed in 0u64..1000,
+    ) {
+        // Parity: each side's internal degree sum `half·d − b` must be
+        // even, so give `b` the parity of `half·d`.
+        let b = 2 * b + (half * d) % 2;
+        let params = GbregParams::new(2 * half, b, d).expect("feasible parameters");
+        let mut rng = LaggedFibonacci::seed_from_u64(seed);
+        let g = gbreg::sample(&mut rng, &params).expect("construction succeeds");
+        assert_bit_identical(&Pipeline::ckl(), &Compacted::new(KernighanLin::new()), &g, seed)?;
+    }
+
+    #[test]
+    fn csa_matches_legacy_compaction_on_gnp(
+        half in 8usize..=16,
+        degree in 2u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let params = GnpParams::with_average_degree(2 * half, degree as f64)
+            .expect("feasible parameters");
+        let mut rng = LaggedFibonacci::seed_from_u64(seed);
+        let g = gnp::sample(&mut rng, &params);
+        assert_bit_identical(
+            &Pipeline::csa(),
+            &Compacted::new(SimulatedAnnealing::new()),
+            &g,
+            seed,
+        )?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden pins: absolute values captured by running the *pre-refactor*
+// legacy implementations (bespoke `Compacted`/`Multilevel`/
+// `RecursiveBisection` recursion, before the engine existed) on these
+// exact workloads. The pipeline must keep reproducing them bit for bit.
+// ---------------------------------------------------------------------
+
+fn gbreg_graph(n: usize, b: usize, d: usize, seed: u64) -> Graph {
+    let params = GbregParams::new(n, b, d).expect("feasible parameters");
+    let mut rng = LaggedFibonacci::seed_from_u64(seed);
+    gbreg::sample(&mut rng, &params).expect("construction succeeds")
+}
+
+#[test]
+fn golden_ckl_on_gbreg500() {
+    let g = gbreg_graph(500, 16, 3, 0xDAC_1989);
+    let (r, sides) = run_best_of_sides(&Pipeline::ckl(), &g, 4, 77, 1);
+    assert_eq!(r.cut, 16);
+    assert_eq!(r.passes, 14);
+    assert_eq!(sides_fingerprint(&sides), 0x3b7164fad75fde8f);
+}
+
+#[test]
+fn golden_sa_family_on_gbreg120() {
+    let g = gbreg_graph(120, 8, 3, 0xDAC_1990);
+    let suite = Suite::for_profile(&Profile::smoke());
+    let (r, sides) = run_best_of_sides(&suite.csa, &g, 4, 91, 1);
+    assert_eq!((r.cut, r.passes), (8, 227), "CSA");
+    assert_eq!(sides_fingerprint(&sides), 0x672fd7132ec05c99, "CSA");
+    let (r, sides) = run_best_of_sides(&suite.sa, &g, 4, 91, 1);
+    assert_eq!((r.cut, r.passes), (8, 110), "SA");
+    assert_eq!(sides_fingerprint(&sides), 0x672fd7132ec05c99, "SA");
+}
+
+#[test]
+fn golden_multilevel_on_grid10() {
+    let g = special::grid(10, 10);
+    let p = Pipeline::multilevel(KernighanLin::new()).bisect(&g, &mut StdRng::seed_from_u64(1));
+    assert_eq!(
+        (p.cut(), sides_fingerprint(p.sides())),
+        (10, 0x4d9aae4ebce23667)
+    );
+    let ml8 = Pipeline::multilevel_to(KernighanLin::new(), 8).expect("8 >= 2");
+    let p = ml8.bisect(&g, &mut StdRng::seed_from_u64(4));
+    assert_eq!(
+        (p.cut(), sides_fingerprint(p.sides())),
+        (10, 0xdb6617adcd90ab31)
+    );
+    let p =
+        Pipeline::multilevel(SimulatedAnnealing::quick()).bisect(&g, &mut StdRng::seed_from_u64(9));
+    assert_eq!(
+        (p.cut(), sides_fingerprint(p.sides())),
+        (10, 0xdb6617adcd90ab31)
+    );
+}
+
+#[test]
+fn golden_recursive_partition_on_grid8() {
+    let g = special::grid(8, 8);
+    let part = Pipeline::kl()
+        .partition_into(&g, 4, &mut StdRng::seed_from_u64(3))
+        .expect("4 is a power of two");
+    assert_eq!(part.cut(&g), 16);
+    assert_eq!(part.part_sizes(), vec![16, 16, 16, 16]);
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &l in part.labels() {
+        h ^= l as u64 + 1;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    assert_eq!(h, 0x189326d85ea1b885);
+}
+
+#[test]
+fn golden_ckl_on_edgeless_graph() {
+    // The empty-matching fallback path (§V: compaction on an edgeless
+    // graph degenerates to the bare refiner).
+    let g = Graph::empty(8);
+    let p = Pipeline::ckl().bisect(&g, &mut StdRng::seed_from_u64(3));
+    assert_eq!(p.cut(), 0);
+    assert_eq!(sides_fingerprint(p.sides()), 0xbf7bb3530de7b57);
+}

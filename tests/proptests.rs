@@ -282,7 +282,7 @@ proptest! {
         let algos: Vec<Box<dyn Bisector>> = vec![
             Box::new(KernighanLin::new()),
             Box::new(FiducciaMattheyses::new()),
-            Box::new(bisect_core::compaction::Compacted::new(KernighanLin::new())),
+            Box::new(bisect_core::pipeline::Pipeline::ckl()),
         ];
         for algo in algos {
             let mut rng = LaggedFibonacci::seed_from_u64(seed);
