@@ -104,6 +104,7 @@ pub fn best_of<B: Bisector + ?Sized>(
             best = Some(candidate);
         }
     }
+    // lint: allow(no-panic) — starts >= 1 is asserted by the caller contract above
     best.expect("at least one start ran")
 }
 

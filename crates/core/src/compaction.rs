@@ -101,6 +101,7 @@ impl<B: Refiner> Compacted<B> {
             rng,
             ws,
         )
+        // lint: allow(no-panic) — the fixed stage list contains no fallible stage
         .expect("compaction stages are infallible")
     }
 }

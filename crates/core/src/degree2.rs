@@ -63,12 +63,14 @@ pub fn bisect_degree2(g: &Graph) -> Option<Bisection> {
     // Cut 2: whole components plus an arc of any excluded component.
     // The maximal reachable sum j* leaves every unused component larger
     // than the remainder, so this always completes.
+    // lint: allow(no-panic) — the empty subset reaches 0 <= target
     let (chosen, j) = subset_sum_below(&sizes, None, target).expect("0 is always reachable");
     let r = target - j;
     let split = chosen
         .iter()
         .enumerate()
         .position(|(i, &used)| !used && sizes[i] > r)
+        // lint: allow(no-panic) — j* maximal means some unused component exceeds r
         .expect("maximality of j* guarantees an oversized unused component");
     Some(build(g, &components, &chosen, Some((split, r))))
 }
@@ -198,6 +200,7 @@ fn build(
             side[v as usize] = false;
         }
     }
+    // lint: allow(no-panic) — side has exactly num_vertices entries, target per side
     Bisection::from_sides(g, side).expect("side vector covers every vertex")
 }
 

@@ -53,6 +53,7 @@ pub fn minimum_bisection(g: &Graph) -> Result<Bisection, TooLargeError> {
         return Err(TooLargeError { num_vertices: n });
     }
     if n == 0 {
+        // lint: allow(no-panic) — the empty assignment is balanced for n = 0
         return Ok(Bisection::from_sides(g, Vec::new()).expect("empty sides fit"));
     }
 
@@ -70,6 +71,7 @@ pub fn minimum_bisection(g: &Graph) -> Result<Bisection, TooLargeError> {
         best_sides[v as usize] = true;
     }
     let mut best_cut = Bisection::from_sides(g, best_sides.clone())
+        // lint: allow(no-panic) — exactly ⌊n/2⌋ vertices were sent to side B
         .expect("initial incumbent valid")
         .cut();
 
@@ -99,6 +101,7 @@ pub fn minimum_bisection(g: &Graph) -> Result<Bisection, TooLargeError> {
         search.recurse(&mut sides, 0, 0, 0, 0);
     }
 
+    // lint: allow(no-panic) — the search only stores full balanced assignments
     Ok(Bisection::from_sides(g, best_sides).expect("search produced full assignment"))
 }
 
@@ -174,6 +177,7 @@ impl Bisector for ExactBisector {
     ///
     /// Panics if the graph exceeds [`MAX_VERTICES`].
     fn bisect(&self, g: &Graph, _rng: &mut dyn RngCore) -> Bisection {
+        // lint: allow(no-panic) — documented panic contract of the infallible Bisector facade
         minimum_bisection(g).expect("graph within exact solver limits")
     }
 }

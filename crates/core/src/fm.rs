@@ -109,8 +109,10 @@ impl FiducciaMattheyses {
         if let Some(w) = ws.fm_work.as_mut() {
             w.copy_from(p);
         } else {
+            // lint: allow(zero-alloc) — one-time workspace warm-up, recycled afterwards
             ws.fm_work = Some(p.clone());
         }
+        // lint: allow(no-panic) — both branches above leave fm_work populated
         let work = ws.fm_work.as_mut().expect("just populated");
         ws.locked.clear();
         ws.locked.resize(n, false);
@@ -156,6 +158,7 @@ impl FiducciaMattheyses {
                 }
             }
             let Some((gain, side)) = choice else { break };
+            // lint: allow(no-panic) — choice is Some only when that bucket had a peek
             let (_, v) = buckets[side.index()].pop_best().expect("peeked nonempty");
             locked[v as usize] = true;
             work.move_vertex(g, v);

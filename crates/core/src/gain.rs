@@ -28,8 +28,11 @@ impl GainBuckets {
         let width = (2 * max_gain_abs + 1).max(1) as usize;
         GainBuckets {
             offset: max_gain_abs,
+            // lint: allow(zero-alloc) — constructor warm-up; reset() reuses these
             buckets: vec![Vec::new(); width],
+            // lint: allow(zero-alloc) — constructor warm-up; reset() reuses these
             pos: vec![u32::MAX; num_elements],
+            // lint: allow(zero-alloc) — constructor warm-up; reset() reuses these
             gain: vec![0; num_elements],
             max_idx: 0,
             len: 0,
@@ -44,6 +47,7 @@ impl GainBuckets {
         let width = (2 * max_gain_abs + 1).max(1) as usize;
         self.offset = max_gain_abs;
         if self.buckets.len() < width {
+            // lint: allow(zero-alloc) — grows only when the gain radius widens (warm-up)
             self.buckets.resize_with(width, Vec::new);
         }
         for bucket in &mut self.buckets {
@@ -119,6 +123,7 @@ impl GainBuckets {
             debug_assert!(self.max_idx > 0, "len > 0 but all buckets empty");
             self.max_idx -= 1;
         }
+        // lint: allow(no-panic) — the loop above stopped on a nonempty bucket
         let v = *self.buckets[self.max_idx].last().expect("bucket nonempty");
         Some((self.max_idx as i64 - self.offset, v))
     }
@@ -153,6 +158,7 @@ impl SortedBuckets {
         let width = (2 * max_gain_abs + 1).max(1) as usize;
         self.offset = max_gain_abs;
         if self.buckets.len() < width {
+            // lint: allow(zero-alloc) — grows only when the gain radius widens (warm-up)
             self.buckets.resize_with(width, Vec::new);
         }
         for bucket in &mut self.buckets {

@@ -69,6 +69,7 @@ impl Bisector for GreedyGrowth {
                 best = Some(candidate);
             }
         }
+        // lint: allow(no-panic) — attempts is validated >= 1 at construction
         best.expect("attempts >= 1")
     }
 }

@@ -80,6 +80,7 @@ impl<B: Refiner> Bisector for Multilevel<B> {
             rng,
             ws,
         )
+        // lint: allow(no-panic) — the fixed stage list contains no fallible stage
         .expect("multilevel stages are infallible")
         .0
     }

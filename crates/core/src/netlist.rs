@@ -97,6 +97,7 @@ impl NetlistBisection {
         for &c in &perm[..n.div_ceil(2)] {
             side[c as usize] = false;
         }
+        // lint: allow(no-panic) — side was sized to the cell count just above
         NetlistBisection::from_sides(nl, side).expect("length matches")
     }
 
@@ -357,6 +358,7 @@ impl NetlistFm {
                 }
             }
             let Some((gain, side)) = choice else { break };
+            // lint: allow(no-panic) — choice is Some only when that bucket had a peek
             let (_, c) = buckets[side.index()].pop_best().expect("peeked nonempty");
             locked[c as usize] = true;
 
@@ -477,6 +479,7 @@ impl CompactedNetlistFm {
         let coarse_bisection = self.inner.refine(coarse, coarse_init);
         let mut projected =
             NetlistBisection::from_sides(nl, c.project_sides(coarse_bisection.sides()))
+                // lint: allow(no-panic) — project_sides returns one entry per fine cell
                 .expect("projection covers every fine cell");
         rebalance(nl, &mut projected);
         let refined = self.inner.refine(nl, projected);
@@ -549,6 +552,7 @@ impl MultilevelNetlistFm {
             let fine: &Netlist = if i == 0 { nl } else { ladder[i - 1].coarse() };
             let mut projected =
                 NetlistBisection::from_sides(fine, ladder[i].project_sides(current.sides()))
+                    // lint: allow(no-panic) — project_sides returns one entry per fine cell
                     .expect("projection matches fine cell count");
             rebalance(fine, &mut projected);
             current = self.inner.refine(fine, projected);
@@ -573,6 +577,7 @@ fn weight_balanced_random<R: Rng + ?Sized>(nl: &Netlist, rng: &mut R) -> Netlist
         side[c as usize] = target == 1;
         weights[target] += nl.cell_weight(c);
     }
+    // lint: allow(no-panic) — side was sized to the cell count just above
     NetlistBisection::from_sides(nl, side).expect("length matches")
 }
 

@@ -142,6 +142,7 @@ impl Bisection {
     pub fn planted(g: &Graph) -> Bisection {
         let n = g.num_vertices();
         let side: Vec<bool> = (0..n).map(|v| v >= n / 2).collect();
+        // lint: allow(no-panic) — side was built with one entry per vertex, halves exact
         Bisection::from_sides(g, side).expect("side vector has correct length")
     }
 
@@ -351,6 +352,7 @@ fn compute_cut(g: &Graph, side: &[bool]) -> EdgeWeight {
 fn apply_gain(cut: EdgeWeight, gain: i64) -> EdgeWeight {
     if gain >= 0 {
         cut.checked_sub(gain as u64)
+            // lint: allow(no-panic) — a positive gain is a sum of currently-cut edge weights
             .expect("gain cannot exceed the cut")
     } else {
         cut + (-gain) as u64
@@ -391,6 +393,7 @@ pub fn rebalance(g: &Graph, p: &mut Bisection) {
                     .members(heavy)
                     .into_iter()
                     .min_by_key(|&v| (2 * g.vertex_weight(v)).abs_diff(imbalance))
+                    // lint: allow(no-panic) — imbalance > 0 implies the heavy side has members
                     .expect("heavier side is nonempty");
                 if (2 * g.vertex_weight(v)).abs_diff(imbalance) < imbalance {
                     p.move_vertex(g, v);

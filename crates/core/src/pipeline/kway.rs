@@ -83,7 +83,7 @@ pub fn recursive_partition<B: Bisector + ?Sized>(
     }
     let mut labels = vec![0u32; g.num_vertices()];
     let all: Vec<VertexId> = g.vertices().collect();
-    split(bisector, g, &all, parts, 0, &mut labels, rng);
+    split(bisector, g, &all, parts, 0, &mut labels, rng)?;
     Ok(KWayPartition {
         labels,
         num_parts: parts,
@@ -98,14 +98,14 @@ fn split<B: Bisector + ?Sized>(
     first_label: u32,
     labels: &mut [u32],
     rng: &mut dyn RngCore,
-) {
+) -> Result<(), BisectError> {
     if parts == 1 {
         for &v in region {
             labels[v as usize] = first_label;
         }
-        return;
+        return Ok(());
     }
-    let (sub, map) = subgraph::induced_subgraph(g, region);
+    let (sub, map) = subgraph::induced_subgraph(g, region)?;
     let bisection = bisector.bisect(&sub, rng);
     let mut side_a = Vec::with_capacity(region.len() / 2 + 1);
     let mut side_b = Vec::with_capacity(region.len() / 2 + 1);
@@ -116,7 +116,7 @@ fn split<B: Bisector + ?Sized>(
             side_a.push(old_id);
         }
     }
-    split(bisector, g, &side_a, parts / 2, first_label, labels, rng);
+    split(bisector, g, &side_a, parts / 2, first_label, labels, rng)?;
     split(
         bisector,
         g,
@@ -125,7 +125,7 @@ fn split<B: Bisector + ?Sized>(
         first_label + (parts / 2) as u32,
         labels,
         rng,
-    );
+    )
 }
 
 #[cfg(test)]

@@ -149,6 +149,7 @@ impl Pipeline {
     /// deprecated `Multilevel::new(refiner)`. Named `ML-{refiner}`.
     pub fn multilevel<R: Refiner + Send + Sync + 'static>(refiner: R) -> Pipeline {
         Pipeline::multilevel_to(refiner, DEFAULT_COARSEST_SIZE)
+            // lint: allow(no-panic) — DEFAULT_COARSEST_SIZE satisfies multilevel_to's check
             .expect("default coarsest size is valid")
     }
 
@@ -311,6 +312,7 @@ impl Bisector for Pipeline {
     ) -> (Bisection, u64) {
         match self.try_bisect_counted(g, rng, ws) {
             Ok(result) => result,
+            // lint: allow(no-panic) — documented contract of the infallible facade
             Err(e) => panic!(
                 "pipeline `{}` ({}) failed: {e}; use try_bisect for fallible configurations",
                 self.name,

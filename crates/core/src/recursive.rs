@@ -79,6 +79,7 @@ impl<B: Bisector> RecursiveBisection<B> {
     ) -> Result<KWayPartition, InvalidPartCountError> {
         crate::pipeline::recursive_partition(&self.bisector, g, parts, rng).map_err(|e| match e {
             BisectError::InvalidPartCount { parts } => InvalidPartCountError { parts },
+            // lint: allow(no-panic) — regions are disjoint in-range subsets, so only the part-count check can fire
             other => unreachable!("recursive_partition only rejects part counts: {other}"),
         })
     }

@@ -338,6 +338,7 @@ impl SimulatedAnnealing {
                 b.copy_from(&current);
                 b
             }
+            // lint: allow(zero-alloc) — first-run workspace warm-up, recycled afterwards
             None => current.clone(),
         };
         if !best.is_balanced(g) {

@@ -24,6 +24,7 @@ pub fn random_balanced<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisection {
     for &v in &perm[..n.div_ceil(2)] {
         side[v as usize] = false;
     }
+    // lint: allow(no-panic) — side has one entry per vertex by construction
     Bisection::from_sides(g, side).expect("side vector has correct length")
 }
 
@@ -43,6 +44,7 @@ pub fn weight_balanced_random<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisect
         side[v as usize] = target == 1;
         weights[target] += g.vertex_weight(v);
     }
+    // lint: allow(no-panic) — side has one entry per vertex by construction
     Bisection::from_sides(g, side).expect("side vector has correct length")
 }
 
@@ -52,6 +54,7 @@ pub fn weight_balanced_random<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisect
 pub fn bfs_balanced<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisection {
     let n = g.num_vertices();
     if n == 0 {
+        // lint: allow(no-panic) — side has one entry per vertex by construction
         return Bisection::from_sides(g, Vec::new()).expect("empty ok");
     }
     let half = n.div_ceil(2);
@@ -76,6 +79,7 @@ pub fn bfs_balanced<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisection {
             }
         }
     }
+    // lint: allow(no-panic) — side has one entry per vertex by construction
     Bisection::from_sides(g, side).expect("side vector has correct length")
 }
 
@@ -89,6 +93,7 @@ pub fn dfs_balanced(g: &Graph) -> Bisection {
     for &v in traversal::dfs_order(g).iter().take(half) {
         side[v as usize] = false;
     }
+    // lint: allow(no-panic) — side has one entry per vertex by construction
     Bisection::from_sides(g, side).expect("side vector has correct length")
 }
 

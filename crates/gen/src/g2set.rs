@@ -135,6 +135,7 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
         },
     );
     for (u, v, _) in side_a.edges() {
+        // lint: allow(no-panic) — side/cross ids are < 2n by construction
         builder.add_edge(u, v).expect("side A edges valid");
     }
     let side_b = gnp::sample(
@@ -147,6 +148,7 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
     for (u, v, _) in side_b.edges() {
         builder
             .add_edge(u + n as VertexId, v + n as VertexId)
+            // lint: allow(no-panic) — side/cross ids are < 2n by construction
             .expect("side B edges valid");
     }
 
@@ -163,14 +165,18 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
             let j = rng.gen_range(i..pairs.len());
             pairs.swap(i, j);
             let (a, b) = pairs[i];
+            // lint: allow(no-panic) — side/cross ids are < 2n by construction
             builder.add_edge(a, b).expect("cross edges valid");
         }
     } else {
-        let mut chosen = std::collections::HashSet::with_capacity(params.bis);
+        // Membership-only (edges are emitted in draw order), but a
+        // BTreeSet keeps hasher state out of the generator entirely.
+        let mut chosen = std::collections::BTreeSet::new();
         while chosen.len() < params.bis {
             let a = rng.gen_range(0..n) as VertexId;
             let b = (n + rng.gen_range(0..n)) as VertexId;
             if chosen.insert((a, b)) {
+                // lint: allow(no-panic) — side/cross ids are < 2n by construction
                 builder.add_edge(a, b).expect("cross edges valid");
             }
         }

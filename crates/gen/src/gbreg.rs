@@ -137,16 +137,19 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GbregParams) -> Result<Grap
         let mut builder = GraphBuilder::new(params.num_vertices);
         builder.reserve_edges(n * d);
         for (u, v) in internal_a {
+            // lint: allow(no-panic) — sampled half-ids are < n, shifts stay in range
             builder.add_edge(u, v).expect("side A edges valid");
         }
         for (u, v) in internal_b {
             builder
                 .add_edge(u + n as VertexId, v + n as VertexId)
+                // lint: allow(no-panic) — sampled half-ids are < n, shifts stay in range
                 .expect("side B edges valid");
         }
         for (a, bb) in cross {
             builder
                 .add_edge(a, bb + n as VertexId)
+                // lint: allow(no-panic) — sampled half-ids are < n, shifts stay in range
                 .expect("cross edges valid");
         }
         let g = builder.build();
@@ -241,7 +244,7 @@ mod tests {
         // Every vertex has degree 2 and the graph is simple, so each
         // component is a chordless cycle (the paper's remark).
         assert_eq!(g.regular_degree(), Some(2));
-        for (comp, _) in bisect_graph::subgraph::split_components(&g) {
+        for (comp, _) in bisect_graph::subgraph::split_components(&g).unwrap() {
             assert_eq!(comp.num_edges(), comp.num_vertices());
         }
     }

@@ -111,6 +111,7 @@ pub fn sample_with_points<R: Rng + ?Sized>(
                     if ddx * ddx + ddy * ddy <= r2 {
                         builder
                             .add_edge(i as VertexId, j)
+                            // lint: allow(no-panic) — grid-bucket neighbors are distinct in-range points
                             .expect("distinct in-range ids");
                     }
                 }

@@ -77,6 +77,7 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GnpParams) -> Graph {
     if p >= 1.0 {
         for u in 0..n as VertexId {
             for v in (u + 1)..n as VertexId {
+                // lint: allow(no-panic) — u < v < n by the loop bounds
                 builder.add_edge(u, v).expect("complete graph edges valid");
             }
         }
@@ -106,6 +107,7 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GnpParams) -> Graph {
         let (a, b) = unrank_pair(position, n as u64);
         builder
             .add_edge(a as VertexId, b as VertexId)
+            // lint: allow(no-panic) — unrank_pair yields a < b < n for positions < C(n,2)
             .expect("unranked pairs are valid distinct vertices");
         position += 1;
     }

@@ -9,7 +9,7 @@
 //! stalls, the whole pairing is redrawn, and after
 //! [`MAX_ATTEMPTS`] redraws construction fails.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -159,11 +159,11 @@ fn norm(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
     }
 }
 
-fn is_bad(pair: (VertexId, VertexId), counts: &HashMap<(VertexId, VertexId), u32>) -> bool {
+fn is_bad(pair: (VertexId, VertexId), counts: &BTreeMap<(VertexId, VertexId), u32>) -> bool {
     pair.0 == pair.1 || counts.get(&pair).copied().unwrap_or(0) > 1
 }
 
-fn dec(counts: &mut HashMap<(VertexId, VertexId), u32>, pair: (VertexId, VertexId)) {
+fn dec(counts: &mut BTreeMap<(VertexId, VertexId), u32>, pair: (VertexId, VertexId)) {
     if let Some(c) = counts.get_mut(&pair) {
         *c -= 1;
         if *c == 0 {
@@ -172,7 +172,7 @@ fn dec(counts: &mut HashMap<(VertexId, VertexId), u32>, pair: (VertexId, VertexI
     }
 }
 
-fn inc(counts: &mut HashMap<(VertexId, VertexId), u32>, pair: (VertexId, VertexId)) {
+fn inc(counts: &mut BTreeMap<(VertexId, VertexId), u32>, pair: (VertexId, VertexId)) {
     *counts.entry(pair).or_insert(0) += 1;
 }
 
@@ -183,7 +183,7 @@ fn repair<R: Rng + ?Sized>(
     rng: &mut R,
     mut pairs: Vec<(VertexId, VertexId)>,
 ) -> Option<Vec<(VertexId, VertexId)>> {
-    let mut counts: HashMap<(VertexId, VertexId), u32> = HashMap::with_capacity(pairs.len());
+    let mut counts: BTreeMap<(VertexId, VertexId), u32> = BTreeMap::new();
     for &p in &pairs {
         inc(&mut counts, p);
     }
@@ -246,11 +246,11 @@ fn repair_bipartite<R: Rng + ?Sized>(
     rng: &mut R,
     mut pairs: Vec<(VertexId, VertexId)>,
 ) -> Option<Vec<(VertexId, VertexId)>> {
-    let mut counts: HashMap<(VertexId, VertexId), u32> = HashMap::with_capacity(pairs.len());
+    let mut counts: BTreeMap<(VertexId, VertexId), u32> = BTreeMap::new();
     for &p in &pairs {
         inc(&mut counts, p);
     }
-    let dup = |p: (VertexId, VertexId), counts: &HashMap<_, u32>| {
+    let dup = |p: (VertexId, VertexId), counts: &BTreeMap<_, u32>| {
         counts.get(&p).copied().unwrap_or(0) > 1
     };
     for _round in 0..MAX_REPAIR_ROUNDS {

@@ -15,6 +15,7 @@ pub fn path(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
         b.add_edge((i - 1) as VertexId, i as VertexId)
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("path edges valid");
     }
     b.build()
@@ -30,6 +31,7 @@ pub fn cycle(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
         b.add_edge(i as VertexId, ((i + 1) % n) as VertexId)
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("cycle edges valid");
     }
     b.build()
@@ -50,6 +52,7 @@ pub fn cycle_collection(count: usize, len: usize) -> Graph {
         let base = c * len;
         for i in 0..len {
             b.add_edge((base + i) as VertexId, (base + (i + 1) % len) as VertexId)
+                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("cycle edges valid");
         }
     }
@@ -66,10 +69,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
         for c in 0..cols {
             if c + 1 < cols {
                 b.add_edge(id(r, c), id(r, c + 1))
+                    // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                     .expect("grid edges valid");
             }
             if r + 1 < rows {
                 b.add_edge(id(r, c), id(r + 1, c))
+                    // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                     .expect("grid edges valid");
             }
         }
@@ -94,8 +99,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             b.add_edge(id(r, c), id(r, (c + 1) % cols))
+                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("torus edges valid");
             b.add_edge(id(r, c), id((r + 1) % rows, c))
+                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("torus edges valid");
         }
     }
@@ -112,9 +119,12 @@ pub fn ladder(k: usize) -> Graph {
     for i in 0..k {
         let top = i as VertexId;
         let bottom = (k + i) as VertexId;
+        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(top, bottom).expect("rung valid");
         if i + 1 < k {
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             b.add_edge(top, top + 1).expect("rail valid");
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             b.add_edge(bottom, bottom + 1).expect("rail valid");
         }
     }
@@ -134,9 +144,12 @@ pub fn circular_ladder(k: usize) -> Graph {
         let top = i as VertexId;
         let bottom = (k + i) as VertexId;
         let next = (i + 1) % k;
+        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(top, bottom).expect("rung valid");
+        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(top, next as VertexId).expect("rail valid");
         b.add_edge(bottom, (k + next) as VertexId)
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("rail valid");
     }
     b.build()
@@ -150,6 +163,7 @@ pub fn binary_tree(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
         b.add_edge(i as VertexId, ((i - 1) / 2) as VertexId)
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("tree edges valid");
     }
     b.build()
@@ -170,6 +184,7 @@ pub fn hypercube(dim: u32) -> Graph {
             let u = v ^ (1 << bit);
             if u > v {
                 b.add_edge(v as VertexId, u as VertexId)
+                    // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                     .expect("hypercube edges valid");
             }
         }
@@ -183,6 +198,7 @@ pub fn complete(n: usize) -> Graph {
     for u in 0..n {
         for v in (u + 1)..n {
             b.add_edge(u as VertexId, v as VertexId)
+                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("complete edges valid");
         }
     }
@@ -199,6 +215,7 @@ pub fn star(n: usize) -> Graph {
     assert!(n >= 1, "star needs at least one vertex");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
+        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(0, v as VertexId).expect("star edges valid");
     }
     b.build()
@@ -216,8 +233,10 @@ pub fn wheel(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 0..rim {
         b.add_edge(i as VertexId, ((i + 1) % rim) as VertexId)
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("rim valid");
         b.add_edge(i as VertexId, rim as VertexId)
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("spoke valid");
     }
     b.build()
@@ -237,12 +256,14 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..spine {
         b.add_edge((i - 1) as VertexId, i as VertexId)
+            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("spine valid");
     }
     let mut next = spine;
     for i in 0..spine {
         for _ in 0..legs {
             b.add_edge(i as VertexId, next as VertexId)
+                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("leg valid");
             next += 1;
         }

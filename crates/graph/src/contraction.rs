@@ -127,6 +127,7 @@ pub fn contract_matching(g: &Graph, m: &Matching) -> Contraction {
     for (c, &w) in weights.iter().enumerate() {
         builder
             .set_vertex_weight(c as VertexId, w)
+            // lint: allow(no-panic) — sums of positive fine weights stay positive
             .expect("coarse weights are positive sums of positive weights");
     }
     for (u, v, w) in g.edges() {
@@ -134,6 +135,7 @@ pub fn contract_matching(g: &Graph, m: &Matching) -> Contraction {
         if cu != cv {
             builder
                 .add_weighted_edge(cu, cv, w)
+                // lint: allow(no-panic) — cu != cv was just checked and ids are in range
                 .expect("coarse endpoints are in range and distinct");
         }
     }

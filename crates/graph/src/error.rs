@@ -19,6 +19,12 @@ pub enum GraphError {
     },
     /// An edge or vertex weight of zero was supplied.
     ZeroWeight,
+    /// The same vertex appeared twice where distinct ids are required
+    /// (e.g. a subgraph selection).
+    DuplicateVertex {
+        /// The repeated vertex id.
+        vertex: u64,
+    },
     /// A parse error with a line number, for the readers in [`crate::io`].
     Parse {
         /// 1-based line number of the malformed input.
@@ -44,6 +50,9 @@ impl fmt::Display for GraphError {
                 write!(f, "self loop at vertex {vertex} is not allowed")
             }
             GraphError::ZeroWeight => write!(f, "weights must be positive"),
+            GraphError::DuplicateVertex { vertex } => {
+                write!(f, "duplicate vertex {vertex}")
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

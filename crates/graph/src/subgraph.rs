@@ -3,55 +3,59 @@
 //! Used by the test suite and the exact solver to decompose disconnected
 //! instances, and handy when experimenting with the planted models.
 
-use crate::{Graph, GraphBuilder, VertexId};
+use crate::{Graph, GraphBuilder, GraphError, VertexId};
 
 /// The subgraph of `g` induced by `vertices`, together with the map from
-/// new ids to original ids (`new -> old`). Duplicate entries in
-/// `vertices` are rejected.
+/// new ids to original ids (`new -> old`).
 ///
 /// Vertex and edge weights are carried over.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `vertices` contains an out-of-range id or a duplicate.
-pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+/// Returns [`GraphError::VertexOutOfRange`] if `vertices` contains an id
+/// `>= g.num_vertices()`, and [`GraphError::DuplicateVertex`] if the
+/// same id appears twice.
+pub fn induced_subgraph(
+    g: &Graph,
+    vertices: &[VertexId],
+) -> Result<(Graph, Vec<VertexId>), GraphError> {
     let mut old_to_new = vec![VertexId::MAX; g.num_vertices()];
     for (new, &old) in vertices.iter().enumerate() {
-        assert!(
-            (old as usize) < g.num_vertices(),
-            "vertex {old} out of range for graph on {} vertices",
-            g.num_vertices()
-        );
-        assert_eq!(
-            old_to_new[old as usize],
-            VertexId::MAX,
-            "duplicate vertex {old}"
-        );
+        if (old as usize) >= g.num_vertices() {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: old as u64,
+                num_vertices: g.num_vertices(),
+            });
+        }
+        if old_to_new[old as usize] != VertexId::MAX {
+            return Err(GraphError::DuplicateVertex { vertex: old as u64 });
+        }
         old_to_new[old as usize] = new as VertexId;
     }
     let mut builder = GraphBuilder::new(vertices.len());
     for (new, &old) in vertices.iter().enumerate() {
-        builder
-            .set_vertex_weight(new as VertexId, g.vertex_weight(old))
-            .expect("weights positive, ids in range");
+        builder.set_vertex_weight(new as VertexId, g.vertex_weight(old))?;
     }
     for (new_u, &old_u) in vertices.iter().enumerate() {
         for (old_v, w) in g.neighbors_weighted(old_u) {
             let new_v = old_to_new[old_v as usize];
             if new_v != VertexId::MAX && (new_u as VertexId) < new_v {
-                builder
-                    .add_weighted_edge(new_u as VertexId, new_v, w)
-                    .expect("induced edges valid");
+                builder.add_weighted_edge(new_u as VertexId, new_v, w)?;
             }
         }
     }
-    (builder.build(), vertices.to_vec())
+    Ok((builder.build(), vertices.to_vec()))
 }
 
 /// Splits `g` into its connected components, each as an induced subgraph
 /// with its `new -> old` vertex map, ordered by smallest original
 /// vertex.
-pub fn split_components(g: &Graph) -> Vec<(Graph, Vec<VertexId>)> {
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] from subgraph construction; the component
+/// vertex lists themselves are always valid selections.
+pub fn split_components(g: &Graph) -> Result<Vec<(Graph, Vec<VertexId>)>, GraphError> {
     let (labels, count) = crate::traversal::connected_components(g);
     let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); count];
     for v in g.vertices() {
@@ -76,7 +80,7 @@ mod tests {
             }
         }
         let g = Graph::from_edges(4, &edges).unwrap();
-        let (sub, map) = induced_subgraph(&g, &[0, 2, 3]);
+        let (sub, map) = induced_subgraph(&g, &[0, 2, 3]).unwrap();
         assert_eq!(sub.num_vertices(), 3);
         assert_eq!(sub.num_edges(), 3);
         assert_eq!(map, vec![0, 2, 3]);
@@ -88,7 +92,7 @@ mod tests {
         b.add_weighted_edge(0, 2, 7).unwrap();
         b.set_vertex_weight(2, 5).unwrap();
         let g = b.build();
-        let (sub, _) = induced_subgraph(&g, &[2, 0]);
+        let (sub, _) = induced_subgraph(&g, &[2, 0]).unwrap();
         assert_eq!(sub.vertex_weight(0), 5);
         assert_eq!(sub.edge_weight(0, 1), Some(7));
     }
@@ -96,29 +100,36 @@ mod tests {
     #[test]
     fn induced_empty_selection() {
         let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
-        let (sub, map) = induced_subgraph(&g, &[]);
+        let (sub, map) = induced_subgraph(&g, &[]).unwrap();
         assert_eq!(sub.num_vertices(), 0);
         assert!(map.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "duplicate vertex")]
     fn induced_rejects_duplicates() {
         let g = Graph::empty(3);
-        let _ = induced_subgraph(&g, &[1, 1]);
+        assert_eq!(
+            induced_subgraph(&g, &[1, 1]),
+            Err(GraphError::DuplicateVertex { vertex: 1 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn induced_rejects_out_of_range() {
         let g = Graph::empty(3);
-        let _ = induced_subgraph(&g, &[4]);
+        assert_eq!(
+            induced_subgraph(&g, &[4]),
+            Err(GraphError::VertexOutOfRange {
+                vertex: 4,
+                num_vertices: 3
+            })
+        );
     }
 
     #[test]
     fn split_two_components() {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
-        let comps = split_components(&g);
+        let comps = split_components(&g).unwrap();
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].0.num_vertices(), 3);
         assert_eq!(comps[0].1, vec![0, 1, 2]);
@@ -129,7 +140,7 @@ mod tests {
     #[test]
     fn split_connected_graph_is_identity_shape() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
-        let comps = split_components(&g);
+        let comps = split_components(&g).unwrap();
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].0.num_edges(), 2);
     }

@@ -43,6 +43,7 @@ pub fn bfs_distances(g: &Graph, start: VertexId) -> Vec<Option<usize>> {
     dist[start as usize] = Some(0);
     queue.push_back(start);
     while let Some(v) = queue.pop_front() {
+        // lint: allow(no-panic) — a vertex is queued only after its distance is set
         let d = dist[v as usize].expect("queued vertices have distances");
         for &u in g.neighbors(v) {
             if dist[u as usize].is_none() {
@@ -116,6 +117,7 @@ pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
         color[root as usize] = Some(false);
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
+            // lint: allow(no-panic) — a vertex is queued only after it is colored
             let cv = color[v as usize].expect("queued vertices are colored");
             for &u in g.neighbors(v) {
                 match color[u as usize] {

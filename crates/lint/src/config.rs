@@ -1,0 +1,237 @@
+//! `lint.toml` configuration: which paths each rule family governs.
+//!
+//! The workspace has no TOML dependency, so [`Config::from_toml`]
+//! parses the small subset the config needs — `[section]` headers,
+//! `key = "string"`, and `key = [ "string", ... ]` arrays (single- or
+//! multi-line) with `#` comments — in the same hand-rolled spirit as
+//! `bisect_bench::json`. Unknown sections or keys are errors, so a
+//! typo cannot silently disable a rule.
+
+use crate::error::LintError;
+
+/// Scope configuration for every rule family. All paths are
+/// workspace-relative, `/`-separated prefixes (a directory prefix
+/// covers the whole subtree; a full file path covers one file).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Config {
+    /// Directories to scan for `.rs` files.
+    pub include: Vec<String>,
+    /// Path prefixes to skip entirely (e.g. the lint fixtures).
+    pub exclude: Vec<String>,
+    /// Where `HashMap`/`HashSet` are banned (`determinism-hash`).
+    pub determinism_paths: Vec<String>,
+    /// Where wall-clock reads are banned (`determinism-time`) …
+    pub timing_paths: Vec<String>,
+    /// … except these sanctioned timing modules.
+    pub timing_allow: Vec<String>,
+    /// The only paths allowed to touch entropy sources
+    /// (`determinism-entropy` covers everything else).
+    pub entropy_allow: Vec<String>,
+    /// Where `unwrap`/`expect`/`panic!` are banned (`no-panic`).
+    pub no_panic_paths: Vec<String>,
+    /// Hot-path modules where allocation is banned (`zero-alloc`).
+    pub hot_paths: Vec<String>,
+    /// Crate roots that must carry `#![forbid(unsafe_code)]`
+    /// (`unsafe-hygiene`).
+    pub crate_roots: Vec<String>,
+    /// Where public items must be documented (`api-docs`).
+    pub api_docs_paths: Vec<String>,
+}
+
+/// Whether `path` equals one of `prefixes` or sits beneath one.
+pub fn path_in(path: &str, prefixes: &[String]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| path == p || path.starts_with(&format!("{p}/")))
+}
+
+impl Config {
+    /// Parses the configuration text.
+    ///
+    /// # Errors
+    ///
+    /// [`LintError::Config`] for syntax errors, unknown sections, or
+    /// unknown keys.
+    pub fn from_toml(text: &str) -> Result<Config, LintError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest.strip_suffix(']').ok_or_else(|| LintError::Config {
+                    line: line_no,
+                    message: format!("unterminated section header `{raw}`"),
+                })?;
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| LintError::Config {
+                line: line_no,
+                message: format!("expected `key = value`, got `{raw}`"),
+            })?;
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // A multi-line array: keep consuming lines until the `]`.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let (_, next) = lines.next().ok_or_else(|| LintError::Config {
+                    line: line_no,
+                    message: format!("unterminated array for key `{key}`"),
+                })?;
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+            let strings = parse_value(&value, line_no)?;
+            cfg.assign(&section, key, strings, line_no)?;
+        }
+        Ok(cfg)
+    }
+
+    fn assign(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: Vec<String>,
+        line: usize,
+    ) -> Result<(), LintError> {
+        let slot = match (section, key) {
+            ("scan", "include") => &mut self.include,
+            ("scan", "exclude") => &mut self.exclude,
+            ("determinism", "paths") => &mut self.determinism_paths,
+            ("determinism", "timing_paths") => &mut self.timing_paths,
+            ("determinism", "timing_allow") => &mut self.timing_allow,
+            ("determinism", "entropy_allow") => &mut self.entropy_allow,
+            ("no_panic", "paths") => &mut self.no_panic_paths,
+            ("zero_alloc", "hot_paths") => &mut self.hot_paths,
+            ("unsafe_hygiene", "crate_roots") => &mut self.crate_roots,
+            ("api_docs", "paths") => &mut self.api_docs_paths,
+            _ => {
+                return Err(LintError::Config {
+                    line,
+                    message: format!("unknown key `{key}` in section `[{section}]`"),
+                })
+            }
+        };
+        *slot = value;
+        Ok(())
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"a"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str, line: usize) -> Result<Vec<String>, LintError> {
+    let bad = |message: String| LintError::Config { line, message };
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| bad(format!("unterminated array `{value}`")))?;
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(part).ok_or_else(|| {
+                bad(format!(
+                    "array elements must be quoted strings, got `{part}`"
+                ))
+            })?);
+        }
+        Ok(out)
+    } else {
+        Ok(vec![parse_string(value).ok_or_else(|| {
+            bad(format!("expected a quoted string, got `{value}`"))
+        })?])
+    }
+}
+
+fn parse_string(text: &str) -> Option<String> {
+    text.strip_prefix('"')?
+        .strip_suffix('"')
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = Config::from_toml(
+            r#"
+# top comment
+[scan]
+include = ["crates", "src"] # trailing comment
+exclude = ["crates/lint/tests/fixtures"]
+
+[no_panic]
+paths = [
+    "crates/core/src",
+    "crates/graph/src", # with a comment
+]
+
+[zero_alloc]
+hot_paths = ["crates/core/src/kl.rs"]
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.include, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude, vec!["crates/lint/tests/fixtures"]);
+        assert_eq!(
+            cfg.no_panic_paths,
+            vec!["crates/core/src", "crates/graph/src"]
+        );
+        assert_eq!(cfg.hot_paths, vec!["crates/core/src/kl.rs"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let err = Config::from_toml("[scan]\nincluded = [\"x\"]\n").unwrap_err();
+        match err {
+            LintError::Config { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("included"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Config::from_toml("[scan\n").is_err());
+        assert!(Config::from_toml("[scan]\ninclude [\"x\"]\n").is_err());
+        assert!(Config::from_toml("[scan]\ninclude = [x]\n").is_err());
+        assert!(Config::from_toml("[scan]\ninclude = [\"a\"\n").is_err());
+    }
+
+    #[test]
+    fn single_string_values_are_one_element_lists() {
+        let cfg = Config::from_toml("[scan]\ninclude = \"crates\"\n").expect("valid");
+        assert_eq!(cfg.include, vec!["crates"]);
+    }
+
+    #[test]
+    fn path_in_matches_prefixes_not_substrings() {
+        let prefixes = vec!["crates/core/src".to_string()];
+        assert!(path_in("crates/core/src", &prefixes));
+        assert!(path_in("crates/core/src/kl.rs", &prefixes));
+        assert!(!path_in("crates/core/srcx/kl.rs", &prefixes));
+        assert!(!path_in("crates/core", &prefixes));
+    }
+}

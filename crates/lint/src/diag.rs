@@ -1,0 +1,89 @@
+//! The diagnostics model: what a rule reports and how it prints.
+
+use std::fmt;
+
+/// How serious a diagnostic is. Both levels fail the build — the
+/// distinction is presentational (warnings flag style-tier findings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A hygiene finding.
+    Warning,
+    /// An invariant violation.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding: a rule, a location, what is wrong, and (usually) what
+/// to do about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The reporting rule's id (e.g. `no-panic`).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or legitimately suppress it, when known.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}:{}: {}",
+            self.severity.name(),
+            self.rule,
+            self.file,
+            self.line,
+            self.col,
+            self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_help() {
+        let d = Diagnostic {
+            rule: "no-panic",
+            severity: Severity::Error,
+            file: "crates/core/src/kl.rs".into(),
+            line: 7,
+            col: 13,
+            message: "`.unwrap()` in non-test code".into(),
+            suggestion: Some("return a typed error".into()),
+        };
+        let text = d.to_string();
+        assert!(text.starts_with("error[no-panic] crates/core/src/kl.rs:7:13:"));
+        assert!(text.contains("help: return a typed error"));
+    }
+
+    #[test]
+    fn severity_names() {
+        assert_eq!(Severity::Error.name(), "error");
+        assert_eq!(Severity::Warning.name(), "warning");
+    }
+}

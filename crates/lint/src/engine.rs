@@ -1,0 +1,167 @@
+//! The driver: walk the workspace, run every rule on every `.rs` file
+//! in its scope, apply suppressions, and assemble a [`Report`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{path_in, Config};
+use crate::diag::{Diagnostic, Severity};
+use crate::error::LintError;
+use crate::rules::all_rules;
+use crate::source::SourceFile;
+use crate::suppress;
+
+/// The outcome of a lint run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Non-suppressed findings, ordered by (file, line, column, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many findings inline suppressions silenced.
+    pub suppressed: usize,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run found nothing actionable.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Counts of (errors, warnings) among the kept diagnostics.
+    pub fn counts(&self) -> (usize, usize) {
+        let errors = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        (errors, self.diagnostics.len() - errors)
+    }
+}
+
+/// Lints a single file's text as if it lived at `rel_path`, returning
+/// the kept diagnostics and the suppressed count. This is the unit the
+/// fixture tests drive directly.
+pub fn check_source(cfg: &Config, rel_path: &str, text: &str) -> (Vec<Diagnostic>, usize) {
+    let file = SourceFile::new(rel_path, text);
+    let mut diags = Vec::new();
+    for rule in all_rules() {
+        if rule.applies(cfg, rel_path) {
+            rule.check(cfg, &file, &mut diags);
+        }
+    }
+    let (mut kept, suppressed) = suppress::apply(&file, diags);
+    kept.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (kept, suppressed)
+}
+
+/// Lints every `.rs` file under the configured include roots of
+/// `root`, skipping excluded prefixes.
+///
+/// # Errors
+///
+/// [`LintError::Io`] when a directory or file cannot be read.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Report, LintError> {
+    let mut files = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.exists() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = Report {
+        diagnostics: Vec::new(),
+        suppressed: 0,
+        files_scanned: 0,
+    };
+    for path in files {
+        let rel = relative_path(root, &path);
+        if path_in(&rel, &cfg.exclude) {
+            continue;
+        }
+        let text = fs::read_to_string(&path).map_err(|e| LintError::Io {
+            path: rel.clone(),
+            message: e.to_string(),
+        })?;
+        let (kept, suppressed) = check_source(cfg, &rel, &text);
+        report.diagnostics.extend(kept);
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, visiting entries in sorted order
+/// so reports are byte-identical across runs and platforms.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let read = |p: &Path| -> Result<Vec<PathBuf>, LintError> {
+        let mut entries = Vec::new();
+        let iter = fs::read_dir(p).map_err(|e| LintError::Io {
+            path: p.display().to_string(),
+            message: e.to_string(),
+        })?;
+        for entry in iter {
+            let entry = entry.map_err(|e| LintError::Io {
+                path: p.display().to_string(),
+                message: e.to_string(),
+            })?;
+            entries.push(entry.path());
+        }
+        entries.sort();
+        Ok(entries)
+    };
+    for path in read(dir)? {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_for(paths: &[&str]) -> Config {
+        Config {
+            no_panic_paths: paths.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn check_source_applies_scoped_rules_only() {
+        let cfg = cfg_for(&["scoped"]);
+        let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let (in_scope, _) = check_source(&cfg, "scoped/a.rs", bad);
+        assert_eq!(in_scope.len(), 1);
+        assert_eq!(in_scope[0].rule, "no-panic");
+        let (out_of_scope, _) = check_source(&cfg, "other/a.rs", bad);
+        assert!(out_of_scope.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_and_suppressions_counted() {
+        let cfg = cfg_for(&["s"]);
+        let src = "fn g(x: Option<u32>) {\n    x.clone().unwrap(); // lint: allow(no-panic)\n    panic!(\"b\");\n    todo!();\n}\n";
+        let (kept, suppressed) = check_source(&cfg, "s/a.rs", src);
+        assert_eq!(suppressed, 1);
+        let lines: Vec<u32> = kept.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![3, 4]);
+    }
+}

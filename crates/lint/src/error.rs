@@ -1,0 +1,69 @@
+//! The linter's own typed error.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from loading configuration or walking the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LintError {
+    /// An I/O failure, with the path that failed (stringified;
+    /// `std::io::Error` is not `Clone`).
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// A malformed `lint.toml`, with the 1-based line of the problem.
+    Config {
+        /// Line of the malformed directive.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A malformed command line.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
+            LintError::Config { line, message } => {
+                write!(f, "config error at line {line}: {message}")
+            }
+            LintError::InvalidArgument(message) => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl Error for LintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_location() {
+        let err = LintError::Config {
+            line: 4,
+            message: "unknown key `paths2`".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "config error at line 4: unknown key `paths2`"
+        );
+        let err = LintError::Io {
+            path: "lint.toml".into(),
+            message: "missing".into(),
+        };
+        assert!(err.to_string().contains("lint.toml"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LintError>();
+    }
+}

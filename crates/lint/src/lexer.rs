@@ -1,0 +1,471 @@
+//! A lightweight, loss-free Rust tokenizer.
+//!
+//! The rules only need to tell *code* apart from *comments and string
+//! literals* and to see identifier/punctuation sequences with accurate
+//! positions, so this lexer is deliberately simpler than rustc's: every
+//! byte of the input ends up in exactly one token (whitespace and
+//! comments included), which makes the token stream a partition of the
+//! source — [`lex`] round-trips any input, valid Rust or not, and never
+//! panics. Malformed constructs (unterminated strings or block
+//! comments) extend to the end of the input instead of erroring.
+
+/// What a token is. Comments and literals carry enough classification
+/// for the rules to skip them reliably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace characters.
+    Whitespace,
+    /// A `//` comment up to (not including) the newline. Doc comments
+    /// (`///`, `//!`) are line comments whose text says so.
+    LineComment,
+    /// A `/* ... */` comment, nesting-aware; unterminated ones run to
+    /// the end of the input.
+    BlockComment,
+    /// An identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` (the quote is part of the token).
+    Lifetime,
+    /// A string literal: `"..."`, `b"..."`, or a raw form
+    /// (`r"..."`, `r#"..."#`, `br#"..."#`); prefix and hashes included.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (integer or float, suffixes included).
+    Number,
+    /// Any other single character (operators, brackets, stray bytes).
+    Punct,
+}
+
+/// One token: a classified byte range of the source plus its 1-based
+/// line and column (columns count characters, not bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is whitespace or a comment.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Tokenizes `src` completely. The concatenation of the returned
+/// tokens' texts equals `src` exactly.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while lx.pos < src.len() {
+        tokens.push(lx.next_token());
+    }
+    tokens
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, byte_offset: usize) -> Option<char> {
+        self.src.get(self.pos + byte_offset..)?.chars().next()
+    }
+
+    /// Consumes one character, maintaining line/column bookkeeping.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, line: u32, col: u32) -> Token {
+        Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        }
+    }
+
+    fn next_token(&mut self) -> Token {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let c = match self.peek() {
+            Some(c) => c,
+            // `next_token` is only called while input remains.
+            None => {
+                return self.token(TokenKind::Whitespace, start, line, col);
+            }
+        };
+        let kind = if c.is_whitespace() {
+            self.bump_while(char::is_whitespace);
+            TokenKind::Whitespace
+        } else if c == '/' && self.peek_at(1) == Some('/') {
+            self.bump_while(|c| c != '\n');
+            TokenKind::LineComment
+        } else if c == '/' && self.peek_at(1) == Some('*') {
+            self.block_comment()
+        } else if is_ident_start(c) {
+            self.ident_or_prefixed_literal()
+        } else if c == '\'' {
+            self.char_or_lifetime()
+        } else if c.is_ascii_digit() {
+            self.number()
+        } else if c == '"' {
+            self.string()
+        } else {
+            self.bump();
+            TokenKind::Punct
+        };
+        self.token(kind, start, line, col)
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// An identifier — or, when the identifier is a literal prefix
+    /// (`r`, `b`, `br`, `rb`) directly followed by a quote or `#`s and
+    /// a quote, the whole prefixed literal.
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let ident_start = self.pos;
+        self.bump_while(is_ident_continue);
+        let ident = &self.src[ident_start..self.pos];
+        match ident {
+            "r" | "br" | "rb" => {
+                // Raw identifier `r#name` (only for plain `r`).
+                if ident == "r"
+                    && self.peek() == Some('#')
+                    && self.peek_at(1).is_some_and(is_ident_start)
+                {
+                    self.bump(); // '#'
+                    self.bump_while(is_ident_continue);
+                    return TokenKind::Ident;
+                }
+                // Raw string `r"…"`, `r#"…"#`, `br##"…"##`, …
+                let mut hashes = 0usize;
+                while self.peek_at(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek_at(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.bump(); // opening quote
+                    self.raw_string_body(hashes);
+                    return TokenKind::Str;
+                }
+                TokenKind::Ident
+            }
+            "b" => match self.peek() {
+                Some('"') => {
+                    self.bump();
+                    self.escaped_string_body('"');
+                    TokenKind::Str
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.escaped_string_body('\'');
+                    TokenKind::Char
+                }
+                _ => TokenKind::Ident,
+            },
+            _ => TokenKind::Ident,
+        }
+    }
+
+    /// Body of a raw string after the opening quote: runs until a quote
+    /// followed by `hashes` `#` characters (or EOF).
+    fn raw_string_body(&mut self, hashes: usize) {
+        loop {
+            match self.peek() {
+                None => return,
+                Some('"') => {
+                    let mut all = true;
+                    for i in 0..hashes {
+                        if self.peek_at(1 + i) != Some('#') {
+                            all = false;
+                            break;
+                        }
+                    }
+                    self.bump();
+                    if all {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Body of an escape-aware literal after its opening delimiter.
+    fn escaped_string_body(&mut self, close: char) {
+        loop {
+            match self.peek() {
+                None => return,
+                Some('\\') => {
+                    self.bump();
+                    self.bump(); // the escaped character, if any
+                }
+                Some(c) => {
+                    self.bump();
+                    if c == close {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` (char literal).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek() {
+            Some('\\') => {
+                self.escaped_string_body('\'');
+                TokenKind::Char
+            }
+            Some(c) if c != '\'' => {
+                // `'x'` is a char; `'x` with no closing quote right
+                // after one character is a lifetime (or stray quote).
+                let after = self.peek_at(c.len_utf8());
+                if after == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::Char
+                } else if is_ident_start(c) {
+                    self.bump_while(is_ident_continue);
+                    TokenKind::Lifetime
+                } else {
+                    TokenKind::Punct
+                }
+            }
+            // `''` or a quote at EOF: treat the quote as punctuation.
+            _ => TokenKind::Punct,
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part, suffixes, hex/octal/binary, underscores.
+        self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        // One fractional part, only when `.` is followed by a digit
+        // (so `0..n` stays three tokens).
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+        // Signed exponent (`1e-3`): the `e` was consumed above.
+        if self.src[..self.pos].ends_with(['e', 'E'])
+            && matches!(self.peek(), Some('+') | Some('-'))
+            && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        }
+        TokenKind::Number
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        self.escaped_string_body('"');
+        TokenKind::Str
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    fn code_kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect()
+    }
+
+    fn assert_round_trip(src: &str) {
+        let tokens = lex(src);
+        let mut rebuilt = String::new();
+        let mut expected_start = 0usize;
+        for t in &tokens {
+            assert_eq!(t.start, expected_start, "gap/overlap in {src:?}");
+            expected_start = t.end;
+            rebuilt.push_str(t.text(src));
+        }
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn round_trips_ordinary_code() {
+        let src = "fn main() { let x = vec![1, 2]; println!(\"{x:?}\"); }\n";
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn classifies_comments_and_strings() {
+        let src = "// line\n/* block /* nested */ */ \"str \\\" quote\" 'c' 'a ";
+        let got = kinds(src);
+        assert!(got.contains(&(TokenKind::LineComment, "// line")));
+        assert!(got.contains(&(TokenKind::BlockComment, "/* block /* nested */ */")));
+        assert!(got.contains(&(TokenKind::Str, "\"str \\\" quote\"")));
+        assert!(got.contains(&(TokenKind::Char, "'c'")));
+        assert!(got.contains(&(TokenKind::Lifetime, "'a")));
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_identifiers() {
+        let src = "r#\"raw \" inner\"# r\"plain\" br##\"bytes\"## r#type b\"b\" b'x'";
+        let got = code_kinds(src);
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Str, "r#\"raw \" inner\"#"),
+                (TokenKind::Str, "r\"plain\""),
+                (TokenKind::Str, "br##\"bytes\"##"),
+                (TokenKind::Ident, "r#type"),
+                (TokenKind::Str, "b\"b\""),
+                (TokenKind::Char, "b'x'"),
+            ]
+        );
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn banned_names_inside_literals_are_not_idents() {
+        let src = "let s = \".unwrap()\"; // also .unwrap() here\n";
+        let idents: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "0..10 1.5e-3 0x_ff 1_000u64";
+        let got = code_kinds(src);
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Number, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "10"),
+                (TokenKind::Number, "1.5e-3"),
+                (TokenKind::Number, "0x_ff"),
+                (TokenKind::Number, "1_000u64"),
+            ]
+        );
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let src = "ab\n  cd";
+        let tokens: Vec<Token> = lex(src).into_iter().filter(|t| !t.is_trivia()).collect();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn survives_malformed_input() {
+        for src in [
+            "\"unterminated",
+            "/* never closed",
+            "'",
+            "''",
+            "'\\",
+            "r###\"open",
+            "b'",
+            "\u{1F980} let",
+            "ident'",
+        ] {
+            assert_round_trip(src);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! `bisect-lint` — the workspace's invariant-enforcement engine.
+//!
+//! PR 1 made every experiment bit-identical at any thread count and
+//! PR 2 replaced panics with typed errors; this crate *enforces* those
+//! invariants statically, in the spirit of the assertion/sanitizer
+//! tiers of the large partitioner codebases (METIS, KaHyPar). It is
+//! fully self-contained — a hand-rolled lexer, config parser, and JSON
+//! writer, like the workspace's rand/proptest/criterion shims — and
+//! ships five rule families:
+//!
+//! | family        | rules                                                   |
+//! |---------------|---------------------------------------------------------|
+//! | determinism   | `determinism-hash`, `determinism-time`, `determinism-entropy` |
+//! | no-panic      | `no-panic`                                              |
+//! | zero-alloc    | `zero-alloc`                                            |
+//! | unsafe        | `unsafe-hygiene`                                        |
+//! | API hygiene   | `api-docs`                                              |
+//!
+//! Scopes come from `lint.toml` at the workspace root; individual
+//! findings are silenced inline with `// lint: allow(<rule>) — reason`
+//! (see [`suppress`]). The `bisect-lint` binary exits nonzero on any
+//! non-suppressed diagnostic:
+//!
+//! ```text
+//! cargo run -p bisect-lint -- --json lint.json
+//! ```
+//!
+//! See DESIGN.md §9 for the full rule catalogue and how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod error;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+pub use config::Config;
+pub use diag::{Diagnostic, Severity};
+pub use engine::{check_source, lint_workspace, Report};
+pub use error::LintError;
+pub use lexer::{lex, Token, TokenKind};
+pub use source::SourceFile;

@@ -1,0 +1,137 @@
+//! The `bisect-lint` binary: lint the workspace against `lint.toml`,
+//! print human-readable findings, optionally write a JSON report, and
+//! exit nonzero when any non-suppressed diagnostic remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bisect_lint::{Config, LintError, Report};
+
+const HELP: &str = "bisect-lint — workspace invariant enforcement
+
+USAGE:
+    bisect-lint [--root DIR] [--config FILE] [--json [FILE]]
+
+OPTIONS:
+    --root DIR      Workspace root to lint (default: .)
+    --config FILE   Configuration file, relative to the root
+                    (default: lint.toml)
+    --json [FILE]   Also write a JSON report (default path: lint.json)
+    -h, --help      Show this help
+
+EXIT STATUS:
+    0  no findings        1  findings reported        2  usage/io error
+";
+
+struct Options {
+    root: PathBuf,
+    config: PathBuf,
+    json: Option<PathBuf>,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Option<Options>, LintError> {
+    let mut args = args.into_iter().peekable();
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        config: PathBuf::from("lint.toml"),
+        json: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--root" => {
+                opts.root =
+                    PathBuf::from(args.next().ok_or_else(|| {
+                        LintError::InvalidArgument("--root needs a value".into())
+                    })?);
+            }
+            "--config" => {
+                opts.config =
+                    PathBuf::from(args.next().ok_or_else(|| {
+                        LintError::InvalidArgument("--config needs a value".into())
+                    })?);
+            }
+            "--json" => {
+                // The path operand is optional, like repro's --json.
+                opts.json = Some(match args.peek() {
+                    Some(next) if !next.starts_with('-') => {
+                        PathBuf::from(args.next().unwrap_or_default())
+                    }
+                    _ => PathBuf::from("lint.json"),
+                });
+            }
+            other => {
+                return Err(LintError::InvalidArgument(format!(
+                    "unknown option `{other}` (see --help)"
+                )));
+            }
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: &Options) -> Result<Report, LintError> {
+    let config_path = opts.root.join(&opts.config);
+    let text = std::fs::read_to_string(&config_path).map_err(|e| LintError::Io {
+        path: config_path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let cfg = Config::from_toml(&text)?;
+    let report = bisect_lint::lint_workspace(&opts.root, &cfg)?;
+    if let Some(json_path) = &opts.json {
+        std::fs::write(json_path, report.to_json()).map_err(|e| LintError::Io {
+            path: json_path.display().to_string(),
+            message: e.to_string(),
+        })?;
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("bisect-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            let (errors, warnings) = report.counts();
+            println!(
+                "bisect-lint: {} diagnostic{} ({errors} error{}, {warnings} warning{}), \
+                 {} suppressed, {} files scanned",
+                report.diagnostics.len(),
+                plural(report.diagnostics.len()),
+                plural(errors),
+                plural(warnings),
+                report.suppressed,
+                report.files_scanned,
+            );
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("bisect-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}

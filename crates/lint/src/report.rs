@@ -1,0 +1,100 @@
+//! Machine-readable output: `lint.json`, hand-rolled in the same
+//! flat-record style as `bisect_bench::json` writes
+//! `BENCH_results.json` (the workspace has no serde).
+
+use crate::engine::Report;
+
+impl Report {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"bisect-lint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", escape(d.rule)));
+            out.push_str(&format!("\"severity\": {}, ", escape(d.severity.name())));
+            out.push_str(&format!("\"file\": {}, ", escape(&d.file)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"col\": {}, ", d.col));
+            out.push_str(&format!("\"message\": {}, ", escape(&d.message)));
+            match &d.suggestion {
+                Some(s) => out.push_str(&format!("\"suggestion\": {}", escape(s))),
+                None => out.push_str("\"suggestion\": null"),
+            }
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, Severity};
+
+    #[test]
+    fn empty_report_serializes_cleanly() {
+        let report = Report {
+            diagnostics: vec![],
+            suppressed: 3,
+            files_scanned: 12,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"tool\": \"bisect-lint\""));
+        assert!(json.contains("\"files_scanned\": 12"));
+        assert!(json.contains("\"suppressed\": 3"));
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn diagnostics_carry_all_fields() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "no-panic",
+                severity: Severity::Error,
+                file: "crates/core/src/kl.rs".into(),
+                line: 9,
+                col: 4,
+                message: "a \"quoted\" message".into(),
+                suggestion: None,
+            }],
+            suppressed: 0,
+            files_scanned: 1,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"rule\": \"no-panic\""));
+        assert!(json.contains("\"severity\": \"error\""));
+        assert!(json.contains("\"line\": 9"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"suggestion\": null"));
+    }
+}

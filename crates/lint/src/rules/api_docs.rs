@@ -1,0 +1,184 @@
+//! The api-docs rule: public items of the algorithm crate carry doc
+//! comments, matching its `#![warn(missing_docs)]` promise.
+
+use crate::config::{path_in, Config};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Item keywords that introduce a documentable public item.
+const ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+/// Flags `pub` items (functions, types, traits, consts, modules) in
+/// the configured paths that have no doc comment. `pub(crate)` and
+/// `pub(super)` items, `pub use` re-exports, and struct fields are out
+/// of scope — this mirrors what `missing_docs` would warn about while
+/// staying a purely lexical check.
+pub struct ApiDocs;
+
+impl Rule for ApiDocs {
+    fn id(&self) -> &'static str {
+        "api-docs"
+    }
+
+    fn applies(&self, cfg: &Config, path: &str) -> bool {
+        path_in(path, &cfg.api_docs_paths)
+    }
+
+    fn check(&self, _cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident
+                || file.tok(i) != "pub"
+                || file.in_test_code(i)
+            {
+                continue;
+            }
+            // Skip restricted visibility: `pub(crate)`, `pub(in …)`.
+            let Some(mut j) = file.next_code(i + 1) else {
+                continue;
+            };
+            if file.tok(j) == "(" {
+                continue;
+            }
+            // Skip modifiers (`const fn`, `async fn`, `extern "C" fn`)
+            // until the item keyword. `const` doubles as an item
+            // keyword, so it only counts as a modifier when followed
+            // by `fn`.
+            let mut keyword = None;
+            for _ in 0..4 {
+                let word = file.tok(j);
+                let next = file.next_code(j + 1);
+                if word == "const" && next.is_some_and(|n| file.tok(n) == "fn") {
+                    j = match next {
+                        Some(n) => n,
+                        None => break,
+                    };
+                    continue;
+                }
+                if ITEM_KEYWORDS.contains(&word) {
+                    keyword = Some(word.to_string());
+                    break;
+                }
+                if matches!(word, "async" | "extern" | "unsafe") {
+                    j = match next {
+                        Some(n) => n,
+                        None => break,
+                    };
+                    continue;
+                }
+                break; // a field or something else — not an item
+            }
+            let Some(keyword) = keyword else { continue };
+            let name_idx = file.next_code(j + 1);
+            // `pub mod name;` declares an external module whose docs
+            // live as `//!` inner comments in the module's own file —
+            // that satisfies `missing_docs`, so it is in scope only in
+            // its inline `pub mod name { … }` form.
+            if keyword == "mod"
+                && name_idx
+                    .and_then(|n| file.next_code(n + 1))
+                    .is_some_and(|s| file.tok(s) == ";")
+            {
+                continue;
+            }
+            if has_doc(file, i) {
+                continue;
+            }
+            let item_name = name_idx
+                .map(|n| file.tok(n).to_string())
+                .unwrap_or_default();
+            let (line, col) = file.position(i);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Warning,
+                file: file.path.clone(),
+                line,
+                col,
+                message: format!("public {keyword} `{item_name}` has no doc comment"),
+                suggestion: Some("add a `///` doc comment describing the item".into()),
+            });
+        }
+    }
+}
+
+/// Walks backwards from the `pub` token over attributes and plain
+/// comments, looking for a doc comment (`///`, `/**`, or a `#[doc…]`
+/// attribute) attached to the item.
+fn has_doc(file: &SourceFile, pub_idx: usize) -> bool {
+    let mut j = pub_idx;
+    loop {
+        let Some(k) = prev_meaningful(file, j) else {
+            return false;
+        };
+        let t = &file.tokens[k];
+        match t.kind {
+            TokenKind::LineComment => {
+                let text = file.tok(k);
+                if text.starts_with("///") {
+                    return true;
+                }
+                j = k; // a plain comment (e.g. a lint suppression)
+            }
+            TokenKind::BlockComment => {
+                let text = file.tok(k);
+                if text.starts_with("/**") {
+                    return true;
+                }
+                j = k;
+            }
+            _ if file.tok(k) == "]" => {
+                // Walk back over one `#[…]` attribute.
+                let Some(open) = match_backward(file, k) else {
+                    return false;
+                };
+                let Some(hash) = prev_meaningful(file, open) else {
+                    return false;
+                };
+                if file.tok(hash) != "#" {
+                    // `#![…]` inner attributes have `!` here: the item
+                    // scan has reached the top of a module — no doc.
+                    return false;
+                }
+                if file
+                    .next_code(open + 1)
+                    .is_some_and(|d| file.tok(d) == "doc")
+                {
+                    return true;
+                }
+                j = hash;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// The previous token that is not whitespace, strictly before `i`.
+fn prev_meaningful(file: &SourceFile, i: usize) -> Option<usize> {
+    (0..i)
+        .rev()
+        .find(|&j| file.tokens[j].kind != TokenKind::Whitespace)
+}
+
+/// Given the index of a `]`, the index of its matching `[`.
+fn match_backward(file: &SourceFile, close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in (0..=close).rev() {
+        if file.tokens[j].is_trivia() {
+            continue;
+        }
+        match file.tok(j) {
+            "]" => depth += 1,
+            "[" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,144 @@
+//! The determinism family: the reproduction's results must be a pure
+//! function of the seed, so randomly seeded containers, wall-clock
+//! reads, and ambient entropy are confined to sanctioned modules.
+
+use crate::config::{path_in, Config};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Bans `std::collections::HashMap`/`HashSet` in determinism-critical
+/// code: their iteration order is seeded per process (`RandomState`),
+/// which silently breaks run-to-run reproducibility the moment the
+/// order escapes (and a linter cannot prove it never does).
+pub struct DeterminismHash;
+
+impl Rule for DeterminismHash {
+    fn id(&self) -> &'static str {
+        "determinism-hash"
+    }
+
+    fn applies(&self, cfg: &Config, path: &str) -> bool {
+        path_in(path, &cfg.determinism_paths)
+    }
+
+    fn check(&self, _cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident || file.in_test_code(i) {
+                continue;
+            }
+            let name = file.tok(i);
+            if name != "HashMap" && name != "HashSet" {
+                continue;
+            }
+            let (line, col) = file.position(i);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                file: file.path.clone(),
+                line,
+                col,
+                message: format!(
+                    "`{name}` iterates in a per-process random order in determinism-critical code"
+                ),
+                suggestion: Some(
+                    "use BTreeMap/BTreeSet or sort before iterating; if the container is \
+                     provably lookup-only, suppress with `// lint: allow(determinism-hash)`"
+                        .into(),
+                ),
+            });
+        }
+    }
+}
+
+/// Bans wall-clock reads (`Instant::now`, `SystemTime::now`) outside
+/// the sanctioned timing modules: timing that leaks into results or
+/// control flow makes runs machine- and load-dependent.
+pub struct DeterminismTime;
+
+impl Rule for DeterminismTime {
+    fn id(&self) -> &'static str {
+        "determinism-time"
+    }
+
+    fn applies(&self, cfg: &Config, path: &str) -> bool {
+        path_in(path, &cfg.timing_paths) && !path_in(path, &cfg.timing_allow)
+    }
+
+    fn check(&self, _cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident || file.in_test_code(i) {
+                continue;
+            }
+            let name = file.tok(i);
+            if name != "Instant" && name != "SystemTime" {
+                continue;
+            }
+            if file.matches_seq(i, &[name, ":", ":", "now"]).is_none() {
+                continue;
+            }
+            let (line, col) = file.position(i);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                file: file.path.clone(),
+                line,
+                col,
+                message: format!("`{name}::now()` outside the sanctioned timing modules"),
+                suggestion: Some(
+                    "route timing through the bench runner/criterion shim, or suppress with \
+                     `// lint: allow(determinism-time)` for measurement-only code"
+                        .into(),
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers whose presence means ambient entropy is being drawn.
+const ENTROPY_SOURCES: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+    "OsRng",
+    "getrandom",
+];
+
+/// Bans ambient entropy outside the vendored `rand` shim: every random
+/// stream must descend from an explicit, logged seed.
+pub struct DeterminismEntropy;
+
+impl Rule for DeterminismEntropy {
+    fn id(&self) -> &'static str {
+        "determinism-entropy"
+    }
+
+    fn applies(&self, cfg: &Config, path: &str) -> bool {
+        !path_in(path, &cfg.entropy_allow)
+    }
+
+    fn check(&self, _cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident || file.in_test_code(i) {
+                continue;
+            }
+            let name = file.tok(i);
+            if !ENTROPY_SOURCES.contains(&name) {
+                continue;
+            }
+            let (line, col) = file.position(i);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                file: file.path.clone(),
+                line,
+                col,
+                message: format!("entropy source `{name}` outside the rand shim"),
+                suggestion: Some(
+                    "derive randomness from an explicit seed (SeedableRng / SeedSequence)".into(),
+                ),
+            });
+        }
+    }
+}

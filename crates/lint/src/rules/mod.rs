@@ -1,0 +1,51 @@
+//! The rule set. Each rule decides which files it governs from the
+//! [`Config`] and walks the token stream of a [`SourceFile`], pushing
+//! [`Diagnostic`]s for violations in non-test code.
+//!
+//! To add a rule: implement [`Rule`], give it a unique kebab-case id
+//! (share a family prefix — `determinism-*` — when it belongs to an
+//! existing family so family-wide suppressions cover it), register it
+//! in [`all_rules`], scope it in `lint.toml`, and add a failing
+//! fixture under `crates/lint/tests/fixtures/`.
+
+mod api_docs;
+mod determinism;
+mod no_panic;
+mod unsafe_hygiene;
+mod zero_alloc;
+
+pub use api_docs::ApiDocs;
+pub use determinism::{DeterminismEntropy, DeterminismHash, DeterminismTime};
+pub use no_panic::NoPanic;
+pub use unsafe_hygiene::UnsafeHygiene;
+pub use zero_alloc::ZeroAlloc;
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// A single static check.
+pub trait Rule {
+    /// The rule's stable kebab-case id, used in output and in
+    /// `// lint: allow(<id>)` suppressions.
+    fn id(&self) -> &'static str;
+
+    /// Whether the rule runs on the file at `path` under `cfg`.
+    fn applies(&self, cfg: &Config, path: &str) -> bool;
+
+    /// Checks one file, appending findings to `out`.
+    fn check(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every shipped rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(DeterminismHash),
+        Box::new(DeterminismTime),
+        Box::new(DeterminismEntropy),
+        Box::new(NoPanic),
+        Box::new(ZeroAlloc),
+        Box::new(UnsafeHygiene),
+        Box::new(ApiDocs),
+    ]
+}

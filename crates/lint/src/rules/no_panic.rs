@@ -1,0 +1,66 @@
+//! The no-panic rule: library crates surface typed errors, not panics.
+
+use crate::config::{path_in, Config};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Panicking macros banned in no-panic crates.
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// Bans `.unwrap()`, `.expect(…)`, and the panicking macros in
+/// non-test code of the configured crates: PR 2 threaded typed
+/// `GraphError`/`BisectError` paths end to end, and this rule keeps
+/// future refactors from reintroducing aborts. Invariant-backed sites
+/// (a value populated two lines up, a documented panicking API)
+/// carry `// lint: allow(no-panic)` suppressions with their reasons.
+pub struct NoPanic;
+
+impl Rule for NoPanic {
+    fn id(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn applies(&self, cfg: &Config, path: &str) -> bool {
+        path_in(path, &cfg.no_panic_paths)
+    }
+
+    fn check(&self, _cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident || file.in_test_code(i) {
+                continue;
+            }
+            let name = file.tok(i);
+            let found: Option<String> = if name == "unwrap" || name == "expect" {
+                // Only the method-call form `.name(`: a field or free
+                // function of the same name is someone else's API.
+                let is_method = file.prev_code(i).is_some_and(|p| file.tok(p) == ".")
+                    && file.matches_seq(i, &[name, "("]).is_some();
+                is_method.then(|| format!("`.{name}()` in non-test code"))
+            } else if PANIC_MACROS.contains(&name) {
+                file.matches_seq(i, &[name, "!"])
+                    .is_some()
+                    .then(|| format!("`{name}!` in non-test code"))
+            } else {
+                None
+            };
+            let Some(message) = found else { continue };
+            let (line, col) = file.position(i);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                file: file.path.clone(),
+                line,
+                col,
+                message,
+                suggestion: Some(
+                    "return a typed error (GraphError/BisectError/GenError); for an \
+                     invariant that cannot fail, suppress with `// lint: allow(no-panic)` \
+                     and state the invariant"
+                        .into(),
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The unsafe-hygiene rule: every crate root forbids `unsafe_code`,
+//! and any future relaxation must justify each block with a
+//! `// SAFETY:` comment.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Checks two things: configured crate roots carry
+/// `#![forbid(unsafe_code)]`, and every `unsafe` keyword anywhere in
+/// scanned non-test code is immediately preceded by a comment
+/// containing `SAFETY:`.
+pub struct UnsafeHygiene;
+
+impl Rule for UnsafeHygiene {
+    fn id(&self) -> &'static str {
+        "unsafe-hygiene"
+    }
+
+    fn applies(&self, _cfg: &Config, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if cfg.crate_roots.contains(&file.path) && !has_forbid_unsafe(file) {
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                file: file.path.clone(),
+                line: 1,
+                col: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+                suggestion: Some(
+                    "add `#![forbid(unsafe_code)]` to the crate root; if unsafe is truly \
+                     needed, relax to `#![deny(unsafe_code)]` and justify each block with \
+                     a `// SAFETY:` comment"
+                        .into(),
+                ),
+            });
+        }
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident
+                || file.tok(i) != "unsafe"
+                || file.in_test_code(i)
+            {
+                continue;
+            }
+            // The string `unsafe_code` inside the forbid attribute is a
+            // distinct ident and never matches; this is the keyword.
+            if preceded_by_safety_comment(file, i) {
+                continue;
+            }
+            let (line, col) = file.position(i);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                file: file.path.clone(),
+                line,
+                col,
+                message: "`unsafe` without an immediately preceding `// SAFETY:` comment".into(),
+                suggestion: Some(
+                    "document why the invariants hold in a `// SAFETY:` comment directly \
+                     above the unsafe block"
+                        .into(),
+                ),
+            });
+        }
+    }
+}
+
+/// Whether the file contains `#![forbid(unsafe_code)]` (possibly with
+/// additional lints in the same attribute).
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    for i in 0..file.tokens.len() {
+        if file.tokens[i].kind != TokenKind::Ident || file.tok(i) != "forbid" {
+            continue;
+        }
+        let Some(open) = file.next_code(i + 1) else {
+            continue;
+        };
+        if file.tok(open) != "(" {
+            continue;
+        }
+        let mut j = open + 1;
+        while let Some(k) = file.next_code(j) {
+            match file.tok(k) {
+                ")" => break,
+                "unsafe_code" => return true,
+                _ => j = k + 1,
+            }
+        }
+    }
+    false
+}
+
+/// Whether the nearest preceding non-whitespace token is a comment
+/// whose text contains `SAFETY:`.
+fn preceded_by_safety_comment(file: &SourceFile, i: usize) -> bool {
+    for j in (0..i).rev() {
+        match file.tokens[j].kind {
+            TokenKind::Whitespace => continue,
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                return file.tok(j).contains("SAFETY:");
+            }
+            _ => return false,
+        }
+    }
+    false
+}

@@ -1,0 +1,70 @@
+//! The zero-alloc rule: the KL/FM/SA inner loops run out of
+//! `Workspace` arenas (PR 1) and must stay allocation-free after
+//! warm-up.
+
+use crate::config::{path_in, Config};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Bans the common allocator entry points — `Vec::new`, `vec!`,
+/// `Box::new`, `.collect()`, `.clone()` — in the configured hot-path
+/// modules. One-time warm-up sites (constructors, first-run arena
+/// population) carry `// lint: allow(zero-alloc)` suppressions.
+pub struct ZeroAlloc;
+
+impl Rule for ZeroAlloc {
+    fn id(&self) -> &'static str {
+        "zero-alloc"
+    }
+
+    fn applies(&self, cfg: &Config, path: &str) -> bool {
+        path_in(path, &cfg.hot_paths)
+    }
+
+    fn check(&self, _cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.tokens.len() {
+            if file.tokens[i].kind != TokenKind::Ident || file.in_test_code(i) {
+                continue;
+            }
+            let name = file.tok(i);
+            let found: Option<&str> = match name {
+                "Vec" | "Box" if file.matches_seq(i, &[name, ":", ":", "new"]).is_some() => {
+                    Some(if name == "Vec" {
+                        "Vec::new"
+                    } else {
+                        "Box::new"
+                    })
+                }
+                "vec" if file.matches_seq(i, &["vec", "!"]).is_some() => Some("vec!"),
+                "collect" | "clone"
+                    if file.prev_code(i).is_some_and(|p| file.tok(p) == ".")
+                        && file.matches_seq(i, &[name, "("]).is_some() =>
+                {
+                    Some(if name == "collect" {
+                        ".collect()"
+                    } else {
+                        ".clone()"
+                    })
+                }
+                _ => None,
+            };
+            let Some(what) = found else { continue };
+            let (line, col) = file.position(i);
+            out.push(Diagnostic {
+                rule: self.id(),
+                severity: Severity::Error,
+                file: file.path.clone(),
+                line,
+                col,
+                message: format!("`{what}` in a zero-alloc hot path"),
+                suggestion: Some(
+                    "reuse a Workspace arena buffer; for one-time warm-up allocation, \
+                     suppress with `// lint: allow(zero-alloc)`"
+                        .into(),
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! A tokenized source file plus the region analysis shared by rules:
+//! which token ranges are `#[cfg(test)]` code and how to navigate the
+//! stream skipping trivia.
+
+use crate::lexer::{lex, Token};
+
+/// One file under analysis: its workspace-relative path, full text,
+/// token stream, and the token ranges occupied by test-only code.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// The file contents.
+    pub text: String,
+    /// The complete token stream (trivia included).
+    pub tokens: Vec<Token>,
+    /// Half-open token-index ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Tokenizes `text` and locates its test-only regions.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let text = text.into();
+        let tokens = lex(&text);
+        let test_ranges = find_test_ranges(&text, &tokens);
+        SourceFile {
+            path: path.into(),
+            text,
+            tokens,
+            test_ranges,
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn tok(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// Whether token `i` lies inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// The next non-trivia token index at or after `i`.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i..self.tokens.len()).find(|&j| !self.tokens[j].is_trivia())
+    }
+
+    /// The previous non-trivia token index strictly before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.tokens[j].is_trivia())
+    }
+
+    /// Whether the non-trivia tokens starting at `i` (inclusive) spell
+    /// out `words` in order, with arbitrary trivia between them.
+    /// Returns the index of the last matched token.
+    pub fn matches_seq(&self, i: usize, words: &[&str]) -> Option<usize> {
+        let mut at = i;
+        let mut last = i;
+        for (n, word) in words.iter().enumerate() {
+            let j = if n == 0 { Some(at) } else { self.next_code(at) }?;
+            let t = &self.tokens[j];
+            if t.is_trivia() || self.tok(j) != *word {
+                return None;
+            }
+            last = j;
+            at = j + 1;
+        }
+        Some(last)
+    }
+
+    /// 1-based line and column of token `i`.
+    pub fn position(&self, i: usize) -> (u32, u32) {
+        (self.tokens[i].line, self.tokens[i].col)
+    }
+}
+
+/// Locates `#[cfg(test)]` attributes and extends each over the item it
+/// gates: any further attributes, then either a braced body (matched
+/// nesting-aware) or a `;`-terminated item.
+fn find_test_ranges(text: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let tok = |i: usize| tokens[i].text(text);
+    let next_code =
+        |i: usize| -> Option<usize> { (i..tokens.len()).find(|&j| !tokens[j].is_trivia()) };
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]` allowing trivia between tokens.
+        let matched = (|| -> Option<usize> {
+            let a = next_code(i)?;
+            if tok(a) != "#" || a != i {
+                return None;
+            }
+            let b = next_code(a + 1)?;
+            if tok(b) != "[" {
+                return None;
+            }
+            let c = next_code(b + 1)?;
+            if tok(c) != "cfg" {
+                return None;
+            }
+            let d = next_code(c + 1)?;
+            if tok(d) != "(" {
+                return None;
+            }
+            let e = next_code(d + 1)?;
+            if tok(e) != "test" {
+                return None;
+            }
+            let f = next_code(e + 1)?;
+            if tok(f) != ")" {
+                return None;
+            }
+            let g = next_code(f + 1)?;
+            if tok(g) != "]" {
+                return None;
+            }
+            Some(g)
+        })();
+        let Some(attr_end) = matched else {
+            i += 1;
+            continue;
+        };
+        // Skip any further attributes (`#[test]`, `#[allow(...)]`, …).
+        let mut at = attr_end + 1;
+        while let Some(h) = next_code(at) {
+            if tok(h) != "#" {
+                break;
+            }
+            let Some(open) = next_code(h + 1) else { break };
+            if tok(open) != "[" {
+                break;
+            }
+            let Some(close) = match_forward(text, tokens, open, "[", "]") else {
+                break;
+            };
+            at = close + 1;
+        }
+        // Extend over the gated item: to the matching `}` of its first
+        // brace, or to a `;` that arrives before any brace opens.
+        let mut end = tokens.len();
+        let mut j = at;
+        while let Some(k) = next_code(j) {
+            match tok(k) {
+                "{" => {
+                    end = match_forward(text, tokens, k, "{", "}")
+                        .map(|c| c + 1)
+                        .unwrap_or(tokens.len());
+                    break;
+                }
+                ";" => {
+                    end = k + 1;
+                    break;
+                }
+                _ => j = k + 1,
+            }
+        }
+        ranges.push((i, end));
+        i = end;
+    }
+    ranges
+}
+
+/// Given token index `open` holding `open_text`, returns the index of
+/// the matching `close_text`, nesting-aware. `None` if unbalanced.
+fn match_forward(
+    text: &str,
+    tokens: &[Token],
+    open: usize,
+    open_text: &str,
+    close_text: &str,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_trivia() {
+            continue;
+        }
+        let s = t.text(text);
+        if s == open_text {
+            depth += 1;
+        } else if s == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::TokenKind;
+
+    fn ident_indices(file: &SourceFile, name: &str) -> Vec<usize> {
+        (0..file.tokens.len())
+            .filter(|&i| file.tokens[i].kind == TokenKind::Ident && file.tok(i) == name)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range() {
+        let src = r#"
+fn real() { before(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn check() { inside(); }
+}
+
+fn after_tests() { after(); }
+"#;
+        let file = SourceFile::new("x.rs", src);
+        let inside = ident_indices(&file, "inside")[0];
+        let before = ident_indices(&file, "before")[0];
+        let after = ident_indices(&file, "after")[0];
+        assert!(file.in_test_code(inside));
+        assert!(!file.in_test_code(before));
+        assert!(!file.in_test_code(after), "code after the test mod is live");
+    }
+
+    #[test]
+    fn cfg_test_fn_and_use_are_test_ranges() {
+        let src = r#"
+#[cfg(test)]
+use std::collections::HashMap;
+
+#[cfg(test)]
+#[allow(dead_code)]
+fn helper() { gated(); }
+
+fn live() { open(); }
+"#;
+        let file = SourceFile::new("x.rs", src);
+        assert!(file.in_test_code(ident_indices(&file, "HashMap")[0]));
+        assert!(file.in_test_code(ident_indices(&file, "gated")[0]));
+        assert!(!file.in_test_code(ident_indices(&file, "open")[0]));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_break_matching() {
+        let src = "#[cfg(test)]\nmod tests { const S: &str = \"}\"; fn f() { x(); } }\nfn live() { y(); }";
+        let file = SourceFile::new("x.rs", src);
+        assert!(file.in_test_code(ident_indices(&file, "x")[0]));
+        assert!(!file.in_test_code(ident_indices(&file, "y")[0]));
+    }
+
+    #[test]
+    fn matches_seq_spans_trivia() {
+        // `::` lexes as two single-character puncts.
+        let file = SourceFile::new("x.rs", "Instant :: /* gap */ now ()");
+        assert!(file.matches_seq(0, &["Instant", ":", ":", "now"]).is_some());
+        assert!(file
+            .matches_seq(0, &["Instant", ":", ":", "later"])
+            .is_none());
+    }
+}

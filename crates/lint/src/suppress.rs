@@ -1,0 +1,164 @@
+//! Inline suppressions: `// lint: allow(<rule>[, <rule>…]) — reason`.
+//!
+//! A suppression comment silences matching diagnostics on its own line
+//! and — when nothing but whitespace precedes it on that line — on the
+//! next line that contains code, so both trailing and standalone
+//! placements work:
+//!
+//! ```text
+//! foo().unwrap(); // lint: allow(no-panic) — checked above
+//!
+//! // lint: allow(no-panic) — validated by the caller
+//! bar().unwrap();
+//! ```
+//!
+//! A rule id matches exactly or by family prefix: `allow(determinism)`
+//! covers `determinism-hash`, `determinism-time`, and
+//! `determinism-entropy`.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// One parsed suppression: the rules it allows and the lines it covers.
+#[derive(Debug)]
+struct Suppression {
+    rules: Vec<String>,
+    lines: Vec<u32>,
+}
+
+/// Partitions `diags` into (kept, suppressed-count) under the
+/// suppression comments of `file`.
+pub fn apply(file: &SourceFile, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize) {
+    let suppressions = collect(file);
+    let mut kept = Vec::with_capacity(diags.len());
+    let mut suppressed = 0usize;
+    for d in diags {
+        let hit = suppressions
+            .iter()
+            .any(|s| s.lines.contains(&d.line) && s.rules.iter().any(|r| rule_matches(r, d.rule)));
+        if hit {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Whether allowing `allowed` silences rule `rule` (exact id or family
+/// prefix).
+fn rule_matches(allowed: &str, rule: &str) -> bool {
+    rule == allowed
+        || rule
+            .strip_prefix(allowed)
+            .is_some_and(|r| r.starts_with('-'))
+}
+
+fn collect(file: &SourceFile) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.is_trivia() && !matches!(t.kind, crate::lexer::TokenKind::Whitespace) {
+            let Some(rules) = parse_allow(file.tok(i)) else {
+                continue;
+            };
+            let mut lines = vec![t.line];
+            if is_standalone(file, i) {
+                if let Some(next) = file.next_code(i + 1) {
+                    let next_line = file.tokens[next].line;
+                    if !lines.contains(&next_line) {
+                        lines.push(next_line);
+                    }
+                }
+            }
+            out.push(Suppression { rules, lines });
+        }
+    }
+    out
+}
+
+/// Whether only whitespace precedes token `i` on its own line.
+fn is_standalone(file: &SourceFile, i: usize) -> bool {
+    let line = file.tokens[i].line;
+    file.tokens[..i]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .all(|t| t.kind == crate::lexer::TokenKind::Whitespace)
+}
+
+/// Extracts the rule list from a comment containing `lint: allow(…)`.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("lint: allow(")?;
+    let rest = &comment[at + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    (!rules.is_empty()).then_some(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn diag(rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: "x.rs".into(),
+            line,
+            col: 1,
+            message: "m".into(),
+            suggestion: None,
+        }
+    }
+
+    #[test]
+    fn trailing_comment_covers_its_line_only() {
+        let file = SourceFile::new("x.rs", "a(); // lint: allow(no-panic) — reason\nb();\n");
+        let (kept, n) = apply(&file, vec![diag("no-panic", 1), diag("no-panic", 2)]);
+        assert_eq!(n, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 2);
+    }
+
+    #[test]
+    fn standalone_comment_covers_the_next_code_line() {
+        let src = "// lint: allow(no-panic) — reason\n\nc();\nd();\n";
+        let file = SourceFile::new("x.rs", src);
+        let (kept, n) = apply(&file, vec![diag("no-panic", 3), diag("no-panic", 4)]);
+        assert_eq!(n, 1);
+        assert_eq!(kept[0].line, 4);
+    }
+
+    #[test]
+    fn family_prefix_and_lists_match() {
+        assert!(rule_matches("determinism", "determinism-hash"));
+        assert!(rule_matches("determinism-hash", "determinism-hash"));
+        assert!(!rule_matches("determinism-hash", "determinism"));
+        assert!(!rule_matches("det", "determinism-hash"));
+        let file = SourceFile::new("x.rs", "x(); // lint: allow(determinism, zero-alloc)\n");
+        let (kept, n) = apply(
+            &file,
+            vec![
+                diag("determinism-time", 1),
+                diag("zero-alloc", 1),
+                diag("no-panic", 1),
+            ],
+        );
+        assert_eq!(n, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn unrelated_comments_do_not_suppress() {
+        let file = SourceFile::new("x.rs", "e(); // mentions allow but not the magic form\n");
+        let (kept, n) = apply(&file, vec![diag("no-panic", 1)]);
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 1);
+    }
+}

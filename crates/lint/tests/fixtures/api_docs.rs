@@ -1,0 +1,27 @@
+// Fixture: api-docs violations (warnings).
+
+pub fn undocumented() {}
+
+/// Documented — fine.
+pub fn documented() {}
+
+pub struct Bare;
+
+/// A documented struct is fine, including with attributes between.
+#[derive(Debug)]
+pub struct Covered;
+
+pub(crate) fn internal() {}
+
+pub mod external;
+
+pub use std::cmp::Ordering;
+
+pub mod inline {
+    pub fn inner() {}
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn undocumented_in_tests_is_fine() {}
+}

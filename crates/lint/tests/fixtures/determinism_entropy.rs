@@ -1,0 +1,27 @@
+// Fixture: determinism-entropy violations.
+
+fn ambient() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn reseeded() -> StdRng {
+    StdRng::from_entropy()
+}
+
+fn os_random(buf: &mut [u8]) {
+    OsRng.fill_bytes(buf);
+}
+
+// Explicit seeding is the sanctioned pattern and must not flag.
+fn seeded() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_in_tests_is_fine() {
+        let _ = rand::thread_rng();
+    }
+}

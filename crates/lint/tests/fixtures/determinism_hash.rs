@@ -1,0 +1,30 @@
+// Fixture: determinism-hash violations. Not compiled — lexed by the
+// rule tests in ../rules.rs.
+
+use std::collections::HashMap;
+
+fn count_distinct(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}
+
+fn histogram(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_containers_are_fine_in_tests() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

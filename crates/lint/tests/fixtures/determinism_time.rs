@@ -1,0 +1,25 @@
+// Fixture: determinism-time violations.
+
+use std::time::{Instant, SystemTime};
+
+fn elapsed_toy() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+fn wall_clock() -> SystemTime {
+    SystemTime::now()
+}
+
+// A bare mention of the type without `::now` is fine.
+fn takes_instant(t: Instant) -> Instant {
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

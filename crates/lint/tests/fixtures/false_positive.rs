@@ -1,0 +1,36 @@
+// Fixture: lookalikes that must produce zero diagnostics even with
+// every rule scoped to this file. This comment itself mentions
+// unwrap(), panic!, HashMap, thread_rng, and Instant::now().
+
+fn strings() -> &'static str {
+    "call .unwrap() or panic!() via a HashMap seeded by thread_rng"
+}
+
+fn raw_string() -> &'static str {
+    r#"vec![Box::new(Instant::now())] and OsRng and .collect()"#
+}
+
+/* block comment: SystemTime::now() .clone() from_entropy RandomState */
+
+fn char_literal() -> char {
+    '!'
+}
+
+fn field_access(d: &Diag) -> u32 {
+    // `expect` and `unwrap` as field names are not method calls.
+    d.expect + d.unwrap
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn violations_in_tests_are_invisible() {
+        let mut m = HashMap::new();
+        m.insert(1u32, vec![2u32]);
+        let _ = m.get(&1).unwrap().clone();
+        let _ = std::time::Instant::now();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,39 @@
+// Fixture: no-panic violations.
+
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn macros(kind: u8) -> u32 {
+    match kind {
+        0 => panic!("zero"),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => unreachable!("checked"),
+    }
+}
+
+// A free function named like the method is someone else's API.
+fn expect(msg: &str) -> usize {
+    msg.len()
+}
+
+fn calls_free_fn() -> usize {
+    expect("not a method call")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        if false {
+            panic!("tests may panic");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: every violation below carries an inline suppression, so a
+// scan with all rule scopes pointed here keeps nothing.
+
+fn lookup_only() -> usize {
+    // lint: allow(determinism-hash) — lookup-only, order never escapes
+    let m: HashMap<u32, u32> = HashMap::default();
+    m.len()
+}
+
+fn measured() -> u128 {
+    let t = Instant::now(); // lint: allow(determinism-time) — measurement only
+    t.elapsed().as_nanos()
+}
+
+fn checked(x: Option<u32>) -> u32 {
+    // lint: allow(no-panic) — `x` is Some by the caller's contract
+    x.unwrap()
+}
+
+fn warm_up() -> Vec<u64> {
+    // lint: allow(determinism, zero-alloc) — family prefix covers -entropy
+    vec![thread_rng().gen()]
+}

@@ -1,0 +1,22 @@
+// Fixture: unsafe-hygiene violations. The test config lists this file
+// as a crate root, so the missing `#![forbid(unsafe_code)]` attribute
+// is reported on line 1.
+
+fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_fine() {
+        let x = 5u32;
+        let got = unsafe { *(&x as *const u32) };
+        assert_eq!(got, 5);
+    }
+}

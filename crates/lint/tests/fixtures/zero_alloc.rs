@@ -1,0 +1,39 @@
+// Fixture: zero-alloc violations.
+
+fn allocates() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+
+fn boxed() -> Box<u32> {
+    Box::new(7)
+}
+
+fn literal() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+fn collected(xs: &[u32]) -> Vec<u32> {
+    xs.iter().map(|x| x + 1).collect()
+}
+
+fn cloned(xs: &Vec<u32>) -> Vec<u32> {
+    xs.clone()
+}
+
+// Pre-sized buffers and free functions named `clone` are not the
+// allocator entry points this rule tracks.
+fn reuses(buf: &mut Vec<u32>) {
+    buf.clear();
+    buf.push(1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocation_in_tests_is_fine() {
+        let v: Vec<u32> = vec![1];
+        let _ = v.clone();
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the lexer's central guarantee: it partitions any
+//! input — valid Rust or byte soup — into contiguous tokens whose
+//! concatenation reproduces the source exactly, without panicking.
+
+use bisect_lint::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Rust-ish fragments, including every literal form the lexer special-
+/// cases and several deliberately malformed ones (unterminated string,
+/// lone quote, unclosed block comment).
+const FRAGMENTS: [&str; 24] = [
+    "fn f() {",
+    "}",
+    "let x = 1_000u64;",
+    "\"str \\\" esc\\n\"",
+    "// line comment\n",
+    "/* block /* nested */ */",
+    "/* unclosed",
+    "r#\"raw \" inner\"#",
+    "br##\"bytes\"##",
+    "r#type",
+    "'a",
+    "'x'",
+    "b'\\n'",
+    "0..10",
+    "1.5e-3",
+    "#[cfg(test)]",
+    "::",
+    ".unwrap()",
+    "vec![1, 2]",
+    "\"unterminated",
+    "'",
+    "\u{1F980}",
+    "\n",
+    "    ",
+];
+
+/// Asserts the partition invariant: tokens are contiguous, start at 0,
+/// end at `src.len()`, and concatenate back to `src`.
+fn check_partition(src: &str) -> Result<(), TestCaseError> {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    let mut rebuilt = String::with_capacity(src.len());
+    for t in &tokens {
+        prop_assert_eq!(t.start, pos, "gap or overlap at byte {}", pos);
+        prop_assert!(t.end > t.start, "empty token at byte {}", pos);
+        pos = t.end;
+        rebuilt.push_str(t.text(src));
+    }
+    prop_assert_eq!(pos, src.len());
+    prop_assert_eq!(rebuilt.as_str(), src);
+    // Reported lines never decrease along the stream.
+    for w in tokens.windows(2) {
+        prop_assert!(w[0].line <= w[1].line);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_lex_into_a_partition(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_partition(&src)?;
+    }
+
+    #[test]
+    fn rust_fragment_soup_lexes_into_a_partition(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        check_partition(&src)?;
+        // Lexing is a pure function of the input.
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+
+    #[test]
+    fn identifiers_never_surface_inside_literals_or_comments(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 1..20),
+    ) {
+        // Wrap the soup in a string literal: however adversarial the
+        // contents, nothing inside may lex as an identifier, which is
+        // what keeps the rules blind to names in strings.
+        let inner: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i].replace(['"', '\\'], "_"))
+            .collect();
+        let src = format!("\"{inner}\"");
+        let tokens = lex(&src);
+        prop_assert_eq!(tokens.len(), 1);
+        prop_assert_eq!(tokens[0].kind, TokenKind::Str);
+    }
+}

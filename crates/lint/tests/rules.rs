@@ -1,0 +1,223 @@
+//! Per-rule fixture tests: each rule family has a fixture file under
+//! `fixtures/` (excluded from the workspace scan by `lint.toml`) that
+//! exercises its violations, its test-code exemptions, and the
+//! lookalikes it must not flag. The tests drive [`check_source`] with
+//! configs scoped to the fixture path, so each asserts exactly which
+//! (rule, line) pairs fire.
+
+use bisect_lint::{check_source, Config, Diagnostic, Severity};
+
+fn paths(ps: &[&str]) -> Vec<String> {
+    ps.iter().map(|s| s.to_string()).collect()
+}
+
+/// The (rule, line) pairs of `diags`, in report order.
+fn hits(diags: &[Diagnostic]) -> Vec<(&str, u32)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn determinism_hash_flags_hash_containers_outside_tests() {
+    let cfg = Config {
+        determinism_paths: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/determinism_hash.rs");
+    let (kept, suppressed) = check_source(&cfg, "fixtures/determinism_hash.rs", src);
+    assert_eq!(suppressed, 0);
+    assert_eq!(
+        hits(&kept),
+        vec![
+            ("determinism-hash", 4),  // use std::collections::HashMap
+            ("determinism-hash", 7),  // HashSet::new in a fn body
+            ("determinism-hash", 14), // HashMap in a return type
+            ("determinism-hash", 15), // HashMap::new
+        ]
+    );
+    assert!(kept.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn determinism_hash_is_silent_out_of_scope() {
+    let cfg = Config {
+        determinism_paths: paths(&["crates/core"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/determinism_hash.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/determinism_hash.rs", src);
+    assert!(kept.is_empty());
+}
+
+#[test]
+fn determinism_time_flags_clock_reads() {
+    let cfg = Config {
+        timing_paths: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/determinism_time.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/determinism_time.rs", src);
+    assert_eq!(
+        hits(&kept),
+        vec![
+            ("determinism-time", 6),  // Instant::now
+            ("determinism-time", 11), // SystemTime::now
+        ]
+    );
+}
+
+#[test]
+fn determinism_time_respects_the_allow_list() {
+    let cfg = Config {
+        timing_paths: paths(&["fixtures"]),
+        timing_allow: paths(&["fixtures/determinism_time.rs"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/determinism_time.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/determinism_time.rs", src);
+    assert!(kept.is_empty());
+}
+
+#[test]
+fn determinism_entropy_applies_everywhere_by_default() {
+    let cfg = Config::default();
+    let src = include_str!("fixtures/determinism_entropy.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/determinism_entropy.rs", src);
+    assert_eq!(
+        hits(&kept),
+        vec![
+            ("determinism-entropy", 4),  // thread_rng
+            ("determinism-entropy", 9),  // from_entropy
+            ("determinism-entropy", 13), // OsRng
+        ]
+    );
+}
+
+#[test]
+fn determinism_entropy_respects_the_allow_list() {
+    let cfg = Config {
+        entropy_allow: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/determinism_entropy.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/determinism_entropy.rs", src);
+    assert!(kept.is_empty());
+}
+
+#[test]
+fn no_panic_flags_aborts_but_not_free_functions() {
+    let cfg = Config {
+        no_panic_paths: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/no_panic.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/no_panic.rs", src);
+    assert_eq!(
+        hits(&kept),
+        vec![
+            ("no-panic", 4),  // .unwrap()
+            ("no-panic", 8),  // .expect(…)
+            ("no-panic", 13), // panic!
+            ("no-panic", 14), // todo!
+            ("no-panic", 15), // unimplemented!
+            ("no-panic", 16), // unreachable!
+        ]
+    );
+}
+
+#[test]
+fn zero_alloc_flags_allocator_entry_points() {
+    let cfg = Config {
+        hot_paths: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/zero_alloc.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/zero_alloc.rs", src);
+    assert_eq!(
+        hits(&kept),
+        vec![
+            ("zero-alloc", 4),  // Vec::new
+            ("zero-alloc", 10), // Box::new
+            ("zero-alloc", 14), // vec!
+            ("zero-alloc", 18), // .collect()
+            ("zero-alloc", 22), // .clone()
+        ]
+    );
+}
+
+#[test]
+fn unsafe_hygiene_checks_roots_and_safety_comments() {
+    let cfg = Config {
+        crate_roots: paths(&["fixtures/unsafe_hygiene.rs"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/unsafe_hygiene.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/unsafe_hygiene.rs", src);
+    assert_eq!(
+        hits(&kept),
+        vec![
+            ("unsafe-hygiene", 1), // missing #![forbid(unsafe_code)]
+            ("unsafe-hygiene", 6), // unsafe without a SAFETY: comment
+        ]
+    );
+}
+
+#[test]
+fn unsafe_hygiene_skips_the_root_check_for_non_roots() {
+    let cfg = Config::default();
+    let src = include_str!("fixtures/unsafe_hygiene.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/unsafe_hygiene.rs", src);
+    assert_eq!(hits(&kept), vec![("unsafe-hygiene", 6)]);
+}
+
+#[test]
+fn api_docs_warns_on_undocumented_public_items() {
+    let cfg = Config {
+        api_docs_paths: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/api_docs.rs");
+    let (kept, _) = check_source(&cfg, "fixtures/api_docs.rs", src);
+    assert_eq!(
+        hits(&kept),
+        vec![
+            ("api-docs", 3),  // pub fn undocumented
+            ("api-docs", 8),  // pub struct Bare
+            ("api-docs", 20), // pub mod inline { … }
+            ("api-docs", 21), // pub fn inner inside it
+        ]
+    );
+    assert!(kept.iter().all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
+fn suppressions_silence_each_family_and_are_counted() {
+    let cfg = Config {
+        determinism_paths: paths(&["fixtures"]),
+        timing_paths: paths(&["fixtures"]),
+        no_panic_paths: paths(&["fixtures"]),
+        hot_paths: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/suppressed.rs");
+    let (kept, suppressed) = check_source(&cfg, "fixtures/suppressed.rs", src);
+    assert_eq!(hits(&kept), vec![]);
+    // Two HashMaps, one Instant::now, one unwrap, one vec! and one
+    // thread_rng (the last two under a single family-prefix comment).
+    assert_eq!(suppressed, 6);
+}
+
+#[test]
+fn lookalikes_in_strings_comments_and_tests_never_flag() {
+    let cfg = Config {
+        determinism_paths: paths(&["fixtures"]),
+        timing_paths: paths(&["fixtures"]),
+        no_panic_paths: paths(&["fixtures"]),
+        hot_paths: paths(&["fixtures"]),
+        api_docs_paths: paths(&["fixtures"]),
+        ..Config::default()
+    };
+    let src = include_str!("fixtures/false_positive.rs");
+    let (kept, suppressed) = check_source(&cfg, "fixtures/false_positive.rs", src);
+    assert_eq!(hits(&kept), vec![]);
+    assert_eq!(suppressed, 0);
+}

@@ -1,0 +1,35 @@
+//! The self-enforcement gate: the workspace at HEAD, linted under its
+//! own `lint.toml`, produces zero non-suppressed diagnostics. CI runs
+//! the `bisect-lint` binary for the same guarantee; this test keeps
+//! `cargo test` sufficient to catch a regression locally.
+
+use std::path::Path;
+
+use bisect_lint::{lint_workspace, Config};
+
+#[test]
+fn workspace_is_lint_clean_under_its_own_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("read lint.toml");
+    let cfg = Config::from_toml(&toml).expect("parse lint.toml");
+    let report = lint_workspace(&root, &cfg).expect("scan the workspace");
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean at HEAD, found {} diagnostics:\n{:#?}",
+        report.diagnostics.len(),
+        report.diagnostics
+    );
+    // Guard against a config typo silently scanning nothing: the
+    // workspace has ~100 Rust files and dozens of justified
+    // suppressions, so near-zero counts mean the scan went wrong.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — include roots look wrong",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressed > 20,
+        "only {} suppressions hit — suppression matching looks broken",
+        report.suppressed
+    );
+}
