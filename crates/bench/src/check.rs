@@ -4,8 +4,10 @@
 //! count reproduce every mean cut exactly. [`compare`] therefore
 //! matches records by `(experiment, setting, algorithm)` and flags any
 //! difference in `mean_cut` beyond the tolerance (default 0) as a
-//! regression or an improvement; timing columns are ignored, since wall
-//! time varies run to run. The `repro_check` binary wraps this for CI.
+//! regression or an improvement; timing-bearing columns
+//! (`total_time_s`, `proposals_per_sec`, and the machine-dependent
+//! `proposals` total) are ignored, since wall time varies run to run.
+//! The `repro_check` binary wraps this for CI.
 
 use std::fmt;
 
@@ -130,6 +132,8 @@ mod tests {
             mean_cut,
             total_time_s: 0.1,
             mean_passes: 3.0,
+            proposals: 0.0,
+            proposals_per_sec: 0.0,
             graphs: 3,
         }
     }
@@ -166,6 +170,22 @@ mod tests {
         assert_eq!(c.improvements.len(), 1);
         assert_eq!(c.improvements[0].algorithm, "KL");
         assert!(c.regressions[0].to_string().contains("16 -> current 17"));
+    }
+
+    #[test]
+    fn timing_bearing_fields_do_not_affect_comparison() {
+        // Same cuts, wildly different timing/throughput columns: the
+        // checker must stay green — only `mean_cut` is compared.
+        let baseline = report(vec![record("500", "SA", 16.0)]);
+        let mut fast = record("500", "SA", 16.0);
+        fast.total_time_s = 0.001;
+        fast.proposals = 1.0e6;
+        fast.proposals_per_sec = 1.0e9;
+        let current = report(vec![fast]);
+        let c = compare(&current, &baseline, 0.0).unwrap();
+        assert!(c.is_ok());
+        assert_eq!(c.compared, 1);
+        assert!(c.improvements.is_empty());
     }
 
     #[test]

@@ -178,6 +178,7 @@ mod tests {
             cuts: [1.0, 2.0, 3.0, 4.0],
             times: [Duration::from_millis(1); 4],
             passes: [1.0; 4],
+            proposals: [10.0; 4],
             count: 1,
         };
         assert_eq!(quad_row("x".into(), &avg).len(), headers.len());

@@ -26,6 +26,12 @@ pub struct BenchRecord {
     /// Mean total work count across starts: productive passes for
     /// KL/FM, temperature steps for SA, both stages summed for C*.
     pub mean_passes: f64,
+    /// Mean total SA proposals evaluated across starts (0 for the
+    /// KL-family algorithms, which propose nothing).
+    pub proposals: f64,
+    /// Proposal throughput: `proposals / total_time_s` (0 when either
+    /// is zero). Timing-bearing — ignored by the regression checker.
+    pub proposals_per_sec: f64,
     /// Number of graphs averaged into this record.
     pub graphs: usize,
 }
@@ -36,14 +42,25 @@ pub(crate) fn quad_records(experiment: &str, setting: &str, avg: &QuadAverage) -
     ALGOS
         .iter()
         .enumerate()
-        .map(|(i, algo)| BenchRecord {
-            experiment: experiment.to_string(),
-            setting: setting.to_string(),
-            algorithm: algo.to_string(),
-            mean_cut: avg.cuts[i],
-            total_time_s: avg.times[i].as_secs_f64(),
-            mean_passes: avg.passes[i],
-            graphs: avg.count,
+        .map(|(i, algo)| {
+            let total_time_s = avg.times[i].as_secs_f64();
+            let proposals = avg.proposals[i];
+            let proposals_per_sec = if total_time_s > 0.0 {
+                proposals / total_time_s
+            } else {
+                0.0
+            };
+            BenchRecord {
+                experiment: experiment.to_string(),
+                setting: setting.to_string(),
+                algorithm: algo.to_string(),
+                mean_cut: avg.cuts[i],
+                total_time_s,
+                mean_passes: avg.passes[i],
+                proposals,
+                proposals_per_sec,
+                graphs: avg.count,
+            }
         })
         .collect()
 }
@@ -93,6 +110,11 @@ impl BenchReport {
             out.push_str(&format!("\"mean_cut\": {}, ", number(r.mean_cut)));
             out.push_str(&format!("\"total_time_s\": {}, ", number(r.total_time_s)));
             out.push_str(&format!("\"mean_passes\": {}, ", number(r.mean_passes)));
+            out.push_str(&format!("\"proposals\": {}, ", number(r.proposals)));
+            out.push_str(&format!(
+                "\"proposals_per_sec\": {}, ",
+                number(r.proposals_per_sec)
+            ));
             out.push_str(&format!("\"graphs\": {}", r.graphs));
             out.push('}');
         }
@@ -380,6 +402,15 @@ impl BenchReport {
                     BenchError::MalformedReport(format!("record {i} field `{key}` is not a number"))
                 })
             };
+            // Fields added after the schema first shipped parse
+            // leniently (default 0), so reports written by older
+            // binaries — like a committed baseline — still load.
+            let ropt = |key: &str| match r.get(key) {
+                Some(v) => v.as_number().ok_or_else(|| {
+                    BenchError::MalformedReport(format!("record {i} field `{key}` is not a number"))
+                }),
+                None => Ok(0.0),
+            };
             records.push(BenchRecord {
                 experiment: rstr("experiment")?,
                 setting: rstr("setting")?,
@@ -387,6 +418,8 @@ impl BenchReport {
                 mean_cut: rnum("mean_cut")?,
                 total_time_s: rnum("total_time_s")?,
                 mean_passes: rnum("mean_passes")?,
+                proposals: ropt("proposals")?,
+                proposals_per_sec: ropt("proposals_per_sec")?,
                 graphs: rnum("graphs")? as usize,
             });
         }
@@ -448,6 +481,7 @@ mod tests {
             cuts: [10.0, 8.5, 12.0, 9.0],
             times: [Duration::from_millis(1500); 4],
             passes: [100.0, 110.0, 4.0, 6.0],
+            proposals: [3000.0, 4500.0, 0.0, 0.0],
             count: 3,
         }
     }
@@ -463,6 +497,39 @@ mod tests {
         assert_eq!(records[2].mean_cut, 12.0);
         assert_eq!(records[0].total_time_s, 1.5);
         assert_eq!(records[3].graphs, 3);
+        // Throughput derives from proposals / time; KL-family rows
+        // propose nothing and report zero.
+        assert_eq!(records[0].proposals, 3000.0);
+        assert_eq!(records[0].proposals_per_sec, 2000.0);
+        assert_eq!(records[2].proposals, 0.0);
+        assert_eq!(records[2].proposals_per_sec, 0.0);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_throughput() {
+        let avg = QuadAverage {
+            times: [Duration::ZERO; 4],
+            proposals: [500.0; 4],
+            count: 1,
+            ..QuadAverage::default()
+        };
+        let records = quad_records("gbreg", "n=0", &avg);
+        assert_eq!(records[0].proposals, 500.0);
+        assert_eq!(records[0].proposals_per_sec, 0.0);
+    }
+
+    #[test]
+    fn from_json_defaults_absent_throughput_fields() {
+        // A report written before the `proposals` fields existed (the
+        // committed baseline format) must still parse, with zeros.
+        let doc = r#"{"profile": "quick", "seed": 1, "starts": 1, "replicates": 1,
+                      "threads": 1, "wall_time_s": 0,
+                      "records": [{"experiment": "g", "setting": "s",
+                                   "algorithm": "SA", "mean_cut": 8,
+                                   "total_time_s": 0.5, "mean_passes": 10, "graphs": 1}]}"#;
+        let report = BenchReport::from_json(doc).expect("old schema parses");
+        assert_eq!(report.records[0].proposals, 0.0);
+        assert_eq!(report.records[0].proposals_per_sec, 0.0);
     }
 
     #[test]

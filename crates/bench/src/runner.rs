@@ -45,6 +45,9 @@ pub struct AlgoResult {
     /// KL/FM, temperature steps for SA, coarse + fine stages summed for
     /// compacted algorithms.
     pub passes: u64,
+    /// Total SA proposals evaluated across the starts (0 for
+    /// KL-family algorithms, which propose nothing).
+    pub proposals: u64,
 }
 
 /// Runs `algo` from `starts` random starts; returns best cut and total
@@ -88,11 +91,15 @@ pub fn run_best_of_sides<B: Bisector + Sync + ?Sized>(
         WORKSPACE.with(|ws| {
             let mut ws = ws.borrow_mut();
             let mut rng = seq.rng(i as u64);
+            // Drain any count a previous caller left behind, so the
+            // post-trial take is exactly this trial's proposals.
+            let _ = ws.take_proposals();
             let begin = Instant::now();
             let (p, passes) = algo.bisect_counted(g, &mut rng, &mut ws);
             let elapsed = begin.elapsed();
+            let proposals = ws.take_proposals();
             debug_assert!(p.is_balanced(g));
-            (p, passes, elapsed)
+            (p, passes, elapsed, proposals)
         })
     });
     // Strict `<` over the index-ordered trials: the winner is the
@@ -100,9 +107,11 @@ pub fn run_best_of_sides<B: Bisector + Sync + ?Sized>(
     let mut best: Option<usize> = None;
     let mut elapsed = Duration::ZERO;
     let mut total_passes = 0u64;
-    for (i, (p, passes, trial_time)) in trials.iter().enumerate() {
+    let mut total_proposals = 0u64;
+    for (i, (p, passes, trial_time, proposals)) in trials.iter().enumerate() {
         elapsed += *trial_time;
         total_passes += passes;
+        total_proposals += proposals;
         if best.is_none_or(|b| p.cut() < trials[b].0.cut()) {
             best = Some(i);
         }
@@ -114,6 +123,7 @@ pub fn run_best_of_sides<B: Bisector + Sync + ?Sized>(
             cut: winner.cut(),
             elapsed,
             passes: total_passes,
+            proposals: total_proposals,
         },
         winner.sides().to_vec(),
     )
@@ -190,6 +200,8 @@ pub struct QuadAverage {
     pub times: [Duration; 4],
     /// Mean total work count (passes / temperatures) per algorithm.
     pub passes: [f64; 4],
+    /// Mean total SA proposals per algorithm (0 for KL-family).
+    pub proposals: [f64; 4],
     /// Number of graphs averaged.
     pub count: usize,
 }
@@ -202,6 +214,7 @@ impl QuadAverage {
             self.cuts[i] += r.cut as f64;
             self.times[i] += r.elapsed;
             self.passes[i] += r.passes as f64;
+            self.proposals[i] += r.proposals as f64;
         }
         self.count += 1;
     }
@@ -220,6 +233,9 @@ impl QuadAverage {
             *t /= self.count as u32;
         }
         for p in &mut self.passes {
+            *p /= self.count as f64;
+        }
+        for p in &mut self.proposals {
             *p /= self.count as f64;
         }
         self
@@ -276,6 +292,11 @@ mod tests {
         // steps — all should have done some work on a nontrivial graph.
         assert!(sa.passes >= 1);
         assert!(kl.passes >= 1);
+        // The SA family counts every proposal; KL-family proposes none.
+        assert!(sa.proposals > 0);
+        assert!(csa.proposals > 0);
+        assert_eq!(kl.proposals, 0);
+        assert_eq!(ckl.proposals, 0);
     }
 
     #[test]
@@ -285,6 +306,7 @@ mod tests {
             cut,
             elapsed: Duration::from_millis(10),
             passes: 4,
+            proposals: 100,
         };
         let mut avg = QuadAverage::default();
         avg.add(&(mk(2), mk(4), mk(6), mk(8)));
@@ -293,6 +315,7 @@ mod tests {
         assert_eq!(avg.cuts, [3.0, 6.0, 8.0, 10.0]);
         assert_eq!(avg.times[0], Duration::from_millis(10));
         assert_eq!(avg.passes, [4.0; 4]);
+        assert_eq!(avg.proposals, [100.0; 4]);
         assert_eq!(avg.count, 2);
     }
 

@@ -98,12 +98,15 @@ impl FiducciaMattheyses {
             .max()
             .unwrap_or(0)
             .min(i64::MAX as u64) as i64;
+        // Initial gains come from the shared cache arena (one O(V + E)
+        // sweep, same integers SA maintains incrementally).
+        ws.gain_cache.init(g, p);
         let buckets = &mut ws.fm_buckets;
         for b in buckets.iter_mut() {
             b.reset(n, max_wdeg);
         }
         for v in g.vertices() {
-            buckets[p.side(v).index()].insert(v, p.gain(g, v));
+            buckets[p.side(v).index()].insert(v, ws.gain_cache.gain(v));
         }
 
         if let Some(w) = ws.fm_work.as_mut() {

@@ -1,0 +1,220 @@
+//! Incrementally maintained per-vertex gains shared by the SA, KL and
+//! FM hot paths.
+//!
+//! The annealing inner loop (`sa.rs`) evaluates `sizefactor·|V|`
+//! proposals per temperature, and at useful temperatures most of them
+//! are *rejected*. Recomputing [`Bisection::gain`] per proposal makes
+//! the common rejected case cost two `O(deg)` adjacency walks; the
+//! cache turns it into two array reads plus one edge lookup, and pays
+//! the `O(deg)` walk only on *accepted* moves — the classic
+//! Fiduccia-Mattheyses maintained-gain discipline applied to annealing.
+//! KL and FM initialize their per-pass gain state from the same cache
+//! instead of rebuilding equivalent arrays locally.
+
+use bisect_graph::{Graph, VertexId};
+
+use crate::partition::{Bisection, Side};
+
+/// Per-vertex gain cache with per-side member index arrays.
+///
+/// Invariants, established by [`GainCache::init`] and maintained by
+/// [`GainCache::record_move`] (void after [`GainCache::gains_mut`]
+/// hands the arena to a caller, until the next `init`):
+///
+/// * `gain(v) == p.gain(g, v)` for every vertex — gains are *exact*
+///   integers, never approximations, so cached and recomputed proposal
+///   evaluation produce bit-identical accept decisions.
+/// * `members(s)` holds exactly side `s`'s vertices: ascending after
+///   `init`, order unspecified (swap-remove) after moves.
+///
+/// All storage is retained across runs (`init` only grows buffers), so
+/// a workspace-resident cache allocates nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct GainCache {
+    /// `gains[v]` = weight of v's cross edges − weight of v's internal
+    /// edges, for the bisection the cache was initialized against.
+    gains: Vec<i64>,
+    /// Vertex lists per side, indexed by [`Side::index`].
+    members: [Vec<VertexId>; 2],
+    /// `pos[v]` = index of `v` within its side's member list.
+    pos: Vec<u32>,
+}
+
+impl GainCache {
+    /// (Re)builds the cache for bisection `p` of `g` in `O(V + E)`,
+    /// reusing all previously allocated storage.
+    pub fn init(&mut self, g: &Graph, p: &Bisection) {
+        let n = g.num_vertices();
+        self.gains.clear();
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        for side in &mut self.members {
+            side.clear();
+        }
+        for v in g.vertices() {
+            self.gains.push(p.gain(g, v));
+            let side = &mut self.members[p.side(v).index()];
+            self.pos[v as usize] = side.len() as u32;
+            side.push(v);
+        }
+    }
+
+    /// The cached gain of moving `v` to the other side.
+    #[inline]
+    pub fn gain(&self, v: VertexId) -> i64 {
+        self.gains[v as usize]
+    }
+
+    /// The cached pair gain `g_ab = g_a + g_b − 2δ(a, b)` for swapping
+    /// `a` and `b`, which must be on opposite sides — one edge lookup
+    /// instead of the two adjacency walks of [`Bisection::swap_gain`],
+    /// producing the same integer.
+    #[inline]
+    pub fn swap_gain(&self, g: &Graph, a: VertexId, b: VertexId) -> i64 {
+        let delta = g.edge_weight(a, b).unwrap_or(0) as i64;
+        self.gains[a as usize] + self.gains[b as usize] - 2 * delta
+    }
+
+    /// All cached gains, indexed by vertex.
+    #[inline]
+    pub fn gains(&self) -> &[i64] {
+        &self.gains
+    }
+
+    /// Mutable access to the gain arena, for passes (KL) that evolve
+    /// *virtual* gains as vertices lock. This transfers the arena to
+    /// the caller: cache invariants are void until the next
+    /// [`GainCache::init`].
+    #[inline]
+    pub fn gains_mut(&mut self) -> &mut [i64] {
+        &mut self.gains
+    }
+
+    /// The vertices currently on side `s` (ascending after
+    /// [`GainCache::init`], arbitrary order after moves).
+    #[inline]
+    pub fn members(&self, s: Side) -> &[VertexId] {
+        &self.members[s.index()]
+    }
+
+    /// Updates the cache for `v` moving to the other side, in
+    /// `O(degree(v))`. Must be called while `p` still shows `v` on its
+    /// *old* side (i.e. before `Bisection::move_vertex*`); `g` and `p`
+    /// must be the pair the cache was initialized against.
+    pub fn record_move(&mut self, g: &Graph, p: &Bisection, v: VertexId) {
+        let old = p.side(v);
+        // v's external and internal edge sets trade places.
+        self.gains[v as usize] = -self.gains[v as usize];
+        // Old-side neighbors lose an internal edge and get a cross
+        // edge (gain += 2w); new-side neighbors the reverse. Graphs
+        // are self-loop free (GraphError::SelfLoop), so u != v.
+        for (u, w) in g.neighbors_weighted(v) {
+            let w = w as i64;
+            if p.side(u) == old {
+                self.gains[u as usize] += 2 * w;
+            } else {
+                self.gains[u as usize] -= 2 * w;
+            }
+        }
+        let oi = old.index();
+        let ni = old.other().index();
+        let at = self.pos[v as usize] as usize;
+        let removed = self.members[oi].swap_remove(at);
+        debug_assert_eq!(removed, v, "member list out of sync");
+        if let Some(&swapped_in) = self.members[oi].get(at) {
+            self.pos[swapped_in as usize] = at as u32;
+        }
+        self.pos[v as usize] = self.members[ni].len() as u32;
+        self.members[ni].push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::random_balanced;
+    use bisect_gen::gnp::{self, GnpParams};
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_gnp(n: usize, p: f64, seed: u64) -> Graph {
+        let params = GnpParams::new(n, p).unwrap();
+        gnp::sample(&mut StdRng::seed_from_u64(seed), &params)
+    }
+
+    fn assert_cache_consistent(cache: &GainCache, g: &Graph, p: &Bisection) {
+        for v in g.vertices() {
+            assert_eq!(cache.gain(v), p.gain(g, v), "gain of {v}");
+        }
+        for side in [Side::A, Side::B] {
+            let members = cache.members(side);
+            assert_eq!(members.len(), p.count(side), "member count of {side:?}");
+            assert!(members.iter().all(|&v| p.side(v) == side));
+        }
+    }
+
+    #[test]
+    fn init_matches_bisection_gains() {
+        let g = special::grid(7, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = random_balanced(&g, &mut rng);
+        let mut cache = GainCache::default();
+        cache.init(&g, &p);
+        assert_cache_consistent(&cache, &g, &p);
+        // Member lists are ascending right after init.
+        for side in [Side::A, Side::B] {
+            assert!(cache.members(side).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn record_move_tracks_random_flip_sequences() {
+        let g = random_gnp(60, 0.12, 5);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut p = random_balanced(&g, &mut rng);
+        let mut cache = GainCache::default();
+        cache.init(&g, &p);
+        for _ in 0..200 {
+            let v = rng.gen_range(0..g.num_vertices()) as VertexId;
+            cache.record_move(&g, &p, v);
+            p.move_vertex(&g, v);
+        }
+        assert_cache_consistent(&cache, &g, &p);
+    }
+
+    #[test]
+    fn record_move_tracks_swaps_and_cached_swap_gain_matches() {
+        let g = random_gnp(48, 0.2, 9);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut p = random_balanced(&g, &mut rng);
+        let mut cache = GainCache::default();
+        cache.init(&g, &p);
+        for _ in 0..120 {
+            let a = cache.members(Side::A)[rng.gen_range(0..p.count(Side::A))];
+            let b = cache.members(Side::B)[rng.gen_range(0..p.count(Side::B))];
+            assert_eq!(cache.swap_gain(&g, a, b), p.swap_gain(&g, a, b));
+            // A swap is two single moves; refresh b's gain after a
+            // moves so the a–b edge adjustment is included.
+            cache.record_move(&g, &p, a);
+            p.move_vertex(&g, a);
+            cache.record_move(&g, &p, b);
+            p.move_vertex(&g, b);
+        }
+        assert_cache_consistent(&cache, &g, &p);
+    }
+
+    #[test]
+    fn reinit_shrinks_and_grows_with_graph() {
+        let mut cache = GainCache::default();
+        let big = special::grid(10, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p_big = random_balanced(&big, &mut rng);
+        cache.init(&big, &p_big);
+        let small = special::path(8);
+        let p_small = random_balanced(&small, &mut rng);
+        cache.init(&small, &p_small);
+        assert_cache_consistent(&cache, &small, &p_small);
+        assert_eq!(cache.gains().len(), 8);
+    }
+}

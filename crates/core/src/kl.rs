@@ -134,8 +134,12 @@ impl KernighanLin {
             return 0;
         }
 
-        ws.gains.clear();
-        ws.gains.extend((0..n as VertexId).map(|v| p.gain(g, v)));
+        // Per-vertex gains start from the shared cache arena — the same
+        // O(V + E) initialization SA maintains incrementally — and then
+        // evolve as virtual-swap gains while pairs lock (the cache is
+        // rebuilt by each consumer's next `init`).
+        ws.gain_cache.init(g, p);
+        let gains = ws.gain_cache.gains_mut();
         ws.locked.clear();
         ws.locked.resize(n, false);
         // Ordered candidate sets per side. Incremental uses the
@@ -153,12 +157,12 @@ impl KernighanLin {
                     side.reset(max_wdeg);
                 }
                 for v in g.vertices() {
-                    ws.kl_sides[p.side(v).index()].insert(v, ws.gains[v as usize]);
+                    ws.kl_sides[p.side(v).index()].insert(v, gains[v as usize]);
                 }
             }
             PairSelection::SortedPruning => {
                 for v in g.vertices() {
-                    sets[p.side(v).index()].insert((ws.gains[v as usize], v));
+                    sets[p.side(v).index()].insert((gains[v as usize], v));
                 }
             }
             PairSelection::Exhaustive => {}
@@ -172,7 +176,7 @@ impl KernighanLin {
             let chosen = match self.pair_selection {
                 PairSelection::Incremental => best_pair_buckets(g, &ws.kl_sides),
                 PairSelection::SortedPruning => best_pair_sorted(g, &sets),
-                PairSelection::Exhaustive => best_pair_exhaustive(g, p, &ws.gains, &ws.locked),
+                PairSelection::Exhaustive => best_pair_exhaustive(g, p, gains, &ws.locked),
             };
             let Some((gain_ab, a, b)) = chosen else { break };
 
@@ -181,10 +185,10 @@ impl KernighanLin {
                 ws.locked[v as usize] = true;
                 match self.pair_selection {
                     PairSelection::Incremental => {
-                        ws.kl_sides[p.side(v).index()].remove(v, ws.gains[v as usize]);
+                        ws.kl_sides[p.side(v).index()].remove(v, gains[v as usize]);
                     }
                     PairSelection::SortedPruning => {
-                        sets[p.side(v).index()].remove(&(ws.gains[v as usize], v));
+                        sets[p.side(v).index()].remove(&(gains[v as usize], v));
                     }
                     PairSelection::Exhaustive => {}
                 }
@@ -212,17 +216,17 @@ impl KernighanLin {
                     match self.pair_selection {
                         PairSelection::Incremental => {
                             let side = &mut ws.kl_sides[p.side(x).index()];
-                            side.remove(x, ws.gains[x as usize]);
-                            ws.gains[x as usize] += delta;
-                            side.insert(x, ws.gains[x as usize]);
+                            side.remove(x, gains[x as usize]);
+                            gains[x as usize] += delta;
+                            side.insert(x, gains[x as usize]);
                         }
                         PairSelection::SortedPruning => {
                             let set = &mut sets[p.side(x).index()];
-                            set.remove(&(ws.gains[x as usize], x));
-                            ws.gains[x as usize] += delta;
-                            set.insert((ws.gains[x as usize], x));
+                            set.remove(&(gains[x as usize], x));
+                            gains[x as usize] += delta;
+                            set.insert((gains[x as usize], x));
                         }
-                        PairSelection::Exhaustive => ws.gains[x as usize] += delta,
+                        PairSelection::Exhaustive => gains[x as usize] += delta,
                     }
                 }
             }

@@ -75,6 +75,7 @@ pub mod error;
 pub mod exact;
 pub mod fm;
 pub(crate) mod gain;
+pub mod gain_cache;
 pub mod greedy;
 pub mod kl;
 pub mod metrics;

@@ -252,6 +252,21 @@ impl Bisection {
     /// Panics if `v` is out of range or the graph does not match.
     pub fn move_vertex(&mut self, g: &Graph, v: VertexId) {
         let gain = self.gain(g, v);
+        self.move_vertex_with_gain(g, v, gain);
+    }
+
+    /// As [`Bisection::move_vertex`], but with the vertex's current
+    /// gain supplied by the caller — `O(1)` instead of an `O(degree)`
+    /// adjacency walk. `gain` must equal [`Bisection::gain`] for `v`
+    /// at the time of the call, e.g. read from an up-to-date
+    /// [`crate::gain_cache::GainCache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; debug builds panic if `gain` is
+    /// stale.
+    pub fn move_vertex_with_gain(&mut self, g: &Graph, v: VertexId, gain: i64) {
+        debug_assert_eq!(gain, self.gain(g, v), "stale gain for vertex {v}");
         let old = self.side[v as usize] as usize;
         let new = 1 - old;
         self.side[v as usize] = !self.side[v as usize];

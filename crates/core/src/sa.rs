@@ -21,8 +21,34 @@
 //! bisection found as the algorithm progresses" — the implementation
 //! does exactly that, and the paper's observation that this raises SA's
 //! time and storage cost relative to KL is visible in the benchmarks.
+//!
+//! # Hot-path engineering
+//!
+//! The inner loop evaluates `sizefactor·|V|` proposals per temperature
+//! and rejects most of them at useful temperatures, so it is built
+//! around three *bit-identical* optimizations (DESIGN.md §10):
+//!
+//! 1. **Incremental gain cache** ([`crate::gain_cache::GainCache`],
+//!    default [`ProposalEval::Cached`]) — per-vertex gains are
+//!    maintained FM-style across accepted moves, making the common
+//!    rejected proposal O(1) instead of O(deg). The original
+//!    recompute-per-proposal path survives as [`ProposalEval::Naive`],
+//!    and `tests/sa_equivalence.rs` pins the two bit-identical.
+//! 2. **Monomorphization** — the public API keeps `&mut dyn RngCore`,
+//!    but [`SimulatedAnnealing::refine_with_stats_in`] downcasts the
+//!    trait object once (via `RngCore::as_any_mut`) and dispatches into
+//!    a generic inner loop, so per-draw generator calls inline instead
+//!    of going through the vtable. Unknown generators take an equally
+//!    correct `dyn` fallback.
+//! 3. **Table-driven acceptance** — swap deltas are small bounded
+//!    integers, so `exp(-δ/T)` is precomputed per temperature into a
+//!    workspace slice; entries are produced by the exact expression
+//!    [`accept`] evaluates, so lookups change nothing about accept
+//!    decisions.
 
+use bisect_gen::rng::LaggedFibonacci;
 use bisect_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 
 use crate::bisector::{Bisector, Refiner};
@@ -44,6 +70,22 @@ pub enum MoveKind {
         /// The `α` weight of the squared imbalance penalty.
         imbalance_factor: f64,
     },
+}
+
+/// How the annealing loop evaluates a proposal's cost delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProposalEval {
+    /// Read per-vertex gains from the workspace
+    /// [`crate::gain_cache::GainCache`], updated in O(deg) only on
+    /// accepted moves; rejected proposals cost O(1) array reads (plus
+    /// one edge lookup for swaps).
+    #[default]
+    Cached,
+    /// Recompute each proposal's gain from adjacency, as the original
+    /// implementation did. Retained as the reference that the cached
+    /// path is proptest-pinned against (`tests/sa_equivalence.rs`);
+    /// both produce bit-identical draws, accepts, and results.
+    Naive,
 }
 
 /// The annealing schedule. "The fine tuning of the annealing schedule
@@ -87,6 +129,11 @@ impl Default for Schedule {
     }
 }
 
+/// Entries in the per-temperature `exp(-δ/T)` table, capped so filling
+/// the table never costs more than the per-proposal `exp` calls it
+/// replaces (deltas beyond the cap fall back to a direct `exp`).
+const EXP_TABLE_CAP: usize = 4096;
+
 /// Simulated annealing bisection.
 ///
 /// # Example
@@ -105,6 +152,7 @@ impl Default for Schedule {
 pub struct SimulatedAnnealing {
     move_kind: MoveKind,
     schedule: Schedule,
+    proposal_eval: ProposalEval,
 }
 
 impl Default for SimulatedAnnealing {
@@ -114,17 +162,27 @@ impl Default for SimulatedAnnealing {
 }
 
 impl SimulatedAnnealing {
-    /// SA with swap moves and the default schedule.
+    /// SA with swap moves, cached proposal evaluation, and the default
+    /// schedule.
     pub fn new() -> SimulatedAnnealing {
         SimulatedAnnealing {
             move_kind: MoveKind::default(),
             schedule: Schedule::default(),
+            proposal_eval: ProposalEval::default(),
         }
     }
 
     /// Selects the move set.
     pub fn with_move_kind(mut self, move_kind: MoveKind) -> SimulatedAnnealing {
         self.move_kind = move_kind;
+        self
+    }
+
+    /// Selects how proposal deltas are evaluated. Results are
+    /// bit-identical either way; [`ProposalEval::Naive`] exists as the
+    /// reference path for equivalence tests and benchmarks.
+    pub fn with_proposal_eval(mut self, proposal_eval: ProposalEval) -> SimulatedAnnealing {
+        self.proposal_eval = proposal_eval;
         self
     }
 
@@ -158,27 +216,41 @@ impl SimulatedAnnealing {
         })
     }
 
-    fn initial_temperature(
+    fn initial_temperature<R: RngCore + ?Sized>(
         &self,
         g: &Graph,
         p: &Bisection,
-        rng: &mut dyn RngCore,
-        members: &mut [Vec<VertexId>; 2],
+        rng: &mut R,
+        ws: &mut Workspace,
+        cached: bool,
     ) -> f64 {
         if let Some(t0) = self.schedule.initial_temperature {
             return t0;
         }
         // Sample random moves; average the uphill deltas and solve
-        // exp(-avg/T0) = initial_acceptance.
+        // exp(-avg/T0) = initial_acceptance. Cached and naive gains are
+        // the same integers, so the calibrated T0 is identical.
         let samples = (g.num_vertices() * 2).clamp(32, 2048);
         let mut uphill_total = 0.0f64;
         let mut uphill_count = 0usize;
         for _ in 0..samples {
             let delta = match self.move_kind {
-                MoveKind::Swap => propose_swap(g, p, rng, members).map(|(d, _, _)| d as f64),
-                MoveKind::Flip { imbalance_factor } => {
-                    propose_flip(g, p, imbalance_factor, rng).map(|(d, _)| d)
-                }
+                MoveKind::Swap => draw_swap_pair(g, p, rng, &mut ws.sa_members).map(|(a, b)| {
+                    let d = if cached {
+                        -ws.gain_cache.swap_gain(g, a, b)
+                    } else {
+                        -p.swap_gain(g, a, b)
+                    };
+                    d as f64
+                }),
+                MoveKind::Flip { imbalance_factor } => draw_flip_vertex(g, rng).map(|v| {
+                    let gain = if cached {
+                        ws.gain_cache.gain(v)
+                    } else {
+                        p.gain(g, v)
+                    };
+                    flip_cost_delta(g, p, imbalance_factor, v, gain)
+                }),
             };
             if let Some(d) = delta {
                 if d > 0.0 {
@@ -195,53 +267,52 @@ impl SimulatedAnnealing {
     }
 }
 
-/// Proposes a random swap; returns `(cut_delta, a, b)` — positive delta
-/// means the cut grows. `None` if a swap cannot be drawn (a side is
-/// empty). `members` is scratch for the unbalanced fallback; its
-/// contents are irrelevant on entry.
-fn propose_swap(
+/// Draws the two vertices of a swap proposal: rejection-sample a cross
+/// pair (~2 tries in expectation near balance), falling back to
+/// explicit member lists for extremely unbalanced bisections. `None` if
+/// a side is empty. `members` is scratch for the fallback; its contents
+/// are irrelevant on entry.
+#[inline]
+fn draw_swap_pair<R: RngCore + ?Sized>(
     g: &Graph,
     p: &Bisection,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
     members: &mut [Vec<VertexId>; 2],
-) -> Option<(i64, VertexId, VertexId)> {
+) -> Option<(VertexId, VertexId)> {
     let n = g.num_vertices();
     if p.count(Side::A) == 0 || p.count(Side::B) == 0 {
         return None;
     }
-    // Rejection-sample a cross pair; with near-balanced sides this
-    // takes ~2 tries in expectation.
     for _ in 0..64 {
         let a = rng.gen_range(0..n) as VertexId;
         let b = rng.gen_range(0..n) as VertexId;
         if p.side(a) == Side::A && p.side(b) == Side::B {
-            return Some((-p.swap_gain(g, a, b), a, b));
+            return Some((a, b));
         }
     }
-    // Extremely unbalanced; fall back to explicit member lists (reusing
-    // the scratch buffers' allocations).
     let [members_a, members_b] = members;
     p.members_into(Side::A, members_a);
     p.members_into(Side::B, members_b);
     let a = members_a[rng.gen_range(0..members_a.len())];
     let b = members_b[rng.gen_range(0..members_b.len())];
-    Some((-p.swap_gain(g, a, b), a, b))
+    Some((a, b))
 }
 
-/// Proposes a random single-vertex flip; returns `(cost_delta, v)`
-/// where cost includes the imbalance penalty.
-fn propose_flip(
-    g: &Graph,
-    p: &Bisection,
-    imbalance_factor: f64,
-    rng: &mut dyn RngCore,
-) -> Option<(f64, VertexId)> {
+/// Draws the vertex of a flip proposal (`None` on the empty graph).
+#[inline]
+fn draw_flip_vertex<R: RngCore + ?Sized>(g: &Graph, rng: &mut R) -> Option<VertexId> {
     let n = g.num_vertices();
     if n == 0 {
         return None;
     }
-    let v = rng.gen_range(0..n) as VertexId;
-    let cut_delta = -p.gain(g, v) as f64;
+    Some(rng.gen_range(0..n) as VertexId)
+}
+
+/// The flip cost delta `−gain + α·((w_A − w_B)²_after − (w_A − w_B)²)`
+/// for moving `v`, given `v`'s current cut gain.
+#[inline]
+fn flip_cost_delta(g: &Graph, p: &Bisection, imbalance_factor: f64, v: VertexId, gain: i64) -> f64 {
+    let cut_delta = (-gain) as f64;
     let w = g.vertex_weight(v) as i64;
     let imb = p.weight(Side::A) as i64 - p.weight(Side::B) as i64;
     let new_imb = if p.side(v) == Side::A {
@@ -250,7 +321,7 @@ fn propose_flip(
         imb + 2 * w
     };
     let pen_delta = imbalance_factor * ((new_imb * new_imb - imb * imb) as f64);
-    Some((cut_delta + pen_delta, v))
+    cut_delta + pen_delta
 }
 
 /// Run statistics of one annealing, for schedule tuning and the
@@ -301,15 +372,41 @@ impl SimulatedAnnealing {
         self.refine_with_stats_in(g, init, rng, &mut Workspace::new())
     }
 
-    /// As [`SimulatedAnnealing::refine_with_stats`], drawing the
-    /// best-so-far buffer and the unbalanced-swap member scratch from
-    /// `ws`: once the workspace is warm, the per-temperature and
-    /// per-move loops perform no heap allocations.
+    /// As [`SimulatedAnnealing::refine_with_stats`], drawing the gain
+    /// cache, acceptance table, best-so-far buffer and unbalanced-swap
+    /// member scratch from `ws`: once the workspace is warm, the
+    /// per-temperature and per-move loops perform no heap allocations.
+    ///
+    /// This is the monomorphization boundary: the trait object is
+    /// downcast once (never per draw) to the workspace's production
+    /// generator or the test generator; any other `RngCore` runs the
+    /// bit-identical `dyn` fallback.
     pub fn refine_with_stats_in(
         &self,
         g: &Graph,
         init: Bisection,
         rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, SaStats) {
+        if let Some(any) = rng.as_any_mut() {
+            if let Some(r) = any.downcast_mut::<LaggedFibonacci>() {
+                return self.anneal(g, init, r, ws);
+            }
+            if let Some(r) = any.downcast_mut::<StdRng>() {
+                return self.anneal(g, init, r, ws);
+            }
+        }
+        self.anneal(g, init, rng, ws)
+    }
+
+    /// The annealing loop, generic over the concrete generator so every
+    /// per-draw call inlines. Bit-identical for every `R` wrapping the
+    /// same underlying draw stream, and across [`ProposalEval`] modes.
+    fn anneal<R: RngCore + ?Sized>(
+        &self,
+        g: &Graph,
+        init: Bisection,
+        rng: &mut R,
         ws: &mut Workspace,
     ) -> (Bisection, SaStats) {
         let n = g.num_vertices();
@@ -325,25 +422,36 @@ impl SimulatedAnnealing {
             return (init, stats);
         }
         let schedule = &self.schedule;
+        let cached = self.proposal_eval == ProposalEval::Cached;
         let mut current = init;
-        let mut temperature = self.initial_temperature(g, &current, rng, &mut ws.sa_members);
+        // The cache is built once per run (no RNG draws) and updated
+        // only on accepted moves; calibration below reads it too.
+        if cached {
+            ws.gain_cache.init(g, &current);
+        }
+        let mut temperature = self.initial_temperature(g, &current, rng, ws, cached);
         stats.initial_temperature = temperature;
 
         // Best balanced solution seen so far ("one must then save the
         // best bisection found as the algorithm progresses"). The
-        // buffer is recycled from the workspace so tracking the best
+        // buffer is recycled via the workspace so tracking the best
         // never allocates after the first run.
-        let mut best = match ws.sa_best.take() {
-            Some(mut b) => {
-                b.copy_from(&current);
-                b
-            }
-            // lint: allow(zero-alloc) — first-run workspace warm-up, recycled afterwards
-            None => current.clone(),
-        };
+        let mut best = ws.checkout_sa_best(&current);
         if !best.is_balanced(g) {
             rebalance(g, &mut best);
         }
+        // Swap deltas are bounded: |δ| = |g_a + g_b − 2δ_ab| ≤ 4·max
+        // weighted degree, which sizes the acceptance table.
+        let exp_radius = if cached && matches!(self.move_kind, MoveKind::Swap) {
+            let max_wdeg = g
+                .vertices()
+                .map(|v| g.weighted_degree(v))
+                .max()
+                .unwrap_or(0);
+            (max_wdeg as usize).saturating_mul(4).min(EXP_TABLE_CAP)
+        } else {
+            0
+        };
         let trials = schedule.sizefactor * n;
         let mut frozen_streak = 0usize;
 
@@ -351,15 +459,44 @@ impl SimulatedAnnealing {
             stats.temperatures += 1;
             let mut accepted = 0usize;
             let mut improved_best = false;
-            for _ in 0..trials {
-                stats.proposals += 1;
-                match self.move_kind {
-                    MoveKind::Swap => {
-                        let Some((delta, a, b)) =
-                            propose_swap(g, &current, rng, &mut ws.sa_members)
+            // One dispatch per temperature; each arm is a tight loop
+            // with the move kind and evaluation mode fixed.
+            match (self.move_kind, cached) {
+                (MoveKind::Swap, true) => {
+                    fill_exp_table(&mut ws.sa_exp, exp_radius, temperature);
+                    for _ in 0..trials {
+                        stats.proposals += 1;
+                        let Some((a, b)) = draw_swap_pair(g, &current, rng, &mut ws.sa_members)
                         else {
                             break;
                         };
+                        let delta = -ws.gain_cache.swap_gain(g, a, b);
+                        if accept_with_table(delta, temperature, &ws.sa_exp, rng) {
+                            // A swap is two single moves; b's gain is
+                            // re-read after a's move so the a–b edge
+                            // adjustment is included.
+                            let gain_a = ws.gain_cache.gain(a);
+                            ws.gain_cache.record_move(g, &current, a);
+                            current.move_vertex_with_gain(g, a, gain_a);
+                            let gain_b = ws.gain_cache.gain(b);
+                            ws.gain_cache.record_move(g, &current, b);
+                            current.move_vertex_with_gain(g, b, gain_b);
+                            accepted += 1;
+                            if current.cut() < best.cut() {
+                                best.copy_from(&current);
+                                improved_best = true;
+                            }
+                        }
+                    }
+                }
+                (MoveKind::Swap, false) => {
+                    for _ in 0..trials {
+                        stats.proposals += 1;
+                        let Some((a, b)) = draw_swap_pair(g, &current, rng, &mut ws.sa_members)
+                        else {
+                            break;
+                        };
+                        let delta = -current.swap_gain(g, a, b);
                         if accept(delta as f64, temperature, rng) {
                             current.swap(g, a, b);
                             accepted += 1;
@@ -369,11 +506,34 @@ impl SimulatedAnnealing {
                             }
                         }
                     }
-                    MoveKind::Flip { imbalance_factor } => {
-                        let Some((delta, v)) = propose_flip(g, &current, imbalance_factor, rng)
-                        else {
+                }
+                (MoveKind::Flip { imbalance_factor }, true) => {
+                    for _ in 0..trials {
+                        stats.proposals += 1;
+                        let Some(v) = draw_flip_vertex(g, rng) else {
                             break;
                         };
+                        let gain = ws.gain_cache.gain(v);
+                        let delta = flip_cost_delta(g, &current, imbalance_factor, v, gain);
+                        if accept(delta, temperature, rng) {
+                            ws.gain_cache.record_move(g, &current, v);
+                            current.move_vertex_with_gain(g, v, gain);
+                            accepted += 1;
+                            if current.is_balanced(g) && current.cut() < best.cut() {
+                                best.copy_from(&current);
+                                improved_best = true;
+                            }
+                        }
+                    }
+                }
+                (MoveKind::Flip { imbalance_factor }, false) => {
+                    for _ in 0..trials {
+                        stats.proposals += 1;
+                        let Some(v) = draw_flip_vertex(g, rng) else {
+                            break;
+                        };
+                        let delta =
+                            flip_cost_delta(g, &current, imbalance_factor, v, current.gain(g, v));
                         if accept(delta, temperature, rng) {
                             current.move_vertex(g, v);
                             accepted += 1;
@@ -416,6 +576,7 @@ impl SimulatedAnnealing {
         // buffer back in the workspace for the next run.
         current.copy_from(&best);
         ws.sa_best = Some(best);
+        ws.add_proposals(stats.proposals as u64);
         (current, stats)
     }
 }
@@ -463,8 +624,46 @@ impl Refiner for SimulatedAnnealing {
     }
 }
 
-fn accept(delta: f64, temperature: f64, rng: &mut dyn RngCore) -> bool {
+/// The Metropolis criterion: accept downhill always (no draw), uphill
+/// with probability `exp(-δ/T)` (one `f64` draw when `T > 0`).
+#[inline]
+fn accept<R: RngCore + ?Sized>(delta: f64, temperature: f64, rng: &mut R) -> bool {
     delta <= 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp())
+}
+
+/// [`accept`] for integer deltas with the per-temperature table of
+/// `exp(-δ/T)` values: draws and decisions are bit-identical because
+/// table entries are computed by the exact expression `accept`
+/// evaluates.
+#[inline]
+fn accept_with_table<R: RngCore + ?Sized>(
+    delta: i64,
+    temperature: f64,
+    table: &[f64],
+    rng: &mut R,
+) -> bool {
+    if delta <= 0 {
+        return true;
+    }
+    if temperature <= 0.0 {
+        return false;
+    }
+    let threshold = match table.get(delta as usize) {
+        Some(&t) => t,
+        // Beyond the precomputed radius (possible only past the
+        // EXP_TABLE_CAP clamp): compute what the table would hold.
+        None => (-(delta as f64) / temperature).exp(),
+    };
+    rng.gen::<f64>() < threshold
+}
+
+/// Fills `table[δ] = exp(-δ/T)` for `δ ∈ 0..=radius`, reusing the
+/// slice's capacity across temperatures.
+fn fill_exp_table(table: &mut Vec<f64>, radius: usize, temperature: f64) {
+    table.clear();
+    for d in 0..=radius {
+        table.push((-(d as f64) / temperature).exp());
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +783,61 @@ mod tests {
         let rate = hits as f64 / trials as f64;
         let expected = (-1.0f64).exp();
         assert!((rate - expected).abs() < 0.02, "rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn table_accept_matches_direct_accept_bit_for_bit() {
+        // Same seeds, same integer deltas: the table path and the
+        // direct path must make identical decisions AND leave the
+        // generator in identical states. A deliberately undersized
+        // table exercises the out-of-range fallback too.
+        for temperature in [0.0, 0.3, 1.0, 7.5] {
+            let mut table = Vec::new();
+            fill_exp_table(&mut table, 8, temperature);
+            let mut direct = StdRng::seed_from_u64(99);
+            let mut tabled = StdRng::seed_from_u64(99);
+            for delta in (-3..20).chain([1000, 5000]) {
+                let want = accept(delta as f64, temperature, &mut direct);
+                let got = accept_with_table(delta, temperature, &table, &mut tabled);
+                assert_eq!(want, got, "delta {delta} at T={temperature}");
+                assert_eq!(direct, tabled, "generator state diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_naive_eval_are_bit_identical() {
+        // The full-run pin lives in tests/sa_equivalence.rs; this is
+        // the in-crate smoke version.
+        let g = special::grid(8, 6);
+        for move_kind in [
+            MoveKind::Swap,
+            MoveKind::Flip {
+                imbalance_factor: 0.05,
+            },
+        ] {
+            let cached = SimulatedAnnealing::quick()
+                .with_move_kind(move_kind)
+                .bisect(&g, &mut StdRng::seed_from_u64(21));
+            let naive = SimulatedAnnealing::quick()
+                .with_move_kind(move_kind)
+                .with_proposal_eval(ProposalEval::Naive)
+                .bisect(&g, &mut StdRng::seed_from_u64(21));
+            assert_eq!(cached, naive, "{move_kind:?}");
+        }
+    }
+
+    #[test]
+    fn proposals_counter_reaches_workspace() {
+        let g = special::grid(6, 6);
+        let mut ws = Workspace::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let init = crate::seed::random_balanced(&g, &mut rng);
+        let (_, stats) =
+            SimulatedAnnealing::quick().refine_with_stats_in(&g, init, &mut rng, &mut ws);
+        assert!(stats.proposals > 0);
+        assert_eq!(ws.take_proposals(), stats.proposals as u64);
+        assert_eq!(ws.take_proposals(), 0, "take drains the counter");
     }
 
     #[test]

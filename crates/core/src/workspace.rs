@@ -22,14 +22,16 @@
 use bisect_graph::VertexId;
 
 use crate::gain::{GainBuckets, SortedBuckets};
+use crate::gain_cache::GainCache;
 use crate::partition::Bisection;
 
 /// Scratch arenas shared by the KL, FM, and SA hot paths. See the
 /// [module docs](self) for the ownership model.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    /// Per-vertex gains (KL and its pair-selection strategies).
-    pub(crate) gains: Vec<i64>,
+    /// Per-vertex gain cache: maintained incrementally by SA, used as
+    /// the per-pass gain arena by KL and FM.
+    pub(crate) gain_cache: GainCache,
     /// Per-vertex locked flags (KL and FM passes).
     pub(crate) locked: Vec<bool>,
     /// Per-side ordered candidate buckets (KL incremental selection).
@@ -52,6 +54,11 @@ pub struct Workspace {
     pub(crate) sa_members: [Vec<VertexId>; 2],
     /// SA's best-so-far bisection, recycled between runs.
     pub(crate) sa_best: Option<Bisection>,
+    /// SA's per-temperature acceptance table: `sa_exp[δ] = exp(-δ/T)`
+    /// for integer uphill deltas δ at the current temperature.
+    pub(crate) sa_exp: Vec<f64>,
+    /// SA proposals evaluated since the last [`Workspace::take_proposals`].
+    proposals: u64,
 }
 
 impl Workspace {
@@ -59,5 +66,34 @@ impl Workspace {
     /// afterwards.
     pub fn new() -> Workspace {
         Workspace::default()
+    }
+
+    /// Returns the number of SA proposals evaluated through this
+    /// workspace since the last call, resetting the counter — the
+    /// benchmark harness reads this around each trial to report
+    /// hot-loop throughput (`proposals_per_sec`).
+    pub fn take_proposals(&mut self) -> u64 {
+        std::mem::take(&mut self.proposals)
+    }
+
+    /// Accumulates SA proposal evaluations for
+    /// [`Workspace::take_proposals`].
+    pub(crate) fn add_proposals(&mut self, n: u64) {
+        self.proposals = self.proposals.saturating_add(n);
+    }
+
+    /// Checks out the SA best-so-far buffer seeded as a copy of
+    /// `current`: recycles the previous run's buffer when present
+    /// (allocation-free steady state) and clones only on first use.
+    /// The SA run parks the buffer back in `sa_best` when it finishes.
+    pub(crate) fn checkout_sa_best(&mut self, current: &Bisection) -> Bisection {
+        match self.sa_best.take() {
+            Some(mut best) => {
+                best.copy_from(current);
+                best
+            }
+            // Warm-up: the one allocation this arena ever makes.
+            None => current.clone(),
+        }
     }
 }

@@ -46,6 +46,19 @@ pub trait RngCore {
     fn fill_bytes(&mut self, dest: &mut [u8]);
     /// Fills `dest` with random bytes, reporting failure.
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+    /// Reveals the concrete generator behind a `&mut dyn RngCore`, if
+    /// the implementation opts in by returning `Some(self)`.
+    ///
+    /// Hot loops that receive a trait object can downcast the result
+    /// once and dispatch into a monomorphized inner loop, instead of
+    /// paying a virtual call per draw (upstream rand has no such hook;
+    /// this shim adds it because the workspace's public refinement API
+    /// is `&mut dyn RngCore`). The default opts out, which is always
+    /// correct — callers must keep a `dyn` fallback path that produces
+    /// the same draw stream.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -64,6 +77,10 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
         (**self).try_fill_bytes(dest)
     }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for Box<R> {
@@ -81,6 +98,10 @@ impl<R: RngCore + ?Sized> RngCore for Box<R> {
 
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
         (**self).try_fill_bytes(dest)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
     }
 }
 
@@ -362,6 +383,10 @@ pub mod rngs {
             self.fill_bytes(dest);
             Ok(())
         }
+
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -519,6 +544,45 @@ mod tests {
         assert!((0.0..1.0).contains(&x));
         let n = dyn_rng.gen_range(0..10usize);
         assert!(n < 10);
+    }
+
+    #[test]
+    fn as_any_mut_recovers_concrete_type_through_indirection() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut reference = rng.clone();
+        // Through `&mut dyn RngCore`, and through the `&mut R` blanket
+        // impl nested behind it, the original StdRng is recoverable and
+        // shares state with the trait object.
+        let mut via: &mut dyn RngCore = &mut rng;
+        let dyn_rng: &mut dyn RngCore = &mut via;
+        let recovered = dyn_rng
+            .as_any_mut()
+            .and_then(|any| any.downcast_mut::<StdRng>())
+            .expect("StdRng opts into as_any_mut");
+        assert_eq!(recovered.next_u64(), reference.next_u64());
+        assert_eq!(rng.next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn as_any_mut_defaults_to_opt_out() {
+        struct Opaque(StdRng);
+        impl RngCore for Opaque {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                self.0.fill_bytes(dest)
+            }
+            fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), super::Error> {
+                self.0.try_fill_bytes(dest)
+            }
+        }
+        let mut rng = Opaque(StdRng::seed_from_u64(4));
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        assert!(dyn_rng.as_any_mut().is_none());
     }
 
     #[test]
