@@ -4,13 +4,18 @@
 //! this binary only wires the parsed [`Options`] to the experiment
 //! runner and renders any [`BenchError`] once, at top level, with a
 //! non-zero exit code — no panics on bad flags or malformed input.
+//!
+//! The JSON report is a *trajectory*: when the output file already
+//! holds a report (or an array of them), the new run is appended so the
+//! file accumulates a timestamped performance history. `repro_check`
+//! always compares against the latest entry.
 
 use std::io::Write as _;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use bisect_bench::cli::{self, Invocation, Options};
-use bisect_bench::{experiments, BenchError, BenchReport};
+use bisect_bench::{experiments, json, BenchError, BenchReport};
 
 fn main() -> ExitCode {
     let options = match cli::parse(std::env::args().skip(1)) {
@@ -57,17 +62,37 @@ fn run(options: &Options) -> Result<(), BenchError> {
         records.extend(result.records);
     }
     if let Some(path) = &options.json_path {
+        let timestamp = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
         let report = BenchReport {
-            profile: format!("{:?}", options.profile.scale).to_lowercase(),
+            profile: options.profile.scale.name().to_string(),
             seed: options.profile.seed,
             starts: options.profile.starts,
             replicates: options.profile.replicates,
             threads,
             wall_time_s: wall.elapsed().as_secs_f64(),
+            timestamp,
+            peak_rss_bytes: experiments::huge::peak_rss_bytes(),
             records,
         };
-        std::fs::write(path, report.to_json())?;
-        println!("wrote {}", path.display());
+        // Append to any existing trajectory rather than clobbering it,
+        // so the file keeps a performance history across runs. An
+        // unreadable existing file is an error (don't silently drop
+        // history); a missing file starts a fresh trajectory.
+        let mut runs = match std::fs::read_to_string(path) {
+            Ok(existing) => json::parse_trajectory(&existing)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        runs.push(report);
+        std::fs::write(path, json::trajectory_to_json(&runs))?;
+        println!(
+            "wrote {} ({} runs in trajectory)",
+            path.display(),
+            runs.len()
+        );
     }
     Ok(())
 }
@@ -106,17 +131,26 @@ EXPERIMENTS (default: all)
   netlist  Hypergraph FM vs clique approximation (extension)
   satune   SA schedule tuning sweep (extension)
   winrate  KL vs SA head-to-head win rate at degree 2.5-3.5 (§VI claim)
+  huge     Million-vertex feasibility: streaming build, BFS reorder,
+           parallel multilevel refinement (extension)
 
 OPTIONS
-  --profile <smoke|quick|paper>   grid scale (default quick)
+  --profile <smoke|quick|paper|huge|huge-smoke>
+                                  grid scale (default quick)
   --smoke, --quick, --paper       shorthands for --profile <scale>
+  --huge, --huge-smoke            feasibility scales: 10^6 (10^5) vertex
+                                  instances; default experiment set is
+                                  just `huge`
   --seed <N>                      base seed (default 1989)
   --starts <N>                    random starts per run (default 2)
   --replicates <N>                graphs per random setting
-  --threads <N>                   worker threads (default: all cores; results
-                                  are bit-identical at any thread count)
+  --threads <N>                   worker threads (default: all cores; serial
+                                  results are bit-identical at any thread
+                                  count; the huge experiment is deterministic
+                                  at a fixed count)
   --csv <DIR>                     also write each table as CSV into DIR
-  --json [PATH]                   machine-readable per-algorithm results
+  --json [PATH]                   machine-readable per-algorithm results,
+                                  appended to the trajectory at PATH
                                   (default BENCH_results.json)
   --no-json                       skip the JSON report
   --help                          this text

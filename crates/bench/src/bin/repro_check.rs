@@ -8,12 +8,13 @@
 //! mean cut got worse than the baseline by more than the tolerance
 //! (default 0 — runs are deterministic, so exact reproduction is the
 //! bar), or when a baseline record is missing from the current report.
+//! Trajectory files (arrays of reports) compare their latest entry.
 //! Improvements are listed but do not fail; refresh the baseline when
 //! they are intentional.
 
 use std::process::ExitCode;
 
-use bisect_bench::check;
+use bisect_bench::{check, json};
 use bisect_bench::{BenchError, BenchReport};
 
 const HELP: &str = "\
@@ -68,8 +69,13 @@ fn parse_args() -> Result<Option<Args>, BenchError> {
     }))
 }
 
+/// Loads the *latest* report at `path`: trajectory files compare their
+/// most recent run, legacy single-report files compare themselves.
 fn load(path: &std::path::Path) -> Result<BenchReport, BenchError> {
-    BenchReport::from_json(&std::fs::read_to_string(path)?)
+    let runs = json::parse_trajectory(&std::fs::read_to_string(path)?)?;
+    runs.into_iter()
+        .next_back()
+        .ok_or_else(|| BenchError::MalformedReport(format!("{}: empty trajectory", path.display())))
 }
 
 fn run(args: &Args) -> Result<bool, BenchError> {

@@ -146,6 +146,8 @@ mod tests {
             replicates: 3,
             threads: 4,
             wall_time_s: 1.0,
+            timestamp: 0,
+            peak_rss_bytes: 0,
             records,
         }
     }

@@ -83,6 +83,8 @@ where
             "--smoke" => scale = Scale::Smoke,
             "--quick" => scale = Scale::Quick,
             "--paper" => scale = Scale::Paper,
+            "--huge" => scale = Scale::Huge,
+            "--huge-smoke" => scale = Scale::HugeSmoke,
             "--seed" => seed = parse_number("--seed", &value_of("--seed", &mut args)?)?,
             "--starts" => {
                 starts = Some(parse_number("--starts", &value_of("--starts", &mut args)?)?);
@@ -128,6 +130,8 @@ where
         Scale::Smoke => Profile::smoke(),
         Scale::Quick => Profile::quick(),
         Scale::Paper => Profile::paper(),
+        Scale::Huge => Profile::huge(),
+        Scale::HugeSmoke => Profile::huge_smoke(),
     };
     profile.seed = seed;
     if let Some(s) = starts {
@@ -137,7 +141,12 @@ where
         profile.replicates = r.max(1);
     }
     if experiments.is_empty() {
-        experiments = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
+        // The huge scales exist for the feasibility experiment; running
+        // the whole paper grid there would just repeat the quick grid.
+        experiments = match scale {
+            Scale::Huge | Scale::HugeSmoke => vec!["huge".to_string()],
+            _ => experiments::ALL_IDS.iter().map(|s| s.to_string()).collect(),
+        };
     }
     Ok(Invocation::Run(Box::new(Options {
         profile,
@@ -228,6 +237,25 @@ mod tests {
                 "{bad:?} -> {message}"
             );
         }
+    }
+
+    #[test]
+    fn huge_scales_default_to_the_huge_experiment() {
+        let o = parse_run(&["--huge"]);
+        assert_eq!(o.profile, Profile::huge());
+        assert_eq!(o.experiments, vec!["huge"]);
+        let o = parse_run(&["--huge-smoke"]);
+        assert_eq!(o.profile.scale, Scale::HugeSmoke);
+        assert_eq!(o.experiments, vec!["huge"]);
+        // An explicit experiment list overrides the huge default.
+        let o = parse_run(&["--huge-smoke", "grid"]);
+        assert_eq!(o.experiments, vec!["grid"]);
+        // Spelled-out profile names work too.
+        assert_eq!(parse_run(&["--profile", "huge"]).profile.scale, Scale::Huge);
+        assert_eq!(
+            parse_run(&["--profile", "huge-smoke"]).profile.scale,
+            Scale::HugeSmoke
+        );
     }
 
     #[test]

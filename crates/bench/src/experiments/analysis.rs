@@ -196,8 +196,9 @@ pub fn netlist(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let suite = Suite::for_profile(profile);
     let (blocks, cells) = match profile.scale {
         crate::profile::Scale::Smoke => (4, 12),
-        crate::profile::Scale::Quick => (8, 40),
         crate::profile::Scale::Paper => (16, 80),
+        // The huge scales keep the quick-sized analysis experiments.
+        _ => (8, 40),
     };
     let seed = derive_seed(profile.seed, &[73]);
     let mut rng = LaggedFibonacci::seed_from_u64(seed);

@@ -10,6 +10,7 @@ use crate::runner::QuadAverage;
 use crate::table::{fmt_cut, fmt_duration, fmt_percent, Table};
 
 pub mod analysis;
+pub mod huge;
 pub mod observations;
 pub mod random;
 pub mod special;
@@ -35,7 +36,7 @@ pub struct ExperimentResult {
 /// reproduction's analysis extensions).
 pub const ALL_IDS: &[&str] = &[
     "table1", "ladder", "grid", "btree", "g2set", "gnp", "gbreg", "obs1", "obs4", "models",
-    "klpasses", "netlist", "satune", "winrate",
+    "klpasses", "netlist", "satune", "winrate", "huge",
 ];
 
 /// Whether `id` names a known experiment.
@@ -66,6 +67,7 @@ pub fn run(id: &str, profile: &Profile) -> Result<ExperimentResult, BenchError> 
         "klpasses" => analysis::klpasses(profile),
         "netlist" => analysis::netlist(profile),
         "satune" => analysis::satune(profile),
+        "huge" => huge::run(profile),
         other => Err(BenchError::UnknownExperiment { id: other.into() }),
     }
 }

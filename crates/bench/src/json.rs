@@ -81,6 +81,12 @@ pub struct BenchReport {
     pub threads: usize,
     /// Total wall time of the whole run in seconds.
     pub wall_time_s: f64,
+    /// Unix timestamp (seconds) of when the run finished; 0 in reports
+    /// written before the trajectory format existed.
+    pub timestamp: u64,
+    /// Process peak RSS in bytes at the end of the run (`VmHWM`); 0
+    /// when unavailable or in pre-trajectory reports.
+    pub peak_rss_bytes: u64,
     /// The measurements.
     pub records: Vec<BenchRecord>,
 }
@@ -98,6 +104,8 @@ impl BenchReport {
             "  \"wall_time_s\": {},\n",
             number(self.wall_time_s)
         ));
+        out.push_str(&format!("  \"timestamp\": {},\n", self.timestamp));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         out.push_str("  \"records\": [");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
@@ -370,7 +378,17 @@ impl BenchReport {
     /// Returns [`BenchError::MalformedReport`] for syntax errors or
     /// missing/mistyped fields.
     pub fn from_json(input: &str) -> Result<BenchReport, BenchError> {
-        let doc = parse(input)?;
+        Self::from_value(&parse(input)?)
+    }
+
+    /// Builds a report from an already-parsed JSON object (one element
+    /// of a trajectory, or a whole legacy single-report document).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::MalformedReport`] for missing or mistyped
+    /// fields.
+    pub fn from_value(doc: &JsonValue) -> Result<BenchReport, BenchError> {
         let field = |key: &str| {
             doc.get(key)
                 .ok_or_else(|| BenchError::MalformedReport(format!("missing field `{key}`")))
@@ -423,6 +441,14 @@ impl BenchReport {
                 graphs: rnum("graphs")? as usize,
             });
         }
+        // Trajectory-era fields parse leniently so pre-trajectory
+        // reports (the committed baselines) still load.
+        let opt_num = |key: &str| match doc.get(key) {
+            Some(v) => v
+                .as_number()
+                .ok_or_else(|| BenchError::MalformedReport(format!("`{key}` is not a number"))),
+            None => Ok(0.0),
+        };
         Ok(BenchReport {
             profile: field("profile")?
                 .as_str()
@@ -433,9 +459,45 @@ impl BenchReport {
             replicates: num("replicates")? as usize,
             threads: num("threads")? as usize,
             wall_time_s: num("wall_time_s")?,
+            timestamp: opt_num("timestamp")? as u64,
+            peak_rss_bytes: opt_num("peak_rss_bytes")? as u64,
             records,
         })
     }
+}
+
+/// Parses a `BENCH_results.json` *trajectory*: a JSON array of run
+/// reports, ordered oldest to newest. A legacy single-object document
+/// (the pre-trajectory format, still used by the committed baselines)
+/// parses as a one-run trajectory.
+///
+/// # Errors
+///
+/// Returns [`BenchError::MalformedReport`] for syntax errors, mistyped
+/// runs, or a document that is neither an object nor an array.
+pub fn parse_trajectory(input: &str) -> Result<Vec<BenchReport>, BenchError> {
+    let doc = parse(input)?;
+    match doc {
+        JsonValue::Array(runs) => runs.iter().map(BenchReport::from_value).collect(),
+        doc @ JsonValue::Object(_) => Ok(vec![BenchReport::from_value(&doc)?]),
+        _ => Err(BenchError::MalformedReport(
+            "expected a report object or an array of report objects".into(),
+        )),
+    }
+}
+
+/// Serializes a trajectory as a JSON array of run reports, oldest
+/// first — the inverse of [`parse_trajectory`].
+pub fn trajectory_to_json(runs: &[BenchReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(run.to_json().trim_end());
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 /// JSON string escaping for the small label alphabet used here (quotes,
@@ -541,6 +603,8 @@ mod tests {
             replicates: 3,
             threads: 4,
             wall_time_s: 12.25,
+            timestamp: 0,
+            peak_rss_bytes: 0,
             records: quad_records("gbreg", "n=500", &sample_avg()),
         };
         let json = report.to_json();
@@ -564,6 +628,8 @@ mod tests {
             replicates: 1,
             threads: 1,
             wall_time_s: 0.0,
+            timestamp: 0,
+            peak_rss_bytes: 0,
             records: vec![],
         };
         assert!(report.to_json().contains("\"records\": []"));
@@ -624,10 +690,67 @@ mod tests {
             replicates: 3,
             threads: 4,
             wall_time_s: 12.25,
+            timestamp: 0,
+            peak_rss_bytes: 0,
             records: quad_records("gbreg", "n=500 \"odd\" label", &sample_avg()),
         };
         let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn trajectory_round_trips_and_preserves_order() {
+        let mut a = BenchReport {
+            profile: "quick".into(),
+            seed: 1989,
+            starts: 2,
+            replicates: 3,
+            threads: 4,
+            wall_time_s: 12.25,
+            timestamp: 1_700_000_000,
+            peak_rss_bytes: 123 << 20,
+            records: quad_records("gbreg", "n=500", &sample_avg()),
+        };
+        let mut b = a.clone();
+        b.timestamp = 1_700_000_100;
+        b.wall_time_s = 11.0;
+        let json = trajectory_to_json(&[a.clone(), b.clone()]);
+        let parsed = parse_trajectory(&json).expect("trajectory round trip");
+        assert_eq!(parsed, vec![a.clone(), b.clone()]);
+        // Appending preserves the existing history.
+        let mut runs = parsed;
+        a.timestamp = 1_700_000_200;
+        runs.push(a.clone());
+        let parsed = parse_trajectory(&trajectory_to_json(&runs)).expect("appended");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].timestamp, 1_700_000_000);
+        assert_eq!(parsed[2].timestamp, 1_700_000_200);
+        assert_eq!(parsed[1], b);
+    }
+
+    #[test]
+    fn legacy_single_report_parses_as_one_run_trajectory() {
+        // The committed baselines predate both the trajectory array and
+        // the timestamp/peak-RSS fields; they must load unchanged.
+        let doc = r#"{"profile": "quick", "seed": 1, "starts": 1, "replicates": 1,
+                      "threads": 1, "wall_time_s": 0,
+                      "records": [{"experiment": "g", "setting": "s",
+                                   "algorithm": "SA", "mean_cut": 8,
+                                   "total_time_s": 0.5, "mean_passes": 10, "graphs": 1}]}"#;
+        let runs = parse_trajectory(doc).expect("legacy object parses");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].timestamp, 0);
+        assert_eq!(runs[0].peak_rss_bytes, 0);
+        assert_eq!(runs[0].records.len(), 1);
+    }
+
+    #[test]
+    fn trajectory_rejects_non_report_documents() {
+        assert!(parse_trajectory("42").is_err());
+        assert!(parse_trajectory("[42]").is_err());
+        assert!(parse_trajectory("not json").is_err());
+        // An empty array is a valid (empty) trajectory.
+        assert_eq!(parse_trajectory("[]").expect("empty array"), vec![]);
     }
 
     #[test]

@@ -14,6 +14,28 @@ pub enum Scale {
     /// The paper's sizes (2000- and 5000-vertex random graphs, special
     /// graphs up to 5000 vertices). Hours with SA, as in 1989.
     Paper,
+    /// Million-vertex feasibility runs (the `huge` experiment:
+    /// streaming generation, BFS reordering, parallel multilevel
+    /// refinement). The paper-grid experiments keep their `Quick`
+    /// sizes at this scale; only [`Profile::huge_vertices`] grows.
+    Huge,
+    /// The CI-sized version of [`Scale::Huge`]: 10^5-vertex instances
+    /// that finish in well under a minute.
+    HugeSmoke,
+}
+
+impl Scale {
+    /// Stable lowercase name, used in reports and parsed by
+    /// [`Scale::from_str`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+            Scale::Huge => "huge",
+            Scale::HugeSmoke => "huge-smoke",
+        }
+    }
 }
 
 impl std::str::FromStr for Scale {
@@ -24,8 +46,11 @@ impl std::str::FromStr for Scale {
             "smoke" => Ok(Scale::Smoke),
             "quick" => Ok(Scale::Quick),
             "paper" => Ok(Scale::Paper),
+            "huge" => Ok(Scale::Huge),
+            "huge-smoke" => Ok(Scale::HugeSmoke),
             other => Err(format!(
-                "unknown profile `{other}` (expected `smoke`, `quick`, or `paper`)"
+                "unknown profile `{other}` (expected `smoke`, `quick`, `paper`, `huge`, or \
+                 `huge-smoke`)"
             )),
         }
     }
@@ -86,12 +111,45 @@ impl Profile {
         }
     }
 
+    /// The huge profile: one start, one replicate, million-vertex
+    /// instances for the `huge` feasibility experiment.
+    pub fn huge() -> Profile {
+        Profile {
+            scale: Scale::Huge,
+            starts: 1,
+            replicates: 1,
+            seed: 1989,
+        }
+    }
+
+    /// The huge-smoke profile: the CI-sized [`Profile::huge`]
+    /// (10^5-vertex instances, well under a minute end to end).
+    pub fn huge_smoke() -> Profile {
+        Profile {
+            scale: Scale::HugeSmoke,
+            starts: 1,
+            replicates: 1,
+            seed: 1989,
+        }
+    }
+
+    /// Vertex count of the `huge` experiment's instances.
+    pub fn huge_vertices(&self) -> usize {
+        match self.scale {
+            Scale::Smoke => 2_000,
+            Scale::Quick => 10_000,
+            Scale::Paper => 1_000_000,
+            Scale::Huge => 1_000_000,
+            Scale::HugeSmoke => 100_000,
+        }
+    }
+
     /// Vertex counts for the random-model tables (the paper's 2000 and
     /// 5000).
     pub fn random_model_sizes(&self) -> Vec<usize> {
         match self.scale {
             Scale::Smoke => vec![64],
-            Scale::Quick => vec![500, 1000],
+            Scale::Quick | Scale::Huge | Scale::HugeSmoke => vec![500, 1000],
             Scale::Paper => vec![2000, 5000],
         }
     }
@@ -101,7 +159,7 @@ impl Profile {
     pub fn gbreg_widths(&self) -> Vec<usize> {
         match self.scale {
             Scale::Smoke => vec![2, 4],
-            Scale::Quick => vec![2, 8, 16],
+            Scale::Quick | Scale::Huge | Scale::HugeSmoke => vec![2, 8, 16],
             Scale::Paper => vec![2, 8, 16, 32, 64],
         }
     }
@@ -110,7 +168,7 @@ impl Profile {
     pub fn g2set_widths(&self) -> Vec<usize> {
         match self.scale {
             Scale::Smoke => vec![2, 4],
-            Scale::Quick => vec![4, 16, 32],
+            Scale::Quick | Scale::Huge | Scale::HugeSmoke => vec![4, 16, 32],
             Scale::Paper => vec![4, 16, 64, 128],
         }
     }
@@ -136,7 +194,7 @@ impl Profile {
     pub fn grid_sides(&self) -> Vec<usize> {
         match self.scale {
             Scale::Smoke => vec![4, 6],
-            Scale::Quick => vec![8, 12, 16, 22],
+            Scale::Quick | Scale::Huge | Scale::HugeSmoke => vec![8, 12, 16, 22],
             Scale::Paper => vec![10, 16, 22, 32, 45, 70],
         }
     }
@@ -146,7 +204,7 @@ impl Profile {
     pub fn ladder_rungs(&self) -> Vec<usize> {
         match self.scale {
             Scale::Smoke => vec![8, 12],
-            Scale::Quick => vec![32, 64, 128, 250],
+            Scale::Quick | Scale::Huge | Scale::HugeSmoke => vec![32, 64, 128, 250],
             Scale::Paper => vec![50, 150, 500, 1250, 2500],
         }
     }
@@ -155,7 +213,7 @@ impl Profile {
     pub fn tree_sizes(&self) -> Vec<usize> {
         match self.scale {
             Scale::Smoke => vec![14, 30],
-            Scale::Quick => vec![62, 126, 254, 510],
+            Scale::Quick | Scale::Huge | Scale::HugeSmoke => vec![62, 126, 254, 510],
             Scale::Paper => vec![126, 510, 1022, 2046, 4094],
         }
     }
@@ -174,7 +232,35 @@ mod tests {
     fn parse_scale() {
         assert_eq!("quick".parse::<Scale>().unwrap(), Scale::Quick);
         assert_eq!("paper".parse::<Scale>().unwrap(), Scale::Paper);
+        assert_eq!("huge".parse::<Scale>().unwrap(), Scale::Huge);
+        assert_eq!("huge-smoke".parse::<Scale>().unwrap(), Scale::HugeSmoke);
         assert!("fast".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [
+            Scale::Smoke,
+            Scale::Quick,
+            Scale::Paper,
+            Scale::Huge,
+            Scale::HugeSmoke,
+        ] {
+            assert_eq!(scale.name().parse::<Scale>().unwrap(), scale);
+        }
+    }
+
+    #[test]
+    fn huge_profiles_scale_only_the_huge_experiment() {
+        let h = Profile::huge();
+        let q = Profile::quick();
+        assert_eq!(h.huge_vertices(), 1_000_000);
+        assert_eq!(Profile::huge_smoke().huge_vertices(), 100_000);
+        assert_eq!(h.starts, 1);
+        // The paper-grid sizes stay quick-sized at the huge scales.
+        assert_eq!(h.random_model_sizes(), q.random_model_sizes());
+        assert_eq!(h.grid_sides(), q.grid_sides());
+        assert_eq!(h.gbreg_widths(), q.gbreg_widths());
     }
 
     #[test]

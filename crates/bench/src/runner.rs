@@ -149,12 +149,16 @@ impl Suite {
     /// Builds the suite for a profile.
     pub fn for_profile(profile: &Profile) -> Suite {
         let sa = match profile.scale {
-            Scale::Smoke | Scale::Quick => SimulatedAnnealing::new().with_schedule(Schedule {
-                sizefactor: 4,
-                cooling: 0.9,
-                max_temperatures: 150,
-                ..Schedule::default()
-            }),
+            // The huge scales keep the quick-sized paper grid, so they
+            // share its shortened schedule.
+            Scale::Smoke | Scale::Quick | Scale::Huge | Scale::HugeSmoke => {
+                SimulatedAnnealing::new().with_schedule(Schedule {
+                    sizefactor: 4,
+                    cooling: 0.9,
+                    max_temperatures: 150,
+                    ..Schedule::default()
+                })
+            }
             Scale::Paper => SimulatedAnnealing::new(),
         };
         Suite {

@@ -31,6 +31,9 @@
 //! * [`netlist`] — hypergraph-native FM on netlists
 //!   (`bisect_graph::hypergraph`), the true objective of the paper's
 //!   VLSI motivation.
+//! * [`par_fm::ParallelFm`] — boundary-partitioned parallel FM
+//!   refinement (with [`pipeline::ParallelMatching`] coarsening) for
+//!   million-vertex instances; deterministic at a fixed thread count.
 //! * [`spectral::SpectralBisector`] — Fiedler-vector bisection.
 //! * [`greedy::GreedyGrowth`] — BFS region growing.
 //! * [`bisector::RandomBisector`] — the trivial baseline.
@@ -81,6 +84,7 @@ pub mod kl;
 pub mod metrics;
 pub mod multilevel;
 pub mod netlist;
+pub mod par_fm;
 pub mod partition;
 pub mod pipeline;
 pub mod recursive;

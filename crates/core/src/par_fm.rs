@@ -1,0 +1,413 @@
+//! Coarse-grained parallel refinement for million-vertex instances.
+//!
+//! [`ParallelFm`] partitions the vertex set into contiguous ranges, lets
+//! one worker per range run a greedy positive-gain FM sweep against a
+//! *snapshot* of the bisection (Gauss–Seidel within a range, Jacobi
+//! across ranges), then merges the proposed moves serially: sorted by
+//! `(gain desc, vertex asc)`, each proposal is re-validated against the
+//! *live* bisection and applied only if it still has positive gain and
+//! respects the FM balance tolerance. A best-balanced-prefix rollback —
+//! the same discipline as [`crate::fm::FiducciaMattheyses`] — guarantees
+//! the round ends balanced with a cut no larger than it started.
+//!
+//! # Determinism contract
+//!
+//! `ParallelFm` draws **no randomness** and is **deterministic at a
+//! fixed thread count**: the ranges are a pure function of `(n,
+//! threads)`, each worker's sweep is a pure function of its range and
+//! the snapshot, [`bisect_par::par_map_with`] returns results in index
+//! order, and the merge order is a total order. Two runs with the same
+//! graph, starting bisection, and thread count produce bit-identical
+//! partitions. Unlike the serial refiners it is **not** bit-identical
+//! across *different* thread counts — the range boundaries change which
+//! local interactions each worker sees. The golden-pinned serial paths
+//! (`KL`, `SA`, `FM`, and every pipeline built from them) are unaffected
+//! by this module.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bisect_graph::{Graph, VertexId};
+use rand::RngCore;
+
+use crate::bisector::{Bisector, Refiner};
+use crate::partition::{Bisection, Side};
+use crate::seed;
+use crate::workspace::Workspace;
+
+/// Boundary-partitioned parallel Fiduccia–Mattheyses refinement.
+///
+/// Rounds of *propose in parallel, resolve serially* run until a round
+/// fails to improve the cut (or `max_rounds` is hit). See the module
+/// docs for the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelFm {
+    /// Worker count; `None` defers to [`bisect_par::num_threads`].
+    threads: Option<usize>,
+    /// Safety cap on propose/resolve rounds.
+    max_rounds: usize,
+}
+
+impl Default for ParallelFm {
+    fn default() -> ParallelFm {
+        ParallelFm::new()
+    }
+}
+
+impl ParallelFm {
+    /// Creates the refiner with the process-default thread count and a
+    /// generous round cap (rounds strictly decrease the cut, so the cap
+    /// only guards against pathological inputs).
+    pub fn new() -> ParallelFm {
+        ParallelFm {
+            threads: None,
+            max_rounds: 64,
+        }
+    }
+
+    /// Pins the worker (and range) count. The determinism regression
+    /// tests use this to compare repeat runs at a fixed width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> ParallelFm {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Caps the number of propose/resolve rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds` is zero.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> ParallelFm {
+        assert!(max_rounds > 0, "need at least one round");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The worker count a call will use right now.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(bisect_par::num_threads)
+    }
+
+    /// One propose/resolve round. Returns `(cut improvement, gain
+    /// evaluations)`; an improvement of zero means the round applied
+    /// nothing and the refiner is done.
+    fn round(&self, g: &Graph, p: &mut Bisection, threads: usize) -> (u64, u64) {
+        let n = g.num_vertices();
+        let t = threads.max(1).min(n);
+        let chunk = n.div_ceil(t);
+        let ranges = n.div_ceil(chunk);
+
+        // Parallel propose: each worker sweeps its contiguous range
+        // against the shared snapshot. Results come back in range
+        // order regardless of scheduling.
+        let snapshot = p.sides();
+        let results = bisect_par::par_map_with(t, ranges, |k| {
+            let lo = k * chunk;
+            let hi = ((k + 1) * chunk).min(n);
+            propose_range(g, snapshot, lo, hi)
+        });
+
+        let mut evals: u64 = 0;
+        let mut all: Vec<(i64, VertexId)> = Vec::new();
+        for (proposals, e) in results {
+            evals += e;
+            all.extend(proposals);
+        }
+        // Total merge order: best estimated gain first, vertex id as the
+        // deterministic tie-break.
+        all.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        // Serial resolve: same tolerances as the serial FM pass.
+        let max_weight = g.vertices().map(|v| g.vertex_weight(v)).max().unwrap_or(1);
+        let base_tol = if g.is_unit_weighted() {
+            g.total_vertex_weight() % 2
+        } else {
+            max_weight
+        };
+        let pass_tol = base_tol.max(2 * max_weight);
+
+        let start_cut = p.cut();
+        let mut best_cut = start_cut;
+        let mut best_prefix = 0usize;
+        let mut applied: Vec<VertexId> = Vec::new();
+        for &(_, v) in &all {
+            // The worker's gain was an estimate against the snapshot;
+            // moves applied earlier in this loop can invalidate it, so
+            // re-evaluate against the live bisection.
+            let live = p.gain(g, v);
+            evals += 1;
+            if live <= 0 {
+                continue;
+            }
+            let w = g.vertex_weight(v) as i64;
+            let imb = p.weight(Side::A) as i64 - p.weight(Side::B) as i64;
+            let new_imb = if p.side(v) == Side::A {
+                imb - 2 * w
+            } else {
+                imb + 2 * w
+            };
+            if new_imb.unsigned_abs() > pass_tol {
+                continue;
+            }
+            p.move_vertex_with_gain(g, v, live);
+            applied.push(v);
+            if p.weight_imbalance() <= base_tol && p.cut() < best_cut {
+                best_prefix = applied.len();
+                best_cut = p.cut();
+            }
+        }
+        // Roll back to the best balanced prefix (possibly empty).
+        for &v in applied[best_prefix..].iter().rev() {
+            p.move_vertex(g, v);
+        }
+        debug_assert_eq!(p.cut(), best_cut);
+        debug_assert_eq!(p.cut(), p.recompute_cut(g));
+        (start_cut - p.cut(), evals)
+    }
+}
+
+/// Greedy positive-gain sweep over `lo..hi` against `snapshot`.
+///
+/// Gains of in-range vertices are maintained incrementally as the
+/// worker's own moves land (lazy-deletion max-heap keyed by `(gain,
+/// Reverse(vertex))`); out-of-range neighbors are frozen at their
+/// snapshot sides. Every vertex moves at most once. Returns the moves
+/// in the order they were made, each with its local gain estimate, plus
+/// the number of full gain evaluations performed.
+fn propose_range(
+    g: &Graph,
+    snapshot: &[bool],
+    lo: usize,
+    hi: usize,
+) -> (Vec<(i64, VertexId)>, u64) {
+    let len = hi - lo;
+    let mut gains: Vec<i64> = Vec::with_capacity(len);
+    let mut locked = vec![false; len];
+    let mut heap: BinaryHeap<(i64, Reverse<VertexId>)> = BinaryHeap::new();
+    let mut evals = 0u64;
+    for i in 0..len {
+        let v = (lo + i) as VertexId;
+        let sv = snapshot[lo + i];
+        let mut gain = 0i64;
+        for (u, w) in g.neighbors_weighted(v) {
+            if snapshot[u as usize] == sv {
+                gain -= w as i64;
+            } else {
+                gain += w as i64;
+            }
+        }
+        evals += 1;
+        gains.push(gain);
+        if gain > 0 {
+            heap.push((gain, Reverse(v)));
+        }
+    }
+    let mut proposals: Vec<(i64, VertexId)> = Vec::new();
+    while let Some((gain, Reverse(v))) = heap.pop() {
+        let i = v as usize - lo;
+        // Lazy deletion: stale entries (locked, or superseded by a
+        // fresher gain) are skipped.
+        if locked[i] || gains[i] != gain {
+            continue;
+        }
+        locked[i] = true;
+        proposals.push((gain, v));
+        for (u, w) in g.neighbors_weighted(v) {
+            let ui = u as usize;
+            if ui < lo || ui >= hi {
+                continue;
+            }
+            let j = ui - lo;
+            if locked[j] {
+                continue;
+            }
+            // v left its snapshot side: for u on that side the edge
+            // became external (+2w), for u opposite it became internal
+            // (−2w). Unlocked u is still on its snapshot side.
+            let delta = if snapshot[ui] == snapshot[v as usize] {
+                2 * w as i64
+            } else {
+                -2 * (w as i64)
+            };
+            gains[j] += delta;
+            if gains[j] > 0 {
+                heap.push((gains[j], Reverse(u)));
+            }
+        }
+    }
+    (proposals, evals)
+}
+
+impl Bisector for ParallelFm {
+    fn name(&self) -> String {
+        "PFM".into()
+    }
+
+    fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
+        self.bisect_in(g, rng, &mut Workspace::new())
+    }
+
+    fn bisect_in(&self, g: &Graph, rng: &mut dyn RngCore, ws: &mut Workspace) -> Bisection {
+        self.bisect_counted(g, rng, ws).0
+    }
+
+    fn bisect_counted(
+        &self,
+        g: &Graph,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        let init = seed::random_balanced(g, rng);
+        self.refine_counted(g, init, rng, ws)
+    }
+}
+
+impl Refiner for ParallelFm {
+    fn refine(&self, g: &Graph, init: Bisection, rng: &mut dyn RngCore) -> Bisection {
+        self.refine_counted(g, init, rng, &mut Workspace::new()).0
+    }
+
+    fn refine_counted(
+        &self,
+        g: &Graph,
+        mut init: Bisection,
+        _rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        if g.num_vertices() < 2 {
+            return (init, 0);
+        }
+        let threads = self.threads();
+        let mut productive = 0u64;
+        for _ in 0..self.max_rounds {
+            let (improvement, evals) = self.round(g, &mut init, threads);
+            ws.add_proposals(evals);
+            if improvement == 0 {
+                break;
+            }
+            productive += 1;
+        }
+        (init, productive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bisect_gen::special;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn refine_never_increases_cut_and_keeps_balance() {
+        let g = special::grid(8, 8);
+        let pfm = ParallelFm::new().with_threads(4);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = seed::random_balanced(&g, &mut rng);
+            let before = init.cut();
+            let p = pfm.refine(&g, init, &mut rng);
+            assert!(p.cut() <= before, "seed {seed}");
+            assert!(p.is_balanced(&g), "seed {seed}");
+            assert_eq!(p.cut(), p.recompute_cut(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn repeat_runs_at_fixed_threads_are_identical() {
+        let g = special::grid(10, 10);
+        let pfm = ParallelFm::new().with_threads(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let init = seed::random_balanced(&g, &mut rng);
+        let mut dummy = StdRng::seed_from_u64(0);
+        let a = pfm.refine(&g, init.clone(), &mut dummy);
+        let b = pfm.refine(&g, init, &mut dummy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consumes_no_randomness_when_refining() {
+        let g = special::grid(6, 6);
+        let pfm = ParallelFm::new().with_threads(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let init = seed::random_balanced(&g, &mut rng);
+        let mut probe = rng.clone();
+        let _ = pfm.refine(&g, init, &mut rng);
+        assert_eq!(rng.next_u64(), probe.next_u64());
+    }
+
+    #[test]
+    fn improves_a_random_start_substantially() {
+        let g = special::grid(16, 16);
+        let pfm = ParallelFm::new().with_threads(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = seed::random_balanced(&g, &mut rng);
+        let before = init.cut();
+        let p = pfm.refine(&g, init, &mut rng);
+        // A random balanced cut of the 16×16 grid is ~240; local
+        // refinement should at least halve it.
+        assert!(p.cut() * 2 < before, "{} -> {}", before, p.cut());
+    }
+
+    #[test]
+    fn single_thread_degenerates_gracefully() {
+        let g = special::cycle(24);
+        let pfm = ParallelFm::new().with_threads(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = pfm.bisect(&g, &mut rng);
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+
+    #[test]
+    fn counts_proposals_in_workspace() {
+        let g = special::grid(8, 8);
+        let pfm = ParallelFm::new().with_threads(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let init = seed::random_balanced(&g, &mut rng);
+        let mut ws = Workspace::new();
+        let (_, rounds) = pfm.refine_counted(&g, init, &mut rng, &mut ws);
+        assert!(rounds >= 1);
+        assert!(ws.take_proposals() as usize >= g.num_vertices());
+    }
+
+    #[test]
+    fn tiny_graphs_are_no_ops() {
+        let g = bisect_graph::Graph::empty(1);
+        let pfm = ParallelFm::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let init = seed::random_balanced(&g, &mut rng);
+        let mut ws = Workspace::new();
+        let (p, rounds) = pfm.refine_counted(&g, init, &mut rng, &mut ws);
+        assert_eq!(rounds, 0);
+        assert_eq!(p.cut(), 0);
+    }
+
+    #[test]
+    fn weighted_graphs_respect_tolerance() {
+        // Coarse graphs carry vertex weights; refinement must keep the
+        // weighted imbalance within the largest vertex weight.
+        let mut b = bisect_graph::GraphBuilder::new(6);
+        for v in 0..6u32 {
+            b.set_vertex_weight(v, (v as u64 % 3) + 1).unwrap();
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        let pfm = ParallelFm::new().with_threads(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let init = crate::seed::weight_balanced_random(&g, &mut rng);
+        let balanced_before = init.is_balanced(&g);
+        let p = pfm.refine(&g, init, &mut rng);
+        if balanced_before {
+            assert!(p.is_balanced(&g));
+        }
+        assert_eq!(p.cut(), p.recompute_cut(&g));
+    }
+}

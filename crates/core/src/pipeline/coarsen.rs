@@ -16,7 +16,8 @@
 //!   `ablate-matching` benchmark.
 
 use bisect_graph::contraction::{contract_matching, Contraction};
-use bisect_graph::{matching, Graph};
+use bisect_graph::matching::Matching;
+use bisect_graph::{matching, Graph, VertexId};
 use rand::RngCore;
 
 /// One level of coarsening. Implementations draw all randomness from
@@ -88,6 +89,138 @@ impl CoarsenScheme for EdgeOrderMatching {
     }
 }
 
+/// Range-partitioned parallel greedy matching for million-vertex
+/// coarsening: workers match within disjoint contiguous vertex ranges
+/// (heaviest free incident edge, ties to the lowest neighbor id), then
+/// a serial sweep matches the leftover vertices across range
+/// boundaries, so the result is maximal.
+///
+/// Unlike the other schemes this one draws **no randomness** — the rng
+/// argument is untouched, trivially satisfying the stream contract of
+/// [`CoarsenScheme::coarsen`]. Like
+/// [`ParallelFm`](crate::par_fm::ParallelFm) it is deterministic at a
+/// fixed thread count but not across thread counts (range boundaries
+/// move); it is intended for the huge-profile pipelines, not the
+/// golden-pinned paper experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelMatching {
+    /// Worker count; `None` defers to [`bisect_par::num_threads`].
+    threads: Option<usize>,
+}
+
+impl ParallelMatching {
+    /// Creates the scheme with the process-default thread count.
+    pub fn new() -> ParallelMatching {
+        ParallelMatching { threads: None }
+    }
+
+    /// Pins the worker (and range) count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> ParallelMatching {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The worker count a call will use right now.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(bisect_par::num_threads)
+    }
+}
+
+impl CoarsenScheme for ParallelMatching {
+    fn name(&self) -> &'static str {
+        "parallel-matching"
+    }
+
+    fn coarsen(&self, g: &Graph, rng: &mut dyn RngCore) -> Option<Contraction> {
+        // Deterministic and rng-free: nothing to consume, so the
+        // stream-preservation contract holds vacuously.
+        let _ = rng;
+        let m = range_matching(g, self.threads());
+        (!m.is_empty()).then(|| contract_matching(g, &m))
+    }
+}
+
+/// The matching behind [`ParallelMatching`]: parallel in-range greedy
+/// phase, serial cross-range cleanup. Maximal by construction.
+///
+/// Each vertex prefers its *heaviest* free edge (ties broken by lowest
+/// neighbor id) — the heavy-edge rule. On contracted graphs heavy
+/// edges mark clusters that earlier levels already merged, so
+/// following them keeps the coarsening inside natural communities
+/// instead of randomly welding across them; on unit-weight inputs the
+/// rule degrades to first-free-neighbor.
+fn range_matching(g: &Graph, threads: usize) -> Matching {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Matching::empty(0);
+    }
+    // Heaviest admissible free neighbor of `v`; `admit` filters the
+    // candidate ids (range membership / global freeness).
+    let heaviest = |v: VertexId, admit: &dyn Fn(VertexId) -> bool| -> Option<VertexId> {
+        let mut best: Option<(u64, VertexId)> = None;
+        for (u, w) in g.neighbors(v).iter().copied().zip(g.neighbor_weights(v)) {
+            if admit(u) && best.is_none_or(|(bw, bu)| (*w > bw) || (*w == bw && u < bu)) {
+                best = Some((*w, u));
+            }
+        }
+        best.map(|(_, u)| u)
+    };
+    let t = threads.max(1).min(n);
+    let chunk = n.div_ceil(t);
+    let ranges = n.div_ceil(chunk);
+    // Parallel phase: only pairs with both endpoints inside one range,
+    // so the disjoint ranges cannot produce conflicting pairs.
+    let local: Vec<Vec<(VertexId, VertexId)>> = bisect_par::par_map_with(t, ranges, |k| {
+        let lo = k * chunk;
+        let hi = ((k + 1) * chunk).min(n);
+        let mut matched = vec![false; hi - lo];
+        let mut pairs = Vec::new();
+        for v in lo..hi {
+            if matched[v - lo] {
+                continue;
+            }
+            let mate = heaviest(v as VertexId, &|u| {
+                let ui = u as usize;
+                ui >= lo && ui < hi && !matched[ui - lo]
+            });
+            if let Some(u) = mate {
+                matched[v - lo] = true;
+                matched[u as usize - lo] = true;
+                pairs.push((v as VertexId, u));
+            }
+        }
+        pairs
+    });
+    // Serial cleanup: match the still-free vertices (whose only free
+    // neighbors cross a range boundary) in ascending id order.
+    let mut taken = vec![false; n];
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    for local_pairs in &local {
+        for &(u, v) in local_pairs {
+            taken[u as usize] = true;
+            taken[v as usize] = true;
+        }
+        pairs.extend_from_slice(local_pairs);
+    }
+    for v in 0..n {
+        if taken[v] {
+            continue;
+        }
+        let mate = heaviest(v as VertexId, &|u| !taken[u as usize]);
+        if let Some(u) = mate {
+            taken[v] = true;
+            taken[u as usize] = true;
+            pairs.push((v as VertexId, u));
+        }
+    }
+    Matching::from_pairs(n, &pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,11 +271,56 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matching_is_maximal_and_deterministic() {
+        let g = special::grid(9, 7);
+        for threads in [1, 2, 4] {
+            let m = range_matching(&g, threads);
+            assert!(m.is_maximal(&g), "threads {threads}");
+            assert!(m.respects_graph(&g), "threads {threads}");
+            let again = range_matching(&g, threads);
+            assert_eq!(m.pairs(), again.pairs(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matching_contracts_and_preserves_weight() {
+        let g = special::grid(6, 6);
+        let scheme = ParallelMatching::new().with_threads(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = scheme.coarsen(&g, &mut rng).expect("grid has edges");
+        assert!(c.coarse().num_vertices() < g.num_vertices());
+        assert_eq!(c.coarse().total_vertex_weight(), g.num_vertices() as u64);
+    }
+
+    #[test]
+    fn parallel_matching_draws_no_randomness() {
+        let g = special::ladder(10);
+        let scheme = ParallelMatching::new().with_threads(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let probe = rng.clone();
+        let _ = scheme.coarsen(&g, &mut rng);
+        assert_eq!(rng.clone().next_u64(), probe.clone().next_u64());
+    }
+
+    #[test]
+    fn parallel_matching_handles_edgeless_and_empty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let scheme = ParallelMatching::new().with_threads(2);
+        assert!(scheme
+            .coarsen(&bisect_graph::Graph::empty(5), &mut rng)
+            .is_none());
+        assert!(scheme
+            .coarsen(&bisect_graph::Graph::empty(0), &mut rng)
+            .is_none());
+    }
+
+    #[test]
     fn names_are_distinct() {
         let names = [
             RandomMatching.name(),
             HeavyEdgeMatching.name(),
             EdgeOrderMatching.name(),
+            ParallelMatching::new().name(),
         ];
         assert_eq!(
             names.len(),

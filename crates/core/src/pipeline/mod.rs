@@ -65,7 +65,9 @@ use crate::partition::Bisection;
 use crate::sa::SimulatedAnnealing;
 use crate::workspace::Workspace;
 
-pub use coarsen::{CoarsenScheme, EdgeOrderMatching, HeavyEdgeMatching, RandomMatching};
+pub use coarsen::{
+    CoarsenScheme, EdgeOrderMatching, HeavyEdgeMatching, ParallelMatching, RandomMatching,
+};
 pub use engine::CoarsenDepth;
 pub use initial::{
     BfsInit, DfsInit, ExactInit, GreedyInit, InitialPartitioner, RandomInit, SpectralInit,

@@ -134,25 +134,24 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GbregParams) -> Result<Grap
             }
         };
 
-        let mut builder = GraphBuilder::new(params.num_vertices);
-        builder.reserve_edges(n * d);
-        for (u, v) in internal_a {
-            // lint: allow(no-panic) — sampled half-ids are < n, shifts stay in range
-            builder.add_edge(u, v).expect("side A edges valid");
-        }
-        for (u, v) in internal_b {
-            builder
-                .add_edge(u + n as VertexId, v + n as VertexId)
-                // lint: allow(no-panic) — sampled half-ids are < n, shifts stay in range
-                .expect("side B edges valid");
-        }
-        for (a, bb) in cross {
-            builder
-                .add_edge(a, bb + n as VertexId)
-                // lint: allow(no-panic) — sampled half-ids are < n, shifts stay in range
-                .expect("cross edges valid");
-        }
-        let g = builder.build();
+        // Stream the three staged pair lists straight into the CSR
+        // build: the closure re-scans the same arrays on both passes, so
+        // no `(u, v, w)` edge list is ever materialized on top of them.
+        let g = GraphBuilder::stream(params.num_vertices, |sink| {
+            for &(u, v) in &internal_a {
+                sink.edge(u, v)?;
+            }
+            for &(u, v) in &internal_b {
+                sink.edge(u + n as VertexId, v + n as VertexId)?;
+            }
+            for &(a, bb) in &cross {
+                sink.edge(a, bb + n as VertexId)?;
+            }
+            Ok(())
+        })
+        // lint: allow(no-panic) — sampled half-ids are < n, shifts stay in range,
+        // and both passes scan the same staged arrays
+        .expect("staged Gbreg edges valid");
         debug_assert_eq!(g.regular_degree(), Some(d));
         return Ok(g);
     }

@@ -11,7 +11,7 @@
 //! Sampling skips over absent edges geometrically, so the cost is
 //! `O(n + m)` rather than `O(n²)`.
 
-use bisect_graph::{Graph, GraphBuilder, VertexId};
+use bisect_graph::{EdgeStream, Graph, GraphBuilder, GraphError, VertexId};
 use rand::Rng;
 
 use crate::GenError;
@@ -89,29 +89,91 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GnpParams) -> Graph {
     // Pre-size for the expected edge count plus slack for variance.
     let expected = (total_pairs as f64 * p).ceil() as usize;
     builder.reserve_edges(expected + expected / 8);
-    let log_q = (1.0 - p).ln();
     let mut position: u64 = 0;
     // First gap is also geometric; start from -1 conceptually.
-    loop {
-        let u: f64 = rng.gen::<f64>();
-        // Skip of k means k absent pairs before the next present one.
-        let skip = if u <= 0.0 {
-            total_pairs
-        } else {
-            (u.ln() / log_q).floor() as u64
-        };
-        position = position.saturating_add(skip);
-        if position >= total_pairs {
-            break;
-        }
-        let (a, b) = unrank_pair(position, n as u64);
+    while let Some((a, b)) = next_present_pair(rng, &mut position, n as u64, total_pairs, p) {
         builder
             .add_edge(a as VertexId, b as VertexId)
             // lint: allow(no-panic) — unrank_pair yields a < b < n for positions < C(n,2)
             .expect("unranked pairs are valid distinct vertices");
-        position += 1;
     }
     builder.build()
+}
+
+/// Samples a `Gnp` graph without materializing an edge list: edges are
+/// streamed twice (from a cloned generator, then the caller's) straight
+/// into the counting-sorted CSR build of [`GraphBuilder::stream`]. The
+/// result and the caller-visible generator state are identical to
+/// [`sample`] — this path just halves peak memory during construction,
+/// which is what makes the `huge` bench profile's 10^6-vertex instances
+/// comfortable.
+pub fn sample_streamed<R: Rng + Clone>(rng: &mut R, params: &GnpParams) -> Graph {
+    let n = params.num_vertices;
+    let p = params.p;
+    if n < 2 || p <= 0.0 {
+        return GraphBuilder::new(n).build();
+    }
+    if p >= 1.0 {
+        // The complete-graph path draws nothing from the generator.
+        return sample(rng, params);
+    }
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let mut replay = rng.clone();
+    let mut pass = 0usize;
+    GraphBuilder::stream(n, |sink| {
+        pass += 1;
+        // The counting pass replays a clone, so the caller's generator
+        // advances exactly once — ending in the same state as `sample`.
+        let r: &mut R = if pass == 1 { &mut replay } else { rng };
+        emit_present_pairs(r, n as u64, total_pairs, p, sink)
+    })
+    // lint: allow(no-panic) — both passes replay the same generator state,
+    // so the emitted sequences are identical and every pair is valid
+    .expect("replayed Gnp passes emit identical valid edges")
+}
+
+/// Streams every present pair of one full geometric-skipping sweep into
+/// `sink`.
+fn emit_present_pairs<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    total_pairs: u64,
+    p: f64,
+    sink: &mut EdgeStream<'_>,
+) -> Result<(), GraphError> {
+    let mut position: u64 = 0;
+    while let Some((a, b)) = next_present_pair(rng, &mut position, n, total_pairs, p) {
+        sink.edge(a as VertexId, b as VertexId)?;
+    }
+    Ok(())
+}
+
+/// Advances the geometric skip chain by one draw and returns the next
+/// present pair, or `None` once the position leaves the triangle. Shared
+/// verbatim by [`sample`] and [`sample_streamed`] so both consume the
+/// generator identically.
+fn next_present_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    position: &mut u64,
+    n: u64,
+    total_pairs: u64,
+    p: f64,
+) -> Option<(u64, u64)> {
+    let log_q = (1.0 - p).ln();
+    let u: f64 = rng.gen::<f64>();
+    // Skip of k means k absent pairs before the next present one.
+    let skip = if u <= 0.0 {
+        total_pairs
+    } else {
+        (u.ln() / log_q).floor() as u64
+    };
+    *position = position.saturating_add(skip);
+    if *position >= total_pairs {
+        return None;
+    }
+    let pair = unrank_pair(*position, n);
+    *position += 1;
+    Some(pair)
 }
 
 /// Maps a linear index in `0..C(n,2)` to the pair `(a, b)` with `a < b`,
@@ -249,6 +311,20 @@ mod tests {
         let a = sample(&mut StdRng::seed_from_u64(4), &params);
         let b = sample(&mut StdRng::seed_from_u64(4), &params);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_matches_edge_list_sample() {
+        for &(nv, p) in &[(60usize, 0.2), (200, 0.03), (5, 1.0), (40, 0.0), (1, 0.5)] {
+            let params = GnpParams::new(nv, p).unwrap();
+            let mut rng_a = StdRng::seed_from_u64(4);
+            let mut rng_b = StdRng::seed_from_u64(4);
+            let a = sample(&mut rng_a, &params);
+            let b = sample_streamed(&mut rng_b, &params);
+            assert_eq!(a, b, "nv={nv} p={p}");
+            // The caller-visible generator state must also agree.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "nv={nv} p={p}");
+        }
     }
 
     #[test]

@@ -190,6 +190,195 @@ impl GraphBuilder {
         }
         Graph::from_csr(xadj, adjncy, edge_weights, self.vertex_weights)
     }
+
+    /// Builds a unit-vertex-weight graph without materializing an edge
+    /// list: `emit` is invoked twice with an [`EdgeStream`] sink and must
+    /// produce the *identical* edge sequence both times (re-run a cloned
+    /// RNG, or re-scan the same staged arrays). The first pass counts
+    /// endpoint slots, the second writes them straight into the CSR
+    /// arrays (a counting sort by source vertex), after which each
+    /// adjacency list is sorted and parallel edges are merged in place.
+    ///
+    /// Peak memory is the final CSR arrays plus `O(V)` counters — about
+    /// half the edge-list path, which holds the `(u, v, w)` records and
+    /// the CSR arrays simultaneously. The result is identical to adding
+    /// the same edges to a [`GraphBuilder`] and calling
+    /// [`build`](GraphBuilder::build) (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-edge errors from the sink
+    /// ([`GraphError::SelfLoop`], [`GraphError::VertexOutOfRange`],
+    /// [`GraphError::ZeroWeight`]) and returns
+    /// [`GraphError::StreamMismatch`] if the two passes disagree.
+    pub fn stream<F>(num_vertices: usize, mut emit: F) -> Result<Graph, GraphError>
+    where
+        F: FnMut(&mut EdgeStream<'_>) -> Result<(), GraphError>,
+    {
+        let n = num_vertices;
+        let mut degree = vec![0usize; n];
+        let counted = {
+            let mut sink = EdgeStream {
+                num_vertices: n,
+                records: 0,
+                mode: StreamMode::Count {
+                    degree: &mut degree,
+                },
+            };
+            emit(&mut sink)?;
+            sink.records
+        };
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + degree[v];
+        }
+        let total = xadj[n];
+        let mut adjncy = vec![0 as VertexId; total];
+        let mut edge_weights = vec![0 as EdgeWeight; total];
+        let mut cursor: Vec<usize> = xadj[..n].to_vec();
+        let emitted = {
+            let mut sink = EdgeStream {
+                num_vertices: n,
+                records: 0,
+                mode: StreamMode::Fill {
+                    xadj: &xadj,
+                    cursor: &mut cursor,
+                    adjncy: &mut adjncy,
+                    edge_weights: &mut edge_weights,
+                },
+            };
+            emit(&mut sink)?;
+            sink.records
+        };
+        if emitted != counted || cursor.iter().zip(&xadj[1..]).any(|(&c, &end)| c != end) {
+            return Err(GraphError::StreamMismatch { counted, emitted });
+        }
+        // Sort each adjacency list, merging parallel edges; the merged
+        // lists are compacted toward the front of the same arrays (the
+        // write cursor never overtakes the read range because merging
+        // only shrinks lists). One scratch buffer serves every vertex.
+        let mut pairs: Vec<(VertexId, EdgeWeight)> =
+            Vec::with_capacity(degree.iter().copied().max().unwrap_or(0));
+        let mut new_xadj = vec![0usize; n + 1];
+        let mut write = 0usize;
+        for v in 0..n {
+            let (lo, hi) = (xadj[v], xadj[v + 1]);
+            let start = write;
+            pairs.clear();
+            pairs.extend(
+                adjncy[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(edge_weights[lo..hi].iter().copied()),
+            );
+            pairs.sort_unstable_by_key(|&(nbr, _)| nbr);
+            for &(nbr, w) in &pairs {
+                if write > start && adjncy[write - 1] == nbr {
+                    edge_weights[write - 1] += w;
+                } else {
+                    adjncy[write] = nbr;
+                    edge_weights[write] = w;
+                    write += 1;
+                }
+            }
+            new_xadj[v + 1] = write;
+        }
+        adjncy.truncate(write);
+        edge_weights.truncate(write);
+        Ok(Graph::from_csr(new_xadj, adjncy, edge_weights, vec![1; n]))
+    }
+}
+
+/// The edge sink handed to the closure of [`GraphBuilder::stream`].
+/// Validates each edge exactly as [`GraphBuilder::add_weighted_edge`]
+/// does, so both passes fail identically on bad input.
+#[derive(Debug)]
+pub struct EdgeStream<'a> {
+    num_vertices: usize,
+    records: usize,
+    mode: StreamMode<'a>,
+}
+
+#[derive(Debug)]
+enum StreamMode<'a> {
+    Count {
+        degree: &'a mut [usize],
+    },
+    Fill {
+        xadj: &'a [usize],
+        cursor: &'a mut [usize],
+        adjncy: &'a mut [VertexId],
+        edge_weights: &'a mut [EdgeWeight],
+    },
+}
+
+impl EdgeStream<'_> {
+    /// Emits the undirected edge `{u, v}` with weight 1.
+    ///
+    /// # Errors
+    ///
+    /// As [`EdgeStream::weighted_edge`].
+    pub fn edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        self.weighted_edge(u, v, 1)
+    }
+
+    /// Emits the undirected edge `{u, v}` with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`], [`GraphError::VertexOutOfRange`], or
+    /// [`GraphError::ZeroWeight`] as for
+    /// [`GraphBuilder::add_weighted_edge`];
+    /// [`GraphError::StreamMismatch`] if the filling pass emits more
+    /// edges at some vertex than the counting pass declared.
+    pub fn weighted_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: EdgeWeight,
+    ) -> Result<(), GraphError> {
+        if weight == 0 {
+            return Err(GraphError::ZeroWeight);
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u as u64 });
+        }
+        for endpoint in [u, v] {
+            if endpoint as usize >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: endpoint as u64,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        self.records += 1;
+        match &mut self.mode {
+            StreamMode::Count { degree } => {
+                degree[u as usize] += 1;
+                degree[v as usize] += 1;
+            }
+            StreamMode::Fill {
+                xadj,
+                cursor,
+                adjncy,
+                edge_weights,
+            } => {
+                for (a, b) in [(u, v), (v, u)] {
+                    let slot = cursor[a as usize];
+                    if slot >= xadj[a as usize + 1] {
+                        return Err(GraphError::StreamMismatch {
+                            counted: xadj[a as usize + 1] - xadj[a as usize],
+                            emitted: slot + 1 - xadj[a as usize],
+                        });
+                    }
+                    adjncy[slot] = b;
+                    edge_weights[slot] = weight;
+                    cursor[a as usize] = slot + 1;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +467,71 @@ mod tests {
         assert_eq!(b.num_edge_records(), 2);
         let g = b.build();
         assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn stream_matches_edge_list_build() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 0), (3, 1), (0, 3), (1, 0)];
+        let mut b = GraphBuilder::new(4);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let via_list = b.build();
+        let via_stream = GraphBuilder::stream(4, |sink| {
+            for &(u, v) in &edges {
+                sink.edge(u, v)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(via_list, via_stream);
+        assert_eq!(via_stream.edge_weight(0, 1), Some(2));
+    }
+
+    #[test]
+    fn stream_weighted_edges_merge() {
+        let g = GraphBuilder::stream(2, |sink| {
+            sink.weighted_edge(0, 1, 3)?;
+            sink.weighted_edge(1, 0, 4)
+        })
+        .unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn stream_empty() {
+        let g = GraphBuilder::stream(3, |_| Ok(())).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn stream_rejects_bad_edges() {
+        assert!(matches!(
+            GraphBuilder::stream(3, |sink| sink.edge(1, 1)),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(GraphBuilder::stream(3, |sink| sink.edge(0, 3)).is_err());
+        assert_eq!(
+            GraphBuilder::stream(3, |sink| sink.weighted_edge(0, 1, 0)),
+            Err(GraphError::ZeroWeight)
+        );
+    }
+
+    #[test]
+    fn stream_detects_mismatched_passes() {
+        let mut pass = 0;
+        let err = GraphBuilder::stream(4, |sink| {
+            pass += 1;
+            sink.edge(0, 1)?;
+            if pass > 1 {
+                sink.edge(2, 3)?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, GraphError::StreamMismatch { .. }));
     }
 
     #[test]

@@ -1,5 +1,62 @@
 use crate::{EdgeWeight, GraphError, VertexId, VertexWeight};
 
+/// The CSR offset array, stored as `u32` when every offset fits (the
+/// common case: graphs with fewer than 2^32 directed adjacency entries)
+/// and widened to `usize` otherwise. At 10^6 vertices the narrow form
+/// halves the offset footprint, which keeps more of the adjacency
+/// structure resident in cache during refinement sweeps.
+///
+/// Equality is by offset *values*, not representation, so a narrow and a
+/// wide array describing the same graph compare equal.
+#[derive(Debug, Clone)]
+pub(crate) enum Offsets {
+    /// Offsets that fit in `u32`.
+    Narrow(Vec<u32>),
+    /// Fallback for graphs with 2^32 or more directed entries.
+    Wide(Vec<usize>),
+}
+
+impl Offsets {
+    /// Chooses the narrow representation when the final (largest) offset
+    /// fits in `u32`.
+    pub(crate) fn from_wide(xadj: Vec<usize>) -> Offsets {
+        match xadj.last() {
+            Some(&last) if last <= u32::MAX as usize => {
+                Offsets::Narrow(xadj.into_iter().map(|x| x as u32).collect())
+            }
+            _ => Offsets::Wide(xadj),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> usize {
+        match self {
+            Offsets::Narrow(v) => v[i] as usize,
+            Offsets::Wide(v) => v[i],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Offsets::Narrow(v) => v.len(),
+            Offsets::Wide(v) => v.len(),
+        }
+    }
+
+    pub(crate) fn is_narrow(&self) -> bool {
+        matches!(self, Offsets::Narrow(_))
+    }
+}
+
+impl PartialEq for Offsets {
+    fn eq(&self, other: &Offsets) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.get(i) == other.get(i))
+    }
+}
+
+impl Eq for Offsets {}
+
 /// An immutable undirected graph in compressed sparse row (CSR) form.
 ///
 /// Vertices are `0..num_vertices() as VertexId`. Each undirected edge is
@@ -24,7 +81,7 @@ use crate::{EdgeWeight, GraphError, VertexId, VertexWeight};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
-    xadj: Vec<usize>,
+    xadj: Offsets,
     adjncy: Vec<VertexId>,
     edge_weights: Vec<EdgeWeight>,
     vertex_weights: Vec<VertexWeight>,
@@ -56,7 +113,7 @@ impl Graph {
     /// A graph with `num_vertices` vertices and no edges.
     pub fn empty(num_vertices: usize) -> Graph {
         Graph {
-            xadj: vec![0; num_vertices + 1],
+            xadj: Offsets::Narrow(vec![0; num_vertices + 1]),
             adjncy: Vec::new(),
             edge_weights: Vec::new(),
             vertex_weights: vec![1; num_vertices],
@@ -68,7 +125,8 @@ impl Graph {
 
     /// Internal constructor from finished CSR arrays. `adjncy[xadj[v]..
     /// xadj[v+1]]` must be sorted and self-loop free, with each edge
-    /// mirrored. Checked by `debug_assert` only.
+    /// mirrored. Checked by `debug_assert` only. Offsets are compacted
+    /// to `u32` when they fit.
     pub(crate) fn from_csr(
         xadj: Vec<usize>,
         adjncy: Vec<VertexId>,
@@ -82,7 +140,7 @@ impl Graph {
         let total_edge_weight = edge_weights.iter().sum::<EdgeWeight>() / 2;
         let total_vertex_weight = vertex_weights.iter().sum();
         let g = Graph {
-            xadj,
+            xadj: Offsets::from_wide(xadj),
             adjncy,
             edge_weights,
             vertex_weights,
@@ -119,10 +177,24 @@ impl Graph {
         true
     }
 
+    /// The half-open range of adjacency indices belonging to vertex `v`.
+    #[inline]
+    fn span(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.xadj.get(v), self.xadj.get(v + 1))
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.xadj.len() - 1
+    }
+
+    /// Whether the CSR offset array is stored in its compact `u32` form
+    /// (true whenever the directed adjacency length fits in `u32`; the
+    /// wide `usize` fallback covers the rest).
+    pub fn uses_compact_offsets(&self) -> bool {
+        self.xadj.is_narrow()
     }
 
     /// Number of distinct undirected edges (multiplicities not counted;
@@ -154,8 +226,8 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        let v = v as usize;
-        self.xadj[v + 1] - self.xadj[v]
+        let (lo, hi) = self.span(v);
+        hi - lo
     }
 
     /// Sum of the weights of edges incident to `v` (the degree in the
@@ -165,10 +237,8 @@ impl Graph {
     ///
     /// Panics if `v` is out of range.
     pub fn weighted_degree(&self, v: VertexId) -> EdgeWeight {
-        let v = v as usize;
-        self.edge_weights[self.xadj[v]..self.xadj[v + 1]]
-            .iter()
-            .sum()
+        let (lo, hi) = self.span(v);
+        self.edge_weights[lo..hi].iter().sum()
     }
 
     /// The weight of vertex `v` (`1` for uncontracted graphs).
@@ -188,8 +258,8 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        let v = v as usize;
-        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+        let (lo, hi) = self.span(v);
+        &self.adjncy[lo..hi]
     }
 
     /// Edge weights parallel to [`neighbors`](Graph::neighbors).
@@ -199,8 +269,8 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbor_weights(&self, v: VertexId) -> &[EdgeWeight] {
-        let v = v as usize;
-        &self.edge_weights[self.xadj[v]..self.xadj[v + 1]]
+        let (lo, hi) = self.span(v);
+        &self.edge_weights[lo..hi]
     }
 
     /// Iterates over `(neighbor, edge_weight)` pairs of `v` in neighbor
@@ -210,10 +280,10 @@ impl Graph {
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors_weighted(&self, v: VertexId) -> NeighborIter<'_> {
-        let v = v as usize;
+        let (lo, hi) = self.span(v);
         NeighborIter {
-            adjncy: self.adjncy[self.xadj[v]..self.xadj[v + 1]].iter(),
-            weights: self.edge_weights[self.xadj[v]..self.xadj[v + 1]].iter(),
+            adjncy: self.adjncy[lo..hi].iter(),
+            weights: self.edge_weights[lo..hi].iter(),
         }
     }
 
@@ -232,7 +302,7 @@ impl Graph {
     ///
     /// Panics if `u` is out of range.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<EdgeWeight> {
-        let base = self.xadj[u as usize];
+        let base = self.xadj.get(u as usize);
         self.neighbors(u)
             .binary_search(&v)
             .ok()
@@ -319,11 +389,10 @@ impl Iterator for EdgeIter<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         let g = self.graph;
         while self.u < g.num_vertices() {
-            if self.idx >= g.xadj[self.u + 1] {
+            if self.idx >= g.xadj.get(self.u + 1) {
                 self.u += 1;
-                self.idx = g.xadj.get(self.u).copied().unwrap_or(usize::MAX);
                 if self.u < g.num_vertices() {
-                    self.idx = g.xadj[self.u];
+                    self.idx = g.xadj.get(self.u);
                 }
                 continue;
             }
@@ -470,5 +539,27 @@ mod tests {
         let g = path4();
         let vs: Vec<_> = g.vertices().collect();
         assert_eq!(vs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn small_graphs_use_compact_offsets() {
+        assert!(path4().uses_compact_offsets());
+        assert!(Graph::empty(3).uses_compact_offsets());
+    }
+
+    #[test]
+    fn offsets_widen_when_out_of_u32_range() {
+        let wide = Offsets::from_wide(vec![0, u32::MAX as usize + 1]);
+        assert!(!wide.is_narrow());
+        assert_eq!(wide.get(1), u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn offsets_compare_by_value_across_representations() {
+        let narrow = Offsets::from_wide(vec![0, 2, 4]);
+        let wide = Offsets::Wide(vec![0, 2, 4]);
+        assert!(narrow.is_narrow());
+        assert_eq!(narrow, wide);
+        assert_ne!(narrow, Offsets::Wide(vec![0, 2, 5]));
     }
 }

@@ -25,6 +25,14 @@ pub enum GraphError {
         /// The repeated vertex id.
         vertex: u64,
     },
+    /// The two passes of a streaming build emitted different edge
+    /// sequences (see `GraphBuilder::stream`).
+    StreamMismatch {
+        /// Edge records emitted by the counting pass.
+        counted: usize,
+        /// Edge records emitted by the filling pass.
+        emitted: usize,
+    },
     /// A parse error with a line number, for the readers in [`crate::io`].
     Parse {
         /// 1-based line number of the malformed input.
@@ -53,6 +61,10 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateVertex { vertex } => {
                 write!(f, "duplicate vertex {vertex}")
             }
+            GraphError::StreamMismatch { counted, emitted } => write!(
+                f,
+                "streaming build passes disagree: counted {counted} edge records, emitted {emitted}"
+            ),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

@@ -12,6 +12,8 @@
 //!   matching" used by the compaction heuristic) and heavy-edge matchings.
 //! * [`contraction`] — edge contraction / coarsening with projection maps,
 //!   the other half of the compaction heuristic.
+//! * [`reorder`] — cache-conscious vertex relabelings (BFS and degree
+//!   order) for million-vertex instances.
 //! * [`traversal`] — BFS/DFS, connected components, bipartiteness.
 //! * [`union_find`] — disjoint sets, used by contraction and components.
 //! * [`io`] — METIS `.graph` and plain edge-list readers/writers.
@@ -46,12 +48,13 @@ pub mod contraction;
 pub mod hypergraph;
 pub mod io;
 pub mod matching;
+pub mod reorder;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
 pub mod union_find;
 
-pub use builder::GraphBuilder;
+pub use builder::{EdgeStream, GraphBuilder};
 pub use csr::{EdgeIter, Graph, NeighborIter};
 pub use error::GraphError;
 

@@ -57,13 +57,26 @@ pub fn induced_subgraph(
 /// vertex lists themselves are always valid selections.
 pub fn split_components(g: &Graph) -> Result<Vec<(Graph, Vec<VertexId>)>, GraphError> {
     let (labels, count) = crate::traversal::connected_components(g);
-    let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); count];
+    // Two-pass counting sort into one flat array: count each group,
+    // prefix-sum into offsets, then place vertices. Ascending vertex
+    // order within each group is preserved, and there are no per-group
+    // Vec allocations.
+    let mut offsets = vec![0usize; count + 1];
     for v in g.vertices() {
-        groups[labels[v as usize] as usize].push(v);
+        offsets[labels[v as usize] as usize + 1] += 1;
     }
-    groups
-        .into_iter()
-        .map(|vs| induced_subgraph(g, &vs))
+    for c in 0..count {
+        offsets[c + 1] += offsets[c];
+    }
+    let mut flat = vec![0 as VertexId; g.num_vertices()];
+    let mut cursor = offsets.clone();
+    for v in g.vertices() {
+        let c = labels[v as usize] as usize;
+        flat[cursor[c]] = v;
+        cursor[c] += 1;
+    }
+    (0..count)
+        .map(|c| induced_subgraph(g, &flat[offsets[c]..offsets[c + 1]]))
         .collect()
 }
 

@@ -4,12 +4,28 @@
 use bisect_core::bisector::{Bisector, Refiner};
 use bisect_core::fm::FiducciaMattheyses;
 use bisect_core::kl::KernighanLin;
+use bisect_core::par_fm::ParallelFm;
 use bisect_core::partition::{rebalance, Bisection, Side};
+use bisect_core::sa::SimulatedAnnealing;
 use bisect_core::seed;
 use bisect_gen::rng::LaggedFibonacci;
+use bisect_graph::reorder::Reordering;
 use bisect_graph::{contraction, io, matching, Graph, GraphBuilder, VertexId};
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+
+/// A uniform random permutation of `0..n` (Fisher-Yates over the
+/// deterministic generator, so the permutation is part of the test's
+/// reproducible seed space).
+fn permutation_from_seed(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut rng = LaggedFibonacci::seed_from_u64(seed);
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
 
 /// Strategy: a random simple graph as (n, edge list).
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -275,6 +291,113 @@ proptest! {
         // Figure 2's exhaustive scan on every pass.
         prop_assert_eq!(incremental.1, reference.1, "pass counts differ");
         prop_assert_eq!(incremental.0, reference.0);
+    }
+
+    #[test]
+    fn permutation_preserves_structure_and_cuts(
+        g in arb_weighted_graph(20),
+        perm_seed in 0u64..1000,
+        part_seed in 0u64..1000,
+    ) {
+        let n = g.num_vertices();
+        let perm = permutation_from_seed(n, perm_seed);
+        let r = Reordering::from_new_to_old(perm).unwrap();
+        let h = r.apply(&g);
+        // Degree sequence and weights survive relabeling vertex by
+        // vertex, not merely in aggregate.
+        for old in 0..n as VertexId {
+            let new = r.to_new(old);
+            prop_assert_eq!(g.degree(old), h.degree(new));
+            prop_assert_eq!(g.vertex_weight(old), h.vertex_weight(new));
+        }
+        prop_assert_eq!(g.total_vertex_weight(), h.total_vertex_weight());
+        // Any partition keeps its cut weight under the relabeling.
+        let mut rng = LaggedFibonacci::seed_from_u64(part_seed);
+        let p = seed::weight_balanced_random(&g, &mut rng);
+        let q = Bisection::from_sides(&h, r.to_new_sides(p.sides())).unwrap();
+        prop_assert_eq!(p.cut(), q.cut());
+        // And the inverse mapping is exact: new sides -> old sides ->
+        // new sides is the identity.
+        let back = r.to_new_sides(&r.to_old_sides(q.sides()));
+        prop_assert_eq!(back, q.sides().to_vec());
+    }
+
+    #[test]
+    fn serial_bisections_map_back_exactly_through_permutations(
+        g in arb_graph(20),
+        perm_seed in 0u64..200,
+        seed in 0u64..200,
+    ) {
+        // Bisect the *relabeled* graph with the pinned serial
+        // algorithms, map the result back through the inverse
+        // permutation, and re-verify the cut on the original graph:
+        // the exact check the huge pipeline performs after BFS
+        // reordering.
+        let r = Reordering::from_new_to_old(
+            permutation_from_seed(g.num_vertices(), perm_seed),
+        ).unwrap();
+        let h = r.apply(&g);
+        let algos: Vec<Box<dyn Bisector>> = vec![
+            Box::new(KernighanLin::new()),
+            Box::new(SimulatedAnnealing::quick()),
+        ];
+        for algo in algos {
+            let mut rng = LaggedFibonacci::seed_from_u64(seed);
+            let p = algo.bisect(&h, &mut rng);
+            let q = Bisection::from_sides(&g, r.to_old_sides(p.sides())).unwrap();
+            prop_assert_eq!(p.cut(), q.cut(), "{} cut changed under inverse mapping", algo.name());
+            prop_assert_eq!(q.cut(), q.recompute_cut(&g));
+        }
+    }
+
+    #[test]
+    fn streamed_build_is_identical_to_edge_list_build(
+        n in 2usize..24,
+        edges in proptest::collection::vec((0u32..24, 0u32..24, 1u64..=4), 0..60),
+    ) {
+        // Same edge multiset (duplicates merge, order arbitrary)
+        // through both construction paths.
+        let edges: Vec<(u32, u32, u64)> = edges
+            .into_iter()
+            .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+            .filter(|(u, v, _)| u != v)
+            .collect();
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in &edges {
+            b.add_weighted_edge(u, v, w).unwrap();
+        }
+        let listed = b.build();
+        let streamed = GraphBuilder::stream(n, |sink| {
+            for &(u, v, w) in &edges {
+                sink.weighted_edge(u, v, w)?;
+            }
+            Ok(())
+        }).unwrap();
+        // Equality is element-wise over the CSR arrays (offsets,
+        // adjacency, weights), i.e. the builds are indistinguishable.
+        prop_assert_eq!(&listed, &streamed);
+        for v in 0..n as VertexId {
+            prop_assert_eq!(listed.neighbors(v), streamed.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn parallel_fm_refine_is_monotone_balanced_and_thread_deterministic(
+        g in arb_graph(24),
+        seed in 0u64..200,
+    ) {
+        let mut rng = LaggedFibonacci::seed_from_u64(seed);
+        let init = seed::random_balanced(&g, &mut rng);
+        let before = init.cut();
+        let pfm = ParallelFm::new().with_threads(4);
+        let refined = pfm.refine(&g, init.clone(), &mut rng);
+        prop_assert!(refined.cut() <= before);
+        prop_assert!(refined.is_balanced(&g));
+        prop_assert_eq!(refined.cut(), refined.recompute_cut(&g));
+        // Deterministic at a fixed thread count: a second run from the
+        // same start produces the identical partition.
+        let again = pfm.refine(&g, init, &mut rng);
+        prop_assert_eq!(refined.sides(), again.sides());
     }
 
     #[test]
