@@ -66,6 +66,10 @@ fn run(options: &Options) -> Result<(), BenchError> {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
+        let (peak_rss_bytes, rss_note) = experiments::huge::peak_rss();
+        if let Some(note) = rss_note {
+            println!("note: peak RSS unavailable ({note}); recording 0");
+        }
         let report = BenchReport {
             profile: options.profile.scale.name().to_string(),
             seed: options.profile.seed,
@@ -74,7 +78,7 @@ fn run(options: &Options) -> Result<(), BenchError> {
             threads,
             wall_time_s: wall.elapsed().as_secs_f64(),
             timestamp,
-            peak_rss_bytes: experiments::huge::peak_rss_bytes(),
+            peak_rss_bytes,
             records,
         };
         // Append to any existing trajectory rather than clobbering it,

@@ -11,6 +11,13 @@
 //! Trajectory files (arrays of reports) compare their latest entry.
 //! Improvements are listed but do not fail; refresh the baseline when
 //! they are intentional.
+//!
+//! Wall-time growth is reported but never fails the check: a `WARN`
+//! line appears when the current trajectory's latest run is more than
+//! 25% slower than the previous entry, or when a record's
+//! `total_time_s` grew more than 25% over the baseline. Timing depends
+//! on the machine, so these are advisory — only cuts gate the exit
+//! code.
 
 use std::process::ExitCode;
 
@@ -69,19 +76,56 @@ fn parse_args() -> Result<Option<Args>, BenchError> {
     }))
 }
 
-/// Loads the *latest* report at `path`: trajectory files compare their
-/// most recent run, legacy single-report files compare themselves.
-fn load(path: &std::path::Path) -> Result<BenchReport, BenchError> {
+/// Fractional wall-time growth that triggers an advisory `WARN` line.
+const TIME_WARN_FRAC: f64 = 0.25;
+
+/// Loads the full trajectory at `path`: an array of reports, or a
+/// legacy single-report file wrapped as a one-entry trajectory.
+fn load(path: &std::path::Path) -> Result<Vec<BenchReport>, BenchError> {
     let runs = json::parse_trajectory(&std::fs::read_to_string(path)?)?;
-    runs.into_iter()
-        .next_back()
-        .ok_or_else(|| BenchError::MalformedReport(format!("{}: empty trajectory", path.display())))
+    if runs.is_empty() {
+        return Err(BenchError::MalformedReport(format!(
+            "{}: empty trajectory",
+            path.display()
+        )));
+    }
+    Ok(runs)
+}
+
+/// Prints advisory wall-time warnings: latest-vs-previous entry of the
+/// current trajectory, plus per-record growth against the baseline.
+/// Never affects the exit code.
+fn warn_on_time(trajectory: &[BenchReport], baseline: &BenchReport) {
+    if let [.., prev, latest] = trajectory {
+        if prev.wall_time_s > 0.0 && latest.wall_time_s > prev.wall_time_s * (1.0 + TIME_WARN_FRAC)
+        {
+            println!(
+                "WARN: wall time grew {:.3}s -> {:.3}s (+{:.0}%) vs previous trajectory entry \
+                 (advisory only; timing does not gate the check)",
+                prev.wall_time_s,
+                latest.wall_time_s,
+                (latest.wall_time_s / prev.wall_time_s - 1.0) * 100.0
+            );
+        }
+    }
+    let latest = trajectory
+        .last()
+        .expect("load() rejects empty trajectories");
+    for w in check::time_warnings(latest, baseline, TIME_WARN_FRAC) {
+        println!("WARN: slower: {w} (advisory only)");
+    }
 }
 
 fn run(args: &Args) -> Result<bool, BenchError> {
-    let current = load(&args.current)?;
-    let baseline = load(&args.baseline)?;
-    let result = check::compare(&current, &baseline, args.tolerance)?;
+    let trajectory = load(&args.current)?;
+    let current = trajectory
+        .last()
+        .expect("load() rejects empty trajectories");
+    let baseline_runs = load(&args.baseline)?;
+    let baseline = baseline_runs
+        .last()
+        .expect("load() rejects empty trajectories");
+    let result = check::compare(current, baseline, args.tolerance)?;
     println!(
         "compared {} records (profile {}, tolerance {})",
         result.compared, baseline.profile, args.tolerance
@@ -95,6 +139,7 @@ fn run(args: &Args) -> Result<bool, BenchError> {
     for d in &result.regressions {
         println!("REGRESSION: {d}");
     }
+    warn_on_time(&trajectory, baseline);
     if result.is_ok() {
         println!("OK: no cut regressions");
     }

@@ -68,6 +68,65 @@ fn key(r: &BenchRecord) -> (&str, &str, &str) {
     (&r.experiment, &r.setting, &r.algorithm)
 }
 
+/// One wall-time growth observation between two reports.
+///
+/// Produced by [`time_warnings`]; advisory only — timing depends on the
+/// machine and its load, so these never gate CI the way cut deltas do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWarning {
+    /// Experiment id of the record.
+    pub experiment: String,
+    /// Setting label of the record.
+    pub setting: String,
+    /// Algorithm column (`SA`, `CSA`, `KL`, `CKL`).
+    pub algorithm: String,
+    /// Wall time of the baseline record, in seconds.
+    pub baseline_s: f64,
+    /// Wall time of the current record, in seconds.
+    pub current_s: f64,
+}
+
+impl fmt::Display for TimeWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = (self.current_s / self.baseline_s - 1.0) * 100.0;
+        write!(
+            f,
+            "{}/{} {}: {:.3}s -> {:.3}s (+{:.0}%)",
+            self.experiment, self.setting, self.algorithm, self.baseline_s, self.current_s, pct
+        )
+    }
+}
+
+/// Flags records whose `total_time_s` grew by more than `frac`
+/// (e.g. `0.25` for 25%) relative to `baseline`.
+///
+/// Unlike [`compare`] this is purely advisory: wall time varies with
+/// the machine, so the caller should print the warnings and move on
+/// rather than fail. Records missing from either side, and baseline
+/// records with non-positive time (legacy reports predating timing
+/// columns parse as 0), are skipped silently.
+pub fn time_warnings(current: &BenchReport, baseline: &BenchReport, frac: f64) -> Vec<TimeWarning> {
+    let mut out = Vec::new();
+    for b in &baseline.records {
+        if b.total_time_s <= 0.0 {
+            continue;
+        }
+        let Some(c) = current.records.iter().find(|c| key(c) == key(b)) else {
+            continue;
+        };
+        if c.total_time_s > b.total_time_s * (1.0 + frac) {
+            out.push(TimeWarning {
+                experiment: b.experiment.clone(),
+                setting: b.setting.clone(),
+                algorithm: b.algorithm.clone(),
+                baseline_s: b.total_time_s,
+                current_s: c.total_time_s,
+            });
+        }
+    }
+    out
+}
+
 /// Compares `current` against `baseline` on mean cuts.
 ///
 /// Records are matched by `(experiment, setting, algorithm)`; extra
@@ -134,6 +193,7 @@ mod tests {
             mean_passes: 3.0,
             proposals: 0.0,
             proposals_per_sec: 0.0,
+            refine_time_s: 0.0,
             graphs: 3,
         }
     }
@@ -214,6 +274,31 @@ mod tests {
         .unwrap();
         assert!(c.is_ok());
         assert_eq!(c.compared, 1);
+    }
+
+    #[test]
+    fn time_warnings_flag_only_growth_beyond_the_fraction() {
+        let mut slow = record("500", "CKL", 16.0);
+        slow.total_time_s = 0.2; // 2x the baseline 0.1
+        let mut mild = record("500", "CSA", 18.0);
+        mild.total_time_s = 0.11; // +10%, under the 25% bar
+        let baseline = report(vec![record("500", "CKL", 16.0), record("500", "CSA", 18.0)]);
+        let current = report(vec![slow, mild]);
+        let w = time_warnings(&current, &baseline, 0.25);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].algorithm, "CKL");
+        assert!(w[0].to_string().contains("+100%"), "got {}", w[0]);
+    }
+
+    #[test]
+    fn time_warnings_skip_legacy_and_missing_records() {
+        // Legacy baselines parse timing as 0; a zero baseline would make
+        // any current time an infinite regression, so it is skipped.
+        let mut legacy = record("500", "CKL", 16.0);
+        legacy.total_time_s = 0.0;
+        let baseline = report(vec![legacy, record("900", "CKL", 30.0)]);
+        let current = report(vec![record("500", "CKL", 16.0)]);
+        assert!(time_warnings(&current, &baseline, 0.25).is_empty());
     }
 
     #[test]

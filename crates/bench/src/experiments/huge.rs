@@ -13,13 +13,18 @@
 //! 3. **parallel multilevel bisection** —
 //!    [`ParallelMatching`](bisect_core::pipeline::ParallelMatching)
 //!    (heavy-edge) coarsening, a weight-balanced random start plus
-//!    serial hill-crossing FM on the coarsest graph, and
-//!    [`ParallelFm`](bisect_core::par_fm::ParallelFm) refinement at
-//!    every finer level on the way back up;
+//!    serial hill-crossing FM on the coarsest graph, then
+//!    *boundary-localized* uncoarsening: the workspace
+//!    [`GainCache`](bisect_core::gain_cache::GainCache) is built once
+//!    at the coarsest level and **projected** through every
+//!    contraction on the way back up, where boundary-seeded
+//!    [`ParallelFm`](bisect_core::par_fm::ParallelFm) rounds refine
+//!    only the tracked cut boundary instead of sweeping all vertices;
 //! 4. **inverse mapping** back to the original vertex labels, with the
 //!    cut re-verified on the untouched input graph.
 //!
-//! Reported per instance: cut, wall time, refinement rounds, gain
+//! Reported per instance: cut, wall time, refinement-phase wall time
+//! (initial partition through final polish), refinement rounds, gain
 //! evaluations per second, and the process peak RSS so far. Results are
 //! deterministic at a fixed thread count (see the `ParallelFm`
 //! determinism contract); they are not part of the golden-pinned paper
@@ -28,9 +33,9 @@
 use std::time::Instant;
 
 use bisect_core::bisector::Refiner;
-use bisect_core::fm::FiducciaMattheyses;
+use bisect_core::fm::BoundaryFm;
 use bisect_core::par_fm::ParallelFm;
-use bisect_core::partition::{rebalance, Bisection};
+use bisect_core::partition::{rebalance_with_cache, Bisection};
 use bisect_core::pipeline::{CoarsenScheme, ParallelMatching};
 use bisect_core::seed;
 use bisect_core::workspace::Workspace;
@@ -70,7 +75,7 @@ pub fn run(profile: &Profile) -> Result<ExperimentResult, BenchError> {
     let mut table = Table::new(
         format!("Huge-instance feasibility: {n} vertices, {threads} threads"),
         [
-            "graph", "algo", "cut", "time", "rounds", "Mprop/s", "peak RSS",
+            "graph", "algo", "cut", "time", "refine", "rounds", "Mprop/s", "peak RSS",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -111,6 +116,7 @@ pub fn run(profile: &Profile) -> Result<ExperimentResult, BenchError> {
             "PFM".into(),
             fmt_cut(outcome.cut as f64),
             fmt_duration(elapsed),
+            format!("{:.0}ms", outcome.refine_time_s * 1000.0),
             outcome.rounds.to_string(),
             format!("{:.2}", proposals_per_sec / 1.0e6),
             fmt_bytes(peak_rss_bytes()),
@@ -124,6 +130,7 @@ pub fn run(profile: &Profile) -> Result<ExperimentResult, BenchError> {
             mean_passes: outcome.rounds as f64,
             proposals: outcome.proposals as f64,
             proposals_per_sec,
+            refine_time_s: outcome.refine_time_s,
             graphs: 1,
         });
     }
@@ -141,6 +148,10 @@ struct HugeOutcome {
     cut: u64,
     rounds: u64,
     proposals: u64,
+    /// Wall time of the refinement phase alone: from the initial
+    /// coarsest-graph partition through the final polish, excluding
+    /// generation, reordering, and ladder construction.
+    refine_time_s: f64,
 }
 
 /// BFS reorder → parallel multilevel V-cycle → map back. The returned
@@ -151,7 +162,9 @@ fn bisect_huge(g: &Graph, seed: u64, threads: usize) -> HugeOutcome {
     let gr = order.apply(g);
 
     let scheme = ParallelMatching::new().with_threads(threads);
-    let pfm = ParallelFm::new().with_threads(threads);
+    let pfm = ParallelFm::new()
+        .with_threads(threads)
+        .with_boundary_seeds();
     let mut rng = LaggedFibonacci::seed_from_u64(seed);
     let mut ws = Workspace::new();
     let _ = ws.take_proposals();
@@ -178,30 +191,48 @@ fn bisect_huge(g: &Graph, seed: u64, threads: usize) -> HugeOutcome {
     // the basin every finer level refines within, so it gets the
     // serial Fiduccia-Mattheyses refiner — whose pass mechanics cross
     // gain hills — rather than the strictly greedy parallel one.
+    let refine_begin = Instant::now();
     let coarsest = current_graph(&gr, &ladder);
     let p = seed::weight_balanced_random(coarsest, &mut rng);
     let mut rounds = 0u64;
     let mut dummy = LaggedFibonacci::seed_from_u64(0);
-    let fm = FiducciaMattheyses::new();
+    let fm = BoundaryFm::new();
     let (refined, r) = fm.refine_counted(coarsest, p, &mut dummy, &mut ws);
     rounds += r;
-    let mut sides = refined.sides().to_vec();
+
+    // Uncoarsen under the projected-cache protocol: the coarsest-level
+    // BoundaryFm left `ws.gain_cache` exact for `refined`, and from
+    // here it is *projected* through every contraction on the way up —
+    // no level pays the O(V + E) cache rebuild, cut bookkeeping rides
+    // the projection (projection preserves the cut exactly), and each
+    // level's boundary-seeded ParallelFm rounds touch only the cut
+    // boundary instead of the whole vertex range.
+    let mut current = refined;
     for i in (0..ladder.len()).rev() {
-        sides = ladder[i].project_sides(&sides);
+        let sides = ladder[i].project_sides(current.sides());
         let level: &Graph = if i == 0 { &gr } else { ladder[i - 1].coarse() };
-        let projected =
-            Bisection::from_sides(level, sides).expect("projected sides match level size");
-        let (refined, r) = pfm.refine_counted(level, projected, &mut dummy, &mut ws);
+        let projected = Bisection::from_sides_with_cut(level, sides, current.cut())
+            .expect("projected sides match level size");
+        ws.project_gain_cache(level, &projected, ladder[i].fine_to_coarse());
+        let (refined, r) = pfm.refine_projected_counted(level, projected, &mut dummy, &mut ws);
         rounds += r;
-        sides = refined.sides().to_vec();
+        current = refined;
     }
 
     // Restore exact unit balance on the finest graph and give local
-    // search one more shot from the rebalanced state.
-    let mut p = Bisection::from_sides(&gr, sides).expect("sides match reordered graph");
-    rebalance(&gr, &mut p);
-    let (refined, r) = pfm.refine_counted(&gr, p, &mut dummy, &mut ws);
+    // search one more shot from the rebalanced state. The cache is
+    // exact for `current`, so rebalancing rides its O(1) gains and
+    // keeps it exact for the boundary polish.
+    rebalance_with_cache(&gr, &mut current, ws.gain_cache_mut());
+    let (refined, r) = pfm.refine_projected_counted(&gr, current, &mut dummy, &mut ws);
     rounds += r;
+    // Quality backstop: one full-range sweep catches any interior
+    // cascade the boundary rounds deferred. From an already-converged
+    // state this typically terminates in a round or two.
+    let full = ParallelFm::new().with_threads(threads);
+    let (refined, r) = full.refine_counted(&gr, refined, &mut dummy, &mut ws);
+    rounds += r;
+    let refine_time_s = refine_begin.elapsed().as_secs_f64();
 
     // Map back to original labels and re-verify the cut there.
     let old_sides = order.to_old_sides(refined.sides());
@@ -215,6 +246,7 @@ fn bisect_huge(g: &Graph, seed: u64, threads: usize) -> HugeOutcome {
         cut: original.cut(),
         rounds,
         proposals: ws.take_proposals(),
+        refine_time_s,
     }
 }
 
@@ -226,8 +258,20 @@ fn current_graph<'a>(fine: &'a Graph, ladder: &'a [Contraction]) -> &'a Graph {
 /// The process's peak resident set size in bytes (`VmHWM` from
 /// `/proc/self/status`), or 0 where that interface does not exist.
 pub fn peak_rss_bytes() -> u64 {
+    peak_rss().0
+}
+
+/// As [`peak_rss_bytes`], with an explanation when the value degrades
+/// to 0: the field is still *recorded* (as 0) so the report schema
+/// stays uniform across platforms, and the note tells the reader (and
+/// the `repro` log) why it is 0 instead of silently looking like a
+/// measurement.
+pub fn peak_rss() -> (u64, Option<&'static str>) {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
+        return (
+            0,
+            Some("/proc/self/status unavailable on this platform; peak RSS recorded as 0"),
+        );
     };
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
@@ -237,10 +281,19 @@ pub fn peak_rss_bytes() -> u64 {
                 .trim()
                 .parse()
                 .unwrap_or(0);
-            return kb * 1024;
+            if kb == 0 {
+                return (
+                    0,
+                    Some("VmHWM in /proc/self/status did not parse; peak RSS recorded as 0"),
+                );
+            }
+            return (kb * 1024, None);
         }
     }
-    0
+    (
+        0,
+        Some("/proc/self/status has no VmHWM line; peak RSS recorded as 0"),
+    )
 }
 
 /// Formats a byte count as MiB for the table.

@@ -32,6 +32,11 @@ pub struct BenchRecord {
     /// Proposal throughput: `proposals / total_time_s` (0 when either
     /// is zero). Timing-bearing — ignored by the regression checker.
     pub proposals_per_sec: f64,
+    /// Wall time of the refinement phase alone in seconds (the `huge`
+    /// experiment's initial-partition-through-final-polish window); 0
+    /// for experiments that don't break out a refinement phase and in
+    /// records written before the field existed.
+    pub refine_time_s: f64,
     /// Number of graphs averaged into this record.
     pub graphs: usize,
 }
@@ -59,6 +64,7 @@ pub(crate) fn quad_records(experiment: &str, setting: &str, avg: &QuadAverage) -
                 mean_passes: avg.passes[i],
                 proposals,
                 proposals_per_sec,
+                refine_time_s: 0.0,
                 graphs: avg.count,
             }
         })
@@ -123,6 +129,7 @@ impl BenchReport {
                 "\"proposals_per_sec\": {}, ",
                 number(r.proposals_per_sec)
             ));
+            out.push_str(&format!("\"refine_time_s\": {}, ", number(r.refine_time_s)));
             out.push_str(&format!("\"graphs\": {}", r.graphs));
             out.push('}');
         }
@@ -438,6 +445,7 @@ impl BenchReport {
                 mean_passes: rnum("mean_passes")?,
                 proposals: ropt("proposals")?,
                 proposals_per_sec: ropt("proposals_per_sec")?,
+                refine_time_s: ropt("refine_time_s")?,
                 graphs: rnum("graphs")? as usize,
             });
         }

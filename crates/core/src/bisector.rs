@@ -81,6 +81,33 @@ pub trait Refiner: Bisector {
         let _ = ws;
         (self.refine(g, init, rng), 0)
     }
+
+    /// Whether this refiner can consume a workspace gain cache that is
+    /// already exact for `(g, init)` — via
+    /// [`Refiner::refine_projected_counted`] — instead of rebuilding it
+    /// O(V + E) itself. Multilevel drivers use this to project the
+    /// cache through each uncoarsening step and skip the per-level
+    /// rebuild. Default `false`.
+    fn wants_projected_cache(&self) -> bool {
+        false
+    }
+
+    /// As [`Refiner::refine_counted`], under the *projected-cache
+    /// contract*: the caller guarantees `ws.gain_cache` is exact for
+    /// `(g, init)` on entry, and the implementation leaves it exact for
+    /// the bisection it returns. Only meaningful when
+    /// [`Refiner::wants_projected_cache`] is `true`; the default
+    /// delegates to `refine_counted` (which establishes its own cache
+    /// state and makes no exit guarantee).
+    fn refine_projected_counted(
+        &self,
+        g: &Graph,
+        init: Bisection,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        self.refine_counted(g, init, rng, ws)
+    }
 }
 
 /// Runs `bisector` from `starts` independent attempts and returns the

@@ -1,5 +1,6 @@
 //! Incrementally maintained per-vertex gains shared by the SA, KL and
-//! FM hot paths.
+//! FM hot paths, plus the incremental **boundary set** behind the
+//! boundary-localized refiners.
 //!
 //! The annealing inner loop (`sa.rs`) evaluates `sizefactor·|V|`
 //! proposals per temperature, and at useful temperatures most of them
@@ -10,20 +11,40 @@
 //! Fiduccia-Mattheyses maintained-gain discipline applied to annealing.
 //! KL and FM initialize their per-pass gain state from the same cache
 //! instead of rebuilding equivalent arrays locally.
+//!
+//! Alongside each gain the cache tracks the vertex's **external
+//! degree** (total weight of its cut edges) and maintains the set
+//! `{v : ext(v) > 0}` — the cut boundary — as moves land: a vertex
+//! enters or leaves the boundary in `O(deg)` exactly when its external
+//! degree crosses zero. [`crate::fm::BoundaryFm`] and the
+//! boundary-seeded [`crate::par_fm::ParallelFm`] mode seed their passes
+//! from this set instead of scanning every vertex, and
+//! [`GainCache::project`] maps the whole cache (gains, external
+//! degrees, boundary) through an uncoarsening step so multilevel
+//! pipelines never rebuild it `O(V + E)` per level.
 
 use bisect_graph::{Graph, VertexId};
 
 use crate::partition::{Bisection, Side};
 
-/// Per-vertex gain cache with per-side member index arrays.
+/// Per-vertex gain cache with per-side member index arrays and an
+/// incrementally maintained boundary set.
 ///
-/// Invariants, established by [`GainCache::init`] and maintained by
-/// [`GainCache::record_move`] (void after [`GainCache::gains_mut`]
-/// hands the arena to a caller, until the next `init`):
+/// Invariants, established by [`GainCache::init`] (or
+/// [`GainCache::project`]) and maintained by [`GainCache::record_move`]
+/// (void after [`GainCache::gains_mut`] hands the arena to a caller,
+/// until the next `init`):
 ///
 /// * `gain(v) == p.gain(g, v)` for every vertex — gains are *exact*
 ///   integers, never approximations, so cached and recomputed proposal
 ///   evaluation produce bit-identical accept decisions.
+/// * `ext(v)` = total weight of `v`'s cut edges, so
+///   `gain(v) == ext(v) − (weighted_degree(v) − ext(v))`.
+/// * `boundary()` holds exactly the vertices with `ext(v) > 0`, each
+///   once (order unspecified but a pure function of the move history).
+///   The `ext`/`boundary` pair (only) is additionally voided by
+///   [`GainCache::record_move_untracked`], the cheaper flavor for
+///   consumers that never read the boundary.
 /// * `members(s)` holds exactly side `s`'s vertices: ascending after
 ///   `init`, order unspecified (swap-remove) after moves.
 ///
@@ -34,10 +55,20 @@ pub struct GainCache {
     /// `gains[v]` = weight of v's cross edges − weight of v's internal
     /// edges, for the bisection the cache was initialized against.
     gains: Vec<i64>,
+    /// `ext[v]` = weight of v's cross edges (external degree).
+    ext: Vec<u64>,
     /// Vertex lists per side, indexed by [`Side::index`].
     members: [Vec<VertexId>; 2],
     /// `pos[v]` = index of `v` within its side's member list.
     pos: Vec<u32>,
+    /// The boundary vertices, each exactly once.
+    boundary: Vec<VertexId>,
+    /// `bpos[v]` = index of `v` within `boundary`; `u32::MAX` = not a
+    /// boundary vertex.
+    bpos: Vec<u32>,
+    /// Scratch for [`GainCache::project`]: the coarse boundary flags,
+    /// snapshotted before the arrays are rebuilt at the fine size.
+    coarse_boundary: Vec<bool>,
 }
 
 impl GainCache {
@@ -46,16 +77,116 @@ impl GainCache {
     pub fn init(&mut self, g: &Graph, p: &Bisection) {
         let n = g.num_vertices();
         self.gains.clear();
+        self.ext.clear();
         self.pos.clear();
         self.pos.resize(n, 0);
+        self.bpos.clear();
+        self.bpos.resize(n, u32::MAX);
+        self.boundary.clear();
         for side in &mut self.members {
             side.clear();
         }
+        let sides = p.sides();
         for v in g.vertices() {
-            self.gains.push(p.gain(g, v));
+            let sv = sides[v as usize];
+            let mut internal = 0i64;
+            let mut external = 0u64;
+            for (u, w) in g.neighbors_weighted(v) {
+                if sides[u as usize] == sv {
+                    internal += w as i64;
+                } else {
+                    external += w;
+                }
+            }
+            self.gains.push(external as i64 - internal);
+            self.ext.push(external);
+            if external > 0 {
+                self.bpos[v as usize] = self.boundary.len() as u32;
+                self.boundary.push(v);
+            }
             let side = &mut self.members[p.side(v).index()];
             self.pos[v as usize] = side.len() as u32;
             side.push(v);
+        }
+    }
+
+    /// Remaps the cache through one uncoarsening step, replacing the
+    /// `O(V + E)` rebuild with `O(V + deg(boundary region))`: interior
+    /// fine vertices are filled in `O(deg)` *sequential* reads (no
+    /// neighbor-side lookups), and only fine vertices whose coarse
+    /// image is on the coarse boundary pay the full adjacency walk.
+    ///
+    /// Correctness rests on boundary coverage: sides inherit through
+    /// contraction, so a cut fine edge maps to a cut (or contracted,
+    /// hence impossible) coarse edge — a fine vertex can only be on the
+    /// fine boundary if its coarse image is on the coarse boundary.
+    /// Interior images therefore have every fine neighbor on their own
+    /// side: `gain = −weighted_degree`, `ext = 0`, exactly.
+    ///
+    /// On entry the cache must be exact for the *coarse* partition that
+    /// `p` was projected from; `fine_to_coarse[v]` is that
+    /// contraction's vertex map
+    /// ([`bisect_graph::contraction::Contraction::fine_to_coarse`]) and
+    /// `p` must equal the side-projection of the coarse partition onto
+    /// `g`. On exit the cache is exact for `(g, p)`.
+    pub fn project(&mut self, g: &Graph, p: &Bisection, fine_to_coarse: &[VertexId]) {
+        let n = g.num_vertices();
+        debug_assert_eq!(n, fine_to_coarse.len(), "vertex map does not match graph");
+        // Snapshot the coarse boundary before the arrays below are
+        // rebuilt at the fine size.
+        let n_coarse = self.gains.len();
+        self.coarse_boundary.clear();
+        self.coarse_boundary.resize(n_coarse, false);
+        for &c in &self.boundary {
+            self.coarse_boundary[c as usize] = true;
+        }
+
+        self.gains.clear();
+        self.ext.clear();
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        self.bpos.clear();
+        self.bpos.resize(n, u32::MAX);
+        self.boundary.clear();
+        for side in &mut self.members {
+            side.clear();
+        }
+        let sides = p.sides();
+        for v in g.vertices() {
+            let vi = v as usize;
+            let (gain, external) = if self.coarse_boundary[fine_to_coarse[vi] as usize] {
+                let sv = sides[vi];
+                let mut internal = 0i64;
+                let mut external = 0u64;
+                for (u, w) in g.neighbors_weighted(v) {
+                    if sides[u as usize] == sv {
+                        internal += w as i64;
+                    } else {
+                        external += w;
+                    }
+                }
+                (external as i64 - internal, external)
+            } else {
+                (-(g.weighted_degree(v) as i64), 0)
+            };
+            self.gains.push(gain);
+            self.ext.push(external);
+            if external > 0 {
+                self.bpos[vi] = self.boundary.len() as u32;
+                self.boundary.push(v);
+            }
+            let side = &mut self.members[p.side(v).index()];
+            self.pos[vi] = side.len() as u32;
+            side.push(v);
+        }
+        #[cfg(debug_assertions)]
+        for v in g.vertices() {
+            debug_assert_eq!(
+                self.gains[v as usize],
+                p.gain(g, v),
+                "projected gain of {v} is stale — was `p` side-projected from \
+                 the partition this cache described?"
+            );
         }
     }
 
@@ -63,6 +194,37 @@ impl GainCache {
     #[inline]
     pub fn gain(&self, v: VertexId) -> i64 {
         self.gains[v as usize]
+    }
+
+    /// The cached external degree of `v`: the total weight of its cut
+    /// edges. Zero exactly when `v` is interior to its side.
+    #[inline]
+    pub fn ext(&self, v: VertexId) -> u64 {
+        self.ext[v as usize]
+    }
+
+    /// The current boundary vertices (`ext > 0`), each exactly once.
+    /// The order is unspecified but deterministic: a pure function of
+    /// the init state and the recorded move history.
+    #[inline]
+    pub fn boundary(&self) -> &[VertexId] {
+        &self.boundary
+    }
+
+    /// Whether `v` is currently a boundary vertex.
+    #[inline]
+    pub fn is_boundary(&self, v: VertexId) -> bool {
+        self.bpos[v as usize] != u32::MAX
+    }
+
+    /// The position of `v` within [`GainCache::boundary`], if `v` is a
+    /// boundary vertex — an O(1) membership-and-index lookup for
+    /// consumers that partition the boundary list (the boundary-seeded
+    /// parallel refiner chunks it by position).
+    #[inline]
+    pub fn boundary_index(&self, v: VertexId) -> Option<usize> {
+        let p = self.bpos[v as usize];
+        (p != u32::MAX).then_some(p as usize)
     }
 
     /// The cached pair gain `g_ab = g_a + g_b − 2δ(a, b)` for swapping
@@ -83,8 +245,8 @@ impl GainCache {
 
     /// Mutable access to the gain arena, for passes (KL) that evolve
     /// *virtual* gains as vertices lock. This transfers the arena to
-    /// the caller: cache invariants are void until the next
-    /// [`GainCache::init`].
+    /// the caller: cache invariants (gains, external degrees, boundary)
+    /// are void until the next [`GainCache::init`].
     #[inline]
     pub fn gains_mut(&mut self) -> &mut [i64] {
         &mut self.gains
@@ -97,34 +259,101 @@ impl GainCache {
         &self.members[s.index()]
     }
 
+    fn boundary_insert(&mut self, v: VertexId) {
+        debug_assert_eq!(self.bpos[v as usize], u32::MAX);
+        self.bpos[v as usize] = self.boundary.len() as u32;
+        self.boundary.push(v);
+    }
+
+    fn boundary_remove(&mut self, v: VertexId) {
+        let at = self.bpos[v as usize] as usize;
+        debug_assert_ne!(at as u32, u32::MAX);
+        let removed = self.boundary.swap_remove(at);
+        debug_assert_eq!(removed, v, "boundary list out of sync");
+        if let Some(&swapped_in) = self.boundary.get(at) {
+            self.bpos[swapped_in as usize] = at as u32;
+        }
+        self.bpos[v as usize] = u32::MAX;
+    }
+
     /// Updates the cache for `v` moving to the other side, in
     /// `O(degree(v))`. Must be called while `p` still shows `v` on its
     /// *old* side (i.e. before `Bisection::move_vertex*`); `g` and `p`
     /// must be the pair the cache was initialized against.
     pub fn record_move(&mut self, g: &Graph, p: &Bisection, v: VertexId) {
+        self.record_move_impl::<true>(g, p, v);
+    }
+
+    /// As [`GainCache::record_move`], but skips the external-degree and
+    /// boundary-set bookkeeping: gains and member lists stay exact,
+    /// `ext`/`boundary` are **void** until the next
+    /// [`init`](GainCache::init) or [`project`](GainCache::project).
+    ///
+    /// For consumers that never read the boundary — the SA proposal
+    /// loop records thousands of accepted moves per run and pays for
+    /// the skipped per-neighbor work measurably.
+    pub fn record_move_untracked(&mut self, g: &Graph, p: &Bisection, v: VertexId) {
+        self.record_move_impl::<false>(g, p, v);
+    }
+
+    /// Monomorphized body of the two `record_move` flavors: `TRACK`
+    /// compiles the boundary bookkeeping in or out.
+    fn record_move_impl<const TRACK: bool>(&mut self, g: &Graph, p: &Bisection, v: VertexId) {
         let old = p.side(v);
-        // v's external and internal edge sets trade places.
-        self.gains[v as usize] = -self.gains[v as usize];
+        let vi = v as usize;
+        // v's external and internal edge sets trade places, so its new
+        // external degree is its old internal one: ext − gain.
+        let new_ext_v = if TRACK {
+            (self.ext[vi] as i64 - self.gains[vi]) as u64
+        } else {
+            0
+        };
+        self.gains[vi] = -self.gains[vi];
         // Old-side neighbors lose an internal edge and get a cross
-        // edge (gain += 2w); new-side neighbors the reverse. Graphs
-        // are self-loop free (GraphError::SelfLoop), so u != v.
+        // edge (gain += 2w, ext += w); new-side neighbors the reverse.
+        // A neighbor enters or leaves the boundary exactly when its
+        // external degree crosses zero. Graphs are self-loop free
+        // (GraphError::SelfLoop), so u != v.
         for (u, w) in g.neighbors_weighted(v) {
-            let w = w as i64;
+            let ui = u as usize;
+            let wi = w as i64;
             if p.side(u) == old {
-                self.gains[u as usize] += 2 * w;
+                self.gains[ui] += 2 * wi;
+                if TRACK {
+                    if self.ext[ui] == 0 {
+                        self.boundary_insert(u);
+                    }
+                    self.ext[ui] += w;
+                }
             } else {
-                self.gains[u as usize] -= 2 * w;
+                self.gains[ui] -= 2 * wi;
+                if TRACK {
+                    self.ext[ui] -= w;
+                    if self.ext[ui] == 0 {
+                        self.boundary_remove(u);
+                    }
+                }
             }
+        }
+        if TRACK {
+            if new_ext_v > 0 {
+                if self.bpos[vi] == u32::MAX {
+                    self.boundary_insert(v);
+                }
+            } else if self.bpos[vi] != u32::MAX {
+                self.boundary_remove(v);
+            }
+            self.ext[vi] = new_ext_v;
         }
         let oi = old.index();
         let ni = old.other().index();
-        let at = self.pos[v as usize] as usize;
+        let at = self.pos[vi] as usize;
         let removed = self.members[oi].swap_remove(at);
         debug_assert_eq!(removed, v, "member list out of sync");
         if let Some(&swapped_in) = self.members[oi].get(at) {
             self.pos[swapped_in as usize] = at as u32;
         }
-        self.pos[v as usize] = self.members[ni].len() as u32;
+        self.pos[vi] = self.members[ni].len() as u32;
         self.members[ni].push(v);
     }
 }
@@ -143,10 +372,28 @@ mod tests {
         gnp::sample(&mut StdRng::seed_from_u64(seed), &params)
     }
 
+    /// Brute-force external degree: the weight of v's cut edges.
+    fn brute_ext(g: &Graph, p: &Bisection, v: VertexId) -> u64 {
+        g.neighbors_weighted(v)
+            .filter(|&(u, _)| p.side(u) != p.side(v))
+            .map(|(_, w)| w)
+            .sum()
+    }
+
     fn assert_cache_consistent(cache: &GainCache, g: &Graph, p: &Bisection) {
+        let mut boundary = Vec::new();
         for v in g.vertices() {
             assert_eq!(cache.gain(v), p.gain(g, v), "gain of {v}");
+            let ext = brute_ext(g, p, v);
+            assert_eq!(cache.ext(v), ext, "external degree of {v}");
+            assert_eq!(cache.is_boundary(v), ext > 0, "boundary flag of {v}");
+            if ext > 0 {
+                boundary.push(v);
+            }
         }
+        let mut cached: Vec<_> = cache.boundary().to_vec();
+        cached.sort_unstable();
+        assert_eq!(cached, boundary, "boundary set");
         for side in [Side::A, Side::B] {
             let members = cache.members(side);
             assert_eq!(members.len(), p.count(side), "member count of {side:?}");
@@ -184,6 +431,26 @@ mod tests {
     }
 
     #[test]
+    fn boundary_membership_is_exact_after_every_accepted_move() {
+        // The cross-check the boundary refiners rest on: after *each*
+        // recorded move the boundary set equals the brute-force
+        // external-degree scan, not just at the end of a sequence.
+        for (n, p_edge, seed) in [(40, 0.08, 2u64), (40, 0.2, 3), (61, 0.1, 4)] {
+            let g = random_gnp(n, p_edge, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB0);
+            let mut p = random_balanced(&g, &mut rng);
+            let mut cache = GainCache::default();
+            cache.init(&g, &p);
+            for _ in 0..80 {
+                let v = rng.gen_range(0..g.num_vertices()) as VertexId;
+                cache.record_move(&g, &p, v);
+                p.move_vertex(&g, v);
+                assert_cache_consistent(&cache, &g, &p);
+            }
+        }
+    }
+
+    #[test]
     fn record_move_tracks_swaps_and_cached_swap_gain_matches() {
         let g = random_gnp(48, 0.2, 9);
         let mut rng = StdRng::seed_from_u64(23);
@@ -216,5 +483,92 @@ mod tests {
         cache.init(&small, &p_small);
         assert_cache_consistent(&cache, &small, &p_small);
         assert_eq!(cache.gains().len(), 8);
+    }
+
+    #[test]
+    fn project_matches_fresh_init() {
+        use bisect_graph::{contraction, matching};
+        for seed in 0..8u64 {
+            let g = random_gnp(80, 0.06, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);
+            let m = matching::random_maximal(&g, &mut rng);
+            let c = contraction::contract_matching(&g, &m);
+            let coarse = c.coarse();
+            let coarse_p = crate::seed::weight_balanced_random(coarse, &mut rng);
+
+            let mut cache = GainCache::default();
+            cache.init(coarse, &coarse_p);
+            // Mutate a little so the boundary has move history, then
+            // project the coarse state down to the fine graph.
+            let mut coarse_p = coarse_p;
+            for _ in 0..10 {
+                let v = rng.gen_range(0..coarse.num_vertices()) as VertexId;
+                cache.record_move(coarse, &coarse_p, v);
+                coarse_p.move_vertex(coarse, v);
+            }
+            let fine_sides = c.project_sides(coarse_p.sides());
+            let mut fine_p = Bisection::from_sides(&g, fine_sides).unwrap();
+            cache.project(&g, &fine_p, c.fine_to_coarse());
+            assert_cache_consistent(&cache, &g, &fine_p);
+
+            // And the projected cache keeps tracking moves.
+            for _ in 0..20 {
+                let v = rng.gen_range(0..g.num_vertices()) as VertexId;
+                cache.record_move(&g, &fine_p, v);
+                fine_p.move_vertex(&g, v);
+            }
+            assert_cache_consistent(&cache, &g, &fine_p);
+        }
+    }
+
+    #[test]
+    fn untracked_moves_keep_gains_and_members_exact() {
+        let g = random_gnp(40, 0.1, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = random_balanced(&g, &mut rng);
+        let mut cache = GainCache::default();
+        cache.init(&g, &p);
+        for _ in 0..30 {
+            let v = rng.gen_range(0..g.num_vertices()) as VertexId;
+            cache.record_move_untracked(&g, &p, v);
+            p.move_vertex(&g, v);
+        }
+        // ext/boundary are void, but gains and member lists stay exact.
+        for v in g.vertices() {
+            assert_eq!(cache.gain(v), p.gain(&g, v), "gain of {v}");
+        }
+        for side in [Side::A, Side::B] {
+            assert_eq!(cache.members(side).len(), p.count(side));
+            assert!(cache.members(side).iter().all(|&v| p.side(v) == side));
+        }
+        // A fresh init restores the full invariant set.
+        cache.init(&g, &p);
+        assert_cache_consistent(&cache, &g, &p);
+    }
+
+    #[test]
+    fn boundary_empty_when_cut_is_zero() {
+        let g = special::path(8);
+        // Split the path at its middle edge: cut 1, boundary {3, 4} —
+        // then a zero-cut partition of two disjoint paths.
+        let mut b = bisect_graph::GraphBuilder::new(8);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let disjoint = b.build();
+        let sides: Vec<bool> = (0..8).map(|v| v >= 4).collect();
+        let p = Bisection::from_sides(&disjoint, sides).unwrap();
+        let mut cache = GainCache::default();
+        cache.init(&disjoint, &p);
+        assert_eq!(p.cut(), 0);
+        assert!(cache.boundary().is_empty());
+
+        let sides: Vec<bool> = (0..8).map(|v| v >= 4).collect();
+        let p = Bisection::from_sides(&g, sides).unwrap();
+        cache.init(&g, &p);
+        assert_eq!(p.cut(), 1);
+        let mut boundary = cache.boundary().to_vec();
+        boundary.sort_unstable();
+        assert_eq!(boundary, vec![3, 4]);
     }
 }

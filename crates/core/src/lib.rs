@@ -21,6 +21,11 @@
 //!
 //! * [`fm::FiducciaMattheyses`] — the 1982 bucket-gain successor of KL
 //!   (single moves, linear-time passes), for ablations.
+//! * [`fm::BoundaryFm`] — FM whose passes seed only from the cut
+//!   boundary, tracked incrementally by [`gain_cache::GainCache`] and
+//!   projected across uncoarsening levels so no level pays a full
+//!   `O(V + E)` gain rebuild; `O(boundary · deg)` per pass on
+//!   well-cut graphs.
 //! * [`pipeline::CoarsenScheme`] / [`pipeline::InitialPartitioner`] —
 //!   swappable coarsening (random, heavy-edge, edge-order matchings)
 //!   and initial-partition (random, greedy, spectral, exact) stages.

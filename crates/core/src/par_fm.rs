@@ -23,6 +23,22 @@
 //! local interactions each worker sees. The golden-pinned serial paths
 //! (`KL`, `SA`, `FM`, and every pipeline built from them) are unaffected
 //! by this module.
+//!
+//! # Boundary-seeded mode
+//!
+//! [`ParallelFm::with_boundary_seeds`] switches the propose phase from
+//! full contiguous vertex ranges to the current *cut boundary* tracked
+//! by the workspace [`GainCache`]: workers sweep contiguous chunks of
+//! the sorted boundary list, read their starting gains straight from
+//! the cache (no per-round `O(V + E)` gain walks), and the serial
+//! resolve re-validates each proposal with a cached `O(1)` gain lookup
+//! instead of an `O(deg)` recomputation, keeping the cache exact as
+//! moves land. A round costs `O(boundary·deg)` rather than `O(V + E)`.
+//! The mode draws no randomness and keeps the fixed-thread-count
+//! determinism contract (the chunking is a pure function of the sorted
+//! boundary and the thread count); it is a separate, explicitly tested
+//! configuration — the default full-range mode is bit-identical to
+//! what it always was.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -31,6 +47,7 @@ use bisect_graph::{Graph, VertexId};
 use rand::RngCore;
 
 use crate::bisector::{Bisector, Refiner};
+use crate::gain_cache::GainCache;
 use crate::partition::{Bisection, Side};
 use crate::seed;
 use crate::workspace::Workspace;
@@ -46,6 +63,9 @@ pub struct ParallelFm {
     threads: Option<usize>,
     /// Safety cap on propose/resolve rounds.
     max_rounds: usize,
+    /// Propose from the tracked cut boundary instead of all vertex
+    /// ranges (see the module docs).
+    boundary_seeds: bool,
 }
 
 impl Default for ParallelFm {
@@ -62,7 +82,18 @@ impl ParallelFm {
         ParallelFm {
             threads: None,
             max_rounds: 64,
+            boundary_seeds: false,
         }
+    }
+
+    /// Switches to boundary-seeded proposing (see the module docs):
+    /// rounds sweep only the tracked cut boundary and keep the
+    /// workspace gain cache exact, costing `O(boundary·deg)` instead of
+    /// `O(V + E)` per round. Supports the projected-cache protocol
+    /// ([`Refiner::refine_projected_counted`]).
+    pub fn with_boundary_seeds(mut self) -> ParallelFm {
+        self.boundary_seeds = true;
+        self
     }
 
     /// Pins the worker (and range) count. The determinism regression
@@ -169,6 +200,114 @@ impl ParallelFm {
         debug_assert_eq!(p.cut(), p.recompute_cut(g));
         (start_cut - p.cut(), evals)
     }
+
+    /// One boundary-seeded propose/resolve round. `cache` must be exact
+    /// for `(g, p)` on entry and is exact for the updated `p` on exit.
+    /// Returns `(cut improvement, gain evaluations)`.
+    fn round_boundary(
+        &self,
+        g: &Graph,
+        p: &mut Bisection,
+        cache: &mut GainCache,
+        threads: usize,
+    ) -> (u64, u64) {
+        // Chunk the boundary list by *position* — no copy, no sort,
+        // O(1) membership via the cache's position index. The list
+        // order is a pure function of the init state and move history,
+        // so the chunking (and the whole round) stays deterministic at
+        // a fixed thread count.
+        let m = cache.boundary().len();
+        if m == 0 {
+            return (0, 0);
+        }
+        let t = threads.max(1).min(m);
+        let chunk = m.div_ceil(t);
+        let ranges = m.div_ceil(chunk);
+
+        let snapshot = p.sides();
+        let shared: &GainCache = cache;
+        let results = bisect_par::par_map_with(t, ranges, |k| {
+            let lo = k * chunk;
+            let hi = ((k + 1) * chunk).min(m);
+            propose_chunk(g, snapshot, shared, lo, hi)
+        });
+
+        let mut evals: u64 = 0;
+        let mut all: Vec<(i64, VertexId)> = Vec::new();
+        for (proposals, e) in results {
+            evals += e;
+            all.extend(proposals);
+        }
+        all.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        // Serial resolve, as in `round`, except the live re-validation
+        // is a cached O(1) lookup and every applied (or rolled-back)
+        // move is recorded so the cache stays exact round to round.
+        let max_weight = g.vertices().map(|v| g.vertex_weight(v)).max().unwrap_or(1);
+        let base_tol = if g.is_unit_weighted() {
+            g.total_vertex_weight() % 2
+        } else {
+            max_weight
+        };
+        let pass_tol = base_tol.max(2 * max_weight);
+
+        let start_cut = p.cut();
+        let mut best_cut = start_cut;
+        let mut best_prefix = 0usize;
+        let mut applied: Vec<VertexId> = Vec::new();
+        for &(_, v) in &all {
+            let live = cache.gain(v);
+            evals += 1;
+            if live <= 0 {
+                continue;
+            }
+            let w = g.vertex_weight(v) as i64;
+            let imb = p.weight(Side::A) as i64 - p.weight(Side::B) as i64;
+            let new_imb = if p.side(v) == Side::A {
+                imb - 2 * w
+            } else {
+                imb + 2 * w
+            };
+            if new_imb.unsigned_abs() > pass_tol {
+                continue;
+            }
+            cache.record_move(g, p, v);
+            p.move_vertex_with_gain(g, v, live);
+            applied.push(v);
+            if p.weight_imbalance() <= base_tol && p.cut() < best_cut {
+                best_prefix = applied.len();
+                best_cut = p.cut();
+            }
+        }
+        for &v in applied[best_prefix..].iter().rev() {
+            cache.record_move(g, p, v);
+            p.move_vertex(g, v);
+        }
+        debug_assert_eq!(p.cut(), best_cut);
+        debug_assert_eq!(p.cut(), p.recompute_cut(g));
+        (start_cut - p.cut(), evals)
+    }
+
+    /// Boundary-mode round loop shared by both refine entry points;
+    /// assumes `ws.gain_cache` is exact for `(g, init)` on entry.
+    fn refine_boundary_rounds(
+        &self,
+        g: &Graph,
+        init: &mut Bisection,
+        ws: &mut Workspace,
+        threads: usize,
+    ) -> u64 {
+        let mut productive = 0u64;
+        for _ in 0..self.max_rounds {
+            let (improvement, evals) = self.round_boundary(g, init, &mut ws.gain_cache, threads);
+            ws.add_proposals(evals);
+            if improvement == 0 {
+                break;
+            }
+            productive += 1;
+        }
+        productive
+    }
 }
 
 /// Greedy positive-gain sweep over `lo..hi` against `snapshot`.
@@ -243,6 +382,71 @@ fn propose_range(
     (proposals, evals)
 }
 
+/// Greedy positive-gain sweep over the boundary-list positions
+/// `lo..hi` against `snapshot`, with starting gains served straight
+/// from the exact cache instead of adjacency walks. In-chunk neighbor
+/// gains are maintained incrementally (membership and local index are
+/// O(1) via [`GainCache::boundary_index`]); out-of-chunk neighbors stay
+/// frozen at their snapshot sides. Every vertex moves at most once.
+fn propose_chunk(
+    g: &Graph,
+    snapshot: &[bool],
+    cache: &GainCache,
+    lo: usize,
+    hi: usize,
+) -> (Vec<(i64, VertexId)>, u64) {
+    let verts = &cache.boundary()[lo..hi];
+    let len = verts.len();
+    let mut gains: Vec<i64> = Vec::with_capacity(len);
+    let mut locked = vec![false; len];
+    let mut heap: BinaryHeap<(i64, Reverse<VertexId>)> = BinaryHeap::new();
+    for &v in verts {
+        let gain = cache.gain(v);
+        gains.push(gain);
+        if gain > 0 {
+            heap.push((gain, Reverse(v)));
+        }
+    }
+    let mut evals = len as u64;
+    let mut proposals: Vec<(i64, VertexId)> = Vec::new();
+    while let Some((gain, Reverse(v))) = heap.pop() {
+        let i = match cache.boundary_index(v) {
+            Some(b) if b >= lo && b < hi => b - lo,
+            _ => {
+                debug_assert!(false, "heap entries always come from the chunk");
+                continue;
+            }
+        };
+        // Lazy deletion: stale entries (locked, or superseded by a
+        // fresher gain) are skipped.
+        if locked[i] || gains[i] != gain {
+            continue;
+        }
+        locked[i] = true;
+        proposals.push((gain, v));
+        for (u, w) in g.neighbors_weighted(v) {
+            let j = match cache.boundary_index(u) {
+                Some(b) if b >= lo && b < hi => b - lo,
+                _ => continue,
+            };
+            if locked[j] {
+                continue;
+            }
+            let delta = if snapshot[u as usize] == snapshot[v as usize] {
+                2 * w as i64
+            } else {
+                -2 * (w as i64)
+            };
+            gains[j] += delta;
+            evals += 1;
+            if gains[j] > 0 {
+                heap.push((gains[j], Reverse(u)));
+            }
+        }
+    }
+    (proposals, evals)
+}
+
 impl Bisector for ParallelFm {
     fn name(&self) -> String {
         "PFM".into()
@@ -283,6 +487,11 @@ impl Refiner for ParallelFm {
             return (init, 0);
         }
         let threads = self.threads();
+        if self.boundary_seeds {
+            ws.gain_cache.init(g, &init);
+            let productive = self.refine_boundary_rounds(g, &mut init, ws, threads);
+            return (init, productive);
+        }
         let mut productive = 0u64;
         for _ in 0..self.max_rounds {
             let (improvement, evals) = self.round(g, &mut init, threads);
@@ -292,6 +501,28 @@ impl Refiner for ParallelFm {
             }
             productive += 1;
         }
+        (init, productive)
+    }
+
+    fn wants_projected_cache(&self) -> bool {
+        self.boundary_seeds
+    }
+
+    fn refine_projected_counted(
+        &self,
+        g: &Graph,
+        mut init: Bisection,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (Bisection, u64) {
+        if !self.boundary_seeds {
+            return self.refine_counted(g, init, rng, ws);
+        }
+        if g.num_vertices() < 2 {
+            return (init, 0);
+        }
+        let threads = self.threads();
+        let productive = self.refine_boundary_rounds(g, &mut init, ws, threads);
         (init, productive)
     }
 }
@@ -386,6 +617,92 @@ mod tests {
         let (p, rounds) = pfm.refine_counted(&g, init, &mut rng, &mut ws);
         assert_eq!(rounds, 0);
         assert_eq!(p.cut(), 0);
+    }
+
+    #[test]
+    fn boundary_mode_never_increases_cut_and_keeps_balance() {
+        let g = special::grid(8, 8);
+        let pfm = ParallelFm::new().with_threads(4).with_boundary_seeds();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = seed::random_balanced(&g, &mut rng);
+            let before = init.cut();
+            let p = pfm.refine(&g, init, &mut rng);
+            assert!(p.cut() <= before, "seed {seed}");
+            assert!(p.is_balanced(&g), "seed {seed}");
+            assert_eq!(p.cut(), p.recompute_cut(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn boundary_mode_repeat_runs_at_fixed_threads_are_identical() {
+        let g = special::grid(10, 10);
+        let mut rng = StdRng::seed_from_u64(42);
+        let init = seed::random_balanced(&g, &mut rng);
+        let mut dummy = StdRng::seed_from_u64(0);
+        for threads in [1, 4] {
+            let pfm = ParallelFm::new()
+                .with_threads(threads)
+                .with_boundary_seeds();
+            let a = pfm.refine(&g, init.clone(), &mut dummy);
+            let b = pfm.refine(&g, init.clone(), &mut dummy);
+            assert_eq!(a, b, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn boundary_mode_improves_like_full_mode() {
+        let g = special::grid(16, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = seed::random_balanced(&g, &mut rng);
+        let before = init.cut();
+        let full = ParallelFm::new()
+            .with_threads(4)
+            .refine(&g, init.clone(), &mut rng);
+        let boundary = ParallelFm::new()
+            .with_threads(4)
+            .with_boundary_seeds()
+            .refine(&g, init, &mut rng);
+        assert!(full.cut() * 2 < before);
+        assert!(
+            boundary.cut() * 2 < before,
+            "{} -> {}",
+            before,
+            boundary.cut()
+        );
+    }
+
+    #[test]
+    fn boundary_mode_leaves_cache_exact() {
+        let g = special::grid(9, 7);
+        let pfm = ParallelFm::new().with_threads(3).with_boundary_seeds();
+        let mut ws = Workspace::new();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = seed::random_balanced(&g, &mut rng);
+            let (p, _) = pfm.refine_counted(&g, init, &mut rng, &mut ws);
+            for v in g.vertices() {
+                assert_eq!(ws.gain_cache().gain(v), p.gain(&g, v), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_mode_projected_entry_matches_plain_refine() {
+        let g = special::grid(8, 8);
+        let pfm = ParallelFm::new().with_threads(2).with_boundary_seeds();
+        assert!(pfm.wants_projected_cache());
+        assert!(!ParallelFm::new().wants_projected_cache());
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = seed::random_balanced(&g, &mut rng);
+            let mut ws_a = Workspace::new();
+            let (plain, _) = pfm.refine_counted(&g, init.clone(), &mut rng, &mut ws_a);
+            let mut ws_b = Workspace::new();
+            ws_b.prepare_gain_cache(&g, &init);
+            let (projected, _) = pfm.refine_projected_counted(&g, init, &mut rng, &mut ws_b);
+            assert_eq!(plain, projected, "seed {seed}");
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use bisect_graph::{EdgeWeight, Graph, VertexId, VertexWeight};
 
+use crate::gain_cache::GainCache;
+
 /// The two sides of a bisection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
@@ -129,6 +131,43 @@ impl Bisection {
             weights[s] += g.vertex_weight(v);
         }
         let cut = compute_cut(g, &side);
+        Ok(Bisection {
+            side,
+            cut,
+            counts,
+            weights,
+        })
+    }
+
+    /// As [`Bisection::from_sides`], with the cut supplied by the
+    /// caller instead of recomputed — O(V) instead of O(V + E). For
+    /// callers that provably know the cut already, e.g. projecting a
+    /// coarse bisection through a contraction (projection preserves the
+    /// cut exactly). The claimed cut is verified in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SideLengthError`] when `side.len()` does not match the
+    /// graph's vertex count.
+    pub fn from_sides_with_cut(
+        g: &Graph,
+        side: Vec<bool>,
+        cut: EdgeWeight,
+    ) -> Result<Bisection, SideLengthError> {
+        if side.len() != g.num_vertices() {
+            return Err(SideLengthError {
+                got: side.len(),
+                expected: g.num_vertices(),
+            });
+        }
+        let mut counts = [0usize; 2];
+        let mut weights = [0 as VertexWeight; 2];
+        for v in g.vertices() {
+            let s = side[v as usize] as usize;
+            counts[s] += 1;
+            weights[s] += g.vertex_weight(v);
+        }
+        debug_assert_eq!(cut, compute_cut(g, &side), "caller-supplied cut is wrong");
         Ok(Bisection {
             side,
             cut,
@@ -419,6 +458,55 @@ pub fn rebalance(g: &Graph, p: &mut Bisection) {
     }
 }
 
+/// [`rebalance`], but selecting over `cache.members` with cached O(1)
+/// gains instead of materializing member lists and paying an O(deg)
+/// gain walk per candidate, and keeping `cache` exact across the moves
+/// it makes. Picks the same vertices as [`rebalance`]: both selection
+/// keys are made injective (ties broken toward the smaller vertex id),
+/// so the unspecified order of `cache.members` cannot change the
+/// outcome.
+///
+/// `cache` must be exact for `(g, p)` on entry; it is exact for the
+/// rebalanced `p` on exit.
+pub fn rebalance_with_cache(g: &Graph, p: &mut Bisection, cache: &mut GainCache) {
+    while !p.is_balanced(g) {
+        let heavy = if p.weight(Side::A) > p.weight(Side::B) {
+            Side::A
+        } else {
+            Side::B
+        };
+        let imbalance = p.weight_imbalance();
+        let candidate = cache
+            .members(heavy)
+            .iter()
+            .copied()
+            .filter(|&v| 2 * g.vertex_weight(v) < 2 * imbalance)
+            .max_by_key(|&v| (cache.gain(v), std::cmp::Reverse(v)));
+        match candidate {
+            Some(v) => {
+                let gain = cache.gain(v);
+                cache.record_move(g, p, v);
+                p.move_vertex_with_gain(g, v, gain);
+            }
+            None => {
+                let v = cache
+                    .members(heavy)
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| ((2 * g.vertex_weight(v)).abs_diff(imbalance), v))
+                    // lint: allow(no-panic) — imbalance > 0 implies the heavy side has members
+                    .expect("heavier side is nonempty");
+                if (2 * g.vertex_weight(v)).abs_diff(imbalance) < imbalance {
+                    let gain = cache.gain(v);
+                    cache.record_move(g, p, v);
+                    p.move_vertex_with_gain(g, v, gain);
+                }
+                return;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +695,43 @@ mod tests {
         // only leaves move, and also when the hub crosses with two
         // leaves — the minimum-damage result is cut 3 either way.
         assert_eq!(p.cut(), 3);
+    }
+
+    #[test]
+    fn from_sides_with_cut_matches_from_sides() {
+        let g = bisect_gen::special::grid(5, 5);
+        let sides: Vec<bool> = (0..25).map(|v| v % 3 == 0).collect();
+        let full = Bisection::from_sides(&g, sides.clone()).unwrap();
+        let fast = Bisection::from_sides_with_cut(&g, sides, full.cut()).unwrap();
+        assert_eq!(full, fast);
+        assert!(Bisection::from_sides_with_cut(&g, vec![false; 3], 0).is_err());
+    }
+
+    #[test]
+    fn rebalance_with_cache_matches_rebalance() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = bisect_gen::gnp::GnpParams::new(40, 0.1).unwrap();
+            let g = bisect_gen::gnp::sample(&mut rng, &params);
+            // Deliberately lopsided start so rebalance has work to do.
+            let sides: Vec<bool> = (0..40).map(|_| rng.gen_range(0..4) == 0).collect();
+            let mut plain = Bisection::from_sides(&g, sides.clone()).unwrap();
+            let mut cached = Bisection::from_sides(&g, sides).unwrap();
+            let mut cache = GainCache::default();
+            cache.init(&g, &cached);
+            rebalance(&g, &mut plain);
+            rebalance_with_cache(&g, &mut cached, &mut cache);
+            assert_eq!(plain, cached, "seed {seed}");
+            for v in g.vertices() {
+                assert_eq!(
+                    cache.gain(v),
+                    cached.gain(&g, v),
+                    "stale cache, seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

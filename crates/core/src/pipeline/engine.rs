@@ -27,7 +27,7 @@ use rand::RngCore;
 
 use crate::bisector::Refiner;
 use crate::error::BisectError;
-use crate::partition::{rebalance, Bisection};
+use crate::partition::{rebalance, rebalance_with_cache, Bisection};
 use crate::workspace::Workspace;
 
 use super::coarsen::CoarsenScheme;
@@ -126,11 +126,31 @@ pub fn run(
     // (or the input graph at the bottom). Projection can be off by one
     // weight unit when a matching leaves singletons, so each level
     // rebalances before refining.
+    //
+    // Boundary-localized refiners opt into the projected-cache
+    // protocol: the engine builds the gain cache once on the (small)
+    // coarsest graph and *projects* it through each uncoarsening step,
+    // so no level ever pays the O(V + E) rebuild — rebalancing then
+    // rides the same cache. Refiners on the default path see the exact
+    // sequence of calls (and rng draws) they always did.
+    let projected_cache = refiner.wants_projected_cache() && !ladder.is_empty();
+    if projected_cache {
+        // lint: allow(no-panic) — guarded by !ladder.is_empty() above
+        let coarsest: &Graph = ladder.last().map(|c| c.coarse()).expect("nonempty ladder");
+        ws.gain_cache.init(coarsest, &current);
+    }
     for i in (0..ladder.len()).rev() {
         let fine: &Graph = if i == 0 { g } else { ladder[i - 1].coarse() };
         let mut projected = Bisection::from_sides(fine, ladder[i].project_sides(current.sides()))?;
-        rebalance(fine, &mut projected);
-        let (refined, stage_work) = refiner.refine_counted(fine, projected, rng, ws);
+        let (refined, stage_work) = if projected_cache {
+            ws.gain_cache
+                .project(fine, &projected, ladder[i].fine_to_coarse());
+            rebalance_with_cache(fine, &mut projected, &mut ws.gain_cache);
+            refiner.refine_projected_counted(fine, projected, rng, ws)
+        } else {
+            rebalance(fine, &mut projected);
+            refiner.refine_counted(fine, projected, rng, ws)
+        };
         current = refined;
         work += stage_work;
     }
@@ -202,6 +222,54 @@ mod tests {
         assert!(flat >= 1);
         // The multilevel run refines at every level of the ladder.
         assert!(ml >= flat.min(2));
+    }
+
+    #[test]
+    fn projected_cache_path_is_balanced_consistent_and_deterministic() {
+        use crate::fm::BoundaryFm;
+        let g = special::grid(12, 12);
+        let run_once = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            run(
+                &RandomMatching,
+                CoarsenDepth::ToSize(16),
+                &WeightBalancedInit,
+                &BoundaryFm::new(),
+                &g,
+                &mut rng,
+                &mut Workspace::new(),
+            )
+            .expect("infallible stages")
+        };
+        for seed in 0..6 {
+            let (p, work) = run_once(seed);
+            assert!(p.is_balanced(&g), "seed {seed}");
+            assert_eq!(p.cut(), p.recompute_cut(&g), "seed {seed}");
+            assert!(work >= 1, "seed {seed}");
+            // Multilevel boundary FM should land near the optimum 12.
+            assert!(p.cut() <= 20, "seed {seed}: cut {}", p.cut());
+            let (q, _) = run_once(seed);
+            assert_eq!(p, q, "seed {seed}: nondeterministic");
+        }
+    }
+
+    #[test]
+    fn projected_cache_flat_depth_falls_back_gracefully() {
+        use crate::fm::BoundaryFm;
+        let g = special::grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (p, _) = run(
+            &RandomMatching,
+            CoarsenDepth::Flat,
+            &WeightBalancedInit,
+            &BoundaryFm::new(),
+            &g,
+            &mut rng,
+            &mut Workspace::new(),
+        )
+        .expect("infallible stages");
+        assert!(p.is_balanced(&g));
+        assert_eq!(p.cut(), p.recompute_cut(&g));
     }
 
     #[test]

@@ -476,10 +476,10 @@ impl SimulatedAnnealing {
                             // re-read after a's move so the a–b edge
                             // adjustment is included.
                             let gain_a = ws.gain_cache.gain(a);
-                            ws.gain_cache.record_move(g, &current, a);
+                            ws.gain_cache.record_move_untracked(g, &current, a);
                             current.move_vertex_with_gain(g, a, gain_a);
                             let gain_b = ws.gain_cache.gain(b);
-                            ws.gain_cache.record_move(g, &current, b);
+                            ws.gain_cache.record_move_untracked(g, &current, b);
                             current.move_vertex_with_gain(g, b, gain_b);
                             accepted += 1;
                             if current.cut() < best.cut() {
@@ -516,7 +516,7 @@ impl SimulatedAnnealing {
                         let gain = ws.gain_cache.gain(v);
                         let delta = flip_cost_delta(g, &current, imbalance_factor, v, gain);
                         if accept(delta, temperature, rng) {
-                            ws.gain_cache.record_move(g, &current, v);
+                            ws.gain_cache.record_move_untracked(g, &current, v);
                             current.move_vertex_with_gain(g, v, gain);
                             accepted += 1;
                             if current.is_balanced(g) && current.cut() < best.cut() {

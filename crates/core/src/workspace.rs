@@ -19,7 +19,7 @@
 //! every arena is re-dimensioned on entry, shrinking logically but
 //! never releasing capacity.
 
-use bisect_graph::VertexId;
+use bisect_graph::{Graph, VertexId};
 
 use crate::gain::{GainBuckets, SortedBuckets};
 use crate::gain_cache::GainCache;
@@ -50,6 +50,9 @@ pub struct Workspace {
     pub(crate) fm_balanced: Vec<bool>,
     /// FM's virtually-moved working bisection.
     pub(crate) fm_work: Option<Bisection>,
+    /// Vertices whose bucket/locked state the current boundary-FM pass
+    /// touched, so cleanup is O(touched) instead of O(V).
+    pub(crate) fm_touched: Vec<VertexId>,
     /// Per-side member lists for SA's unbalanced-swap fallback.
     pub(crate) sa_members: [Vec<VertexId>; 2],
     /// SA's best-so-far bisection, recycled between runs.
@@ -80,6 +83,37 @@ impl Workspace {
     /// [`Workspace::take_proposals`].
     pub(crate) fn add_proposals(&mut self, n: u64) {
         self.proposals = self.proposals.saturating_add(n);
+    }
+
+    /// (Re)initializes the workspace gain cache for `(g, p)` in
+    /// O(V + E). Drivers that manage a refinement ladder by hand (the
+    /// `huge` experiment) call this once at the coarsest level, then
+    /// keep the cache current with [`Workspace::project_gain_cache`]
+    /// and the refiners' projected-cache entry points instead of
+    /// rebuilding per level.
+    pub fn prepare_gain_cache(&mut self, g: &Graph, p: &Bisection) {
+        self.gain_cache.init(g, p);
+    }
+
+    /// Projects the workspace gain cache through one uncoarsening step;
+    /// see [`GainCache::project`] for the contract.
+    pub fn project_gain_cache(&mut self, g: &Graph, p: &Bisection, fine_to_coarse: &[VertexId]) {
+        self.gain_cache.project(g, p, fine_to_coarse);
+    }
+
+    /// Read access to the workspace gain cache, valid after
+    /// [`Workspace::prepare_gain_cache`] /
+    /// [`Workspace::project_gain_cache`] or a refiner's projected-cache
+    /// run (which leave it exact for the partition they returned).
+    pub fn gain_cache(&self) -> &GainCache {
+        &self.gain_cache
+    }
+
+    /// Mutable access to the workspace gain cache, for drivers that
+    /// apply moves outside a refiner ([`crate::partition`]'s
+    /// `rebalance_with_cache`) and must keep the cache exact.
+    pub fn gain_cache_mut(&mut self) -> &mut GainCache {
+        &mut self.gain_cache
     }
 
     /// Checks out the SA best-so-far buffer seeded as a copy of
