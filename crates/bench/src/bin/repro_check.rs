@@ -12,6 +12,12 @@
 //! Improvements are listed but do not fail; refresh the baseline when
 //! they are intentional.
 //!
+//! `placement` experiment records in the current report additionally
+//! get a structural check ([`check::validate_placement`]): both
+//! algorithm rows present per setting, positive HPWL, and native net
+//! cut no worse than the clique expansion's. Violations fail the check
+//! even when the baseline predates the experiment.
+//!
 //! Wall-time growth is reported but never fails the check: a `WARN`
 //! line appears when the current trajectory's latest run is more than
 //! 25% slower than the previous entry, or when a record's
@@ -139,11 +145,16 @@ fn run(args: &Args) -> Result<bool, BenchError> {
     for d in &result.regressions {
         println!("REGRESSION: {d}");
     }
+    let placement_problems = check::validate_placement(current);
+    for p in &placement_problems {
+        println!("INVALID: {p}");
+    }
     warn_on_time(&trajectory, baseline);
-    if result.is_ok() {
+    let ok = result.is_ok() && placement_problems.is_empty();
+    if ok {
         println!("OK: no cut regressions");
     }
-    Ok(result.is_ok())
+    Ok(ok)
 }
 
 fn main() -> ExitCode {

@@ -127,6 +127,61 @@ pub fn time_warnings(current: &BenchReport, baseline: &BenchReport, frac: f64) -
     out
 }
 
+/// Structurally validates the `placement` experiment's records in a
+/// report: every setting must carry both the native (`NetFM-ML`) and
+/// clique-expansion (`CliqueKL-ML`) rows, both with a positive HPWL,
+/// and the native net cut must not exceed the clique one — the
+/// experiment's acceptance invariant (optimizing the hypergraph
+/// objective directly must not lose to the surrogate on it).
+///
+/// Returns one human-readable problem per violation; empty means the
+/// records are well-formed. Reports without placement records pass
+/// trivially, so the check is safe on every profile and baseline age.
+pub fn validate_placement(report: &BenchReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    let placements: Vec<&BenchRecord> = report
+        .records
+        .iter()
+        .filter(|r| r.experiment == "placement")
+        .collect();
+    let mut settings: Vec<&str> = placements.iter().map(|r| r.setting.as_str()).collect();
+    settings.dedup();
+    for setting in settings {
+        let find = |algo: &str| {
+            placements
+                .iter()
+                .find(|r| r.setting == setting && r.algorithm == algo)
+        };
+        let (native, clique) = match (find("NetFM-ML"), find("CliqueKL-ML")) {
+            (Some(n), Some(c)) => (n, c),
+            (n, c) => {
+                if n.is_none() {
+                    problems.push(format!("placement/{setting}: missing NetFM-ML record"));
+                }
+                if c.is_none() {
+                    problems.push(format!("placement/{setting}: missing CliqueKL-ML record"));
+                }
+                continue;
+            }
+        };
+        for r in [native, clique] {
+            if r.hpwl <= 0.0 {
+                problems.push(format!(
+                    "placement/{setting} {}: non-positive HPWL {}",
+                    r.algorithm, r.hpwl
+                ));
+            }
+        }
+        if native.mean_cut > clique.mean_cut {
+            problems.push(format!(
+                "placement/{setting}: native net cut {} exceeds clique-expansion cut {}",
+                native.mean_cut, clique.mean_cut
+            ));
+        }
+    }
+    problems
+}
+
 /// Compares `current` against `baseline` on mean cuts.
 ///
 /// Records are matched by `(experiment, setting, algorithm)`; extra
@@ -194,6 +249,7 @@ mod tests {
             proposals: 0.0,
             proposals_per_sec: 0.0,
             refine_time_s: 0.0,
+            hpwl: 0.0,
             graphs: 3,
         }
     }
@@ -299,6 +355,42 @@ mod tests {
         let baseline = report(vec![legacy, record("900", "CKL", 30.0)]);
         let current = report(vec![record("500", "CKL", 16.0)]);
         assert!(time_warnings(&current, &baseline, 0.25).is_empty());
+    }
+
+    fn placement_record(setting: &str, algorithm: &str, mean_cut: f64, hpwl: f64) -> BenchRecord {
+        let mut r = record(setting, algorithm, mean_cut);
+        r.experiment = "placement".into();
+        r.hpwl = hpwl;
+        r
+    }
+
+    #[test]
+    fn placement_validation_passes_well_formed_records() {
+        let r = report(vec![
+            placement_record("i=0", "NetFM-ML", 40.0, 120.0),
+            placement_record("i=0", "CliqueKL-ML", 45.0, 130.0),
+            // Non-placement records are ignored entirely.
+            record("500", "CKL", 16.0),
+        ]);
+        assert!(validate_placement(&r).is_empty());
+        // Reports with no placement records at all also pass.
+        assert!(validate_placement(&report(vec![record("500", "KL", 9.0)])).is_empty());
+    }
+
+    #[test]
+    fn placement_validation_flags_inversion_missing_and_zero_hpwl() {
+        let r = report(vec![
+            // Native worse than clique: the acceptance inversion.
+            placement_record("i=0", "NetFM-ML", 50.0, 120.0),
+            placement_record("i=0", "CliqueKL-ML", 45.0, 0.0),
+            // Clique row absent for this setting.
+            placement_record("i=1", "NetFM-ML", 40.0, 120.0),
+        ]);
+        let problems = validate_placement(&r);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems[0].contains("non-positive HPWL"));
+        assert!(problems[1].contains("exceeds clique-expansion cut"));
+        assert!(problems[2].contains("missing CliqueKL-ML"));
     }
 
     #[test]

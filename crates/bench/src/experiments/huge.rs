@@ -131,6 +131,7 @@ pub fn run(profile: &Profile) -> Result<ExperimentResult, BenchError> {
             proposals: outcome.proposals as f64,
             proposals_per_sec,
             refine_time_s: outcome.refine_time_s,
+            hpwl: 0.0,
             graphs: 1,
         });
     }

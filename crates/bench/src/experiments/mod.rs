@@ -12,6 +12,7 @@ use crate::table::{fmt_cut, fmt_duration, fmt_percent, Table};
 pub mod analysis;
 pub mod huge;
 pub mod observations;
+pub mod placement;
 pub mod random;
 pub mod special;
 
@@ -35,8 +36,22 @@ pub struct ExperimentResult {
 /// (`models`, `klpasses`, `netlist`, `satune`, and `winrate` are this
 /// reproduction's analysis extensions).
 pub const ALL_IDS: &[&str] = &[
-    "table1", "ladder", "grid", "btree", "g2set", "gnp", "gbreg", "obs1", "obs4", "models",
-    "klpasses", "netlist", "satune", "winrate", "huge",
+    "table1",
+    "ladder",
+    "grid",
+    "btree",
+    "g2set",
+    "gnp",
+    "gbreg",
+    "obs1",
+    "obs4",
+    "models",
+    "klpasses",
+    "netlist",
+    "placement",
+    "satune",
+    "winrate",
+    "huge",
 ];
 
 /// Whether `id` names a known experiment.
@@ -66,6 +81,7 @@ pub fn run(id: &str, profile: &Profile) -> Result<ExperimentResult, BenchError> 
         "models" => analysis::models(profile),
         "klpasses" => analysis::klpasses(profile),
         "netlist" => analysis::netlist(profile),
+        "placement" => placement::run(profile),
         "satune" => analysis::satune(profile),
         "huge" => huge::run(profile),
         other => Err(BenchError::UnknownExperiment { id: other.into() }),

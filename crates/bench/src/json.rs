@@ -37,6 +37,11 @@ pub struct BenchRecord {
     /// for experiments that don't break out a refinement phase and in
     /// records written before the field existed.
     pub refine_time_s: f64,
+    /// Half-perimeter wirelength of the `placement` experiment's k-way
+    /// result (region-center bounding boxes, weighted by net weight); 0
+    /// for experiments without a placement objective and in records
+    /// written before the field existed.
+    pub hpwl: f64,
     /// Number of graphs averaged into this record.
     pub graphs: usize,
 }
@@ -65,6 +70,7 @@ pub(crate) fn quad_records(experiment: &str, setting: &str, avg: &QuadAverage) -
                 proposals,
                 proposals_per_sec,
                 refine_time_s: 0.0,
+                hpwl: 0.0,
                 graphs: avg.count,
             }
         })
@@ -130,6 +136,7 @@ impl BenchReport {
                 number(r.proposals_per_sec)
             ));
             out.push_str(&format!("\"refine_time_s\": {}, ", number(r.refine_time_s)));
+            out.push_str(&format!("\"hpwl\": {}, ", number(r.hpwl)));
             out.push_str(&format!("\"graphs\": {}", r.graphs));
             out.push('}');
         }
@@ -446,6 +453,7 @@ impl BenchReport {
                 proposals: ropt("proposals")?,
                 proposals_per_sec: ropt("proposals_per_sec")?,
                 refine_time_s: ropt("refine_time_s")?,
+                hpwl: ropt("hpwl")?,
                 graphs: rnum("graphs")? as usize,
             });
         }

@@ -222,6 +222,17 @@ impl Profile {
     pub fn gnp_replicates(&self) -> usize {
         2 * self.replicates + 1
     }
+
+    /// Shape of the `placement` experiment's Rent-style netlists:
+    /// `(cells, nets, parts, instances)`.
+    pub fn placement_shape(&self) -> (usize, usize, usize, usize) {
+        match self.scale {
+            Scale::Smoke => (240, 320, 4, 1),
+            // The huge scales keep the quick-sized analysis experiments.
+            Scale::Quick | Scale::Huge | Scale::HugeSmoke => (800, 1100, 8, 2),
+            Scale::Paper => (2400, 3400, 16, 3),
+        }
+    }
 }
 
 #[cfg(test)]

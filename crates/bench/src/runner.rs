@@ -132,8 +132,7 @@ pub fn run_best_of_sides<B: Bisector + Sync + ?Sized>(
 /// The four algorithms every table compares, constructed to match the
 /// profile (the paper profile uses a longer annealing schedule). Each
 /// slot is a [`Pipeline`]: the bare heuristics are flat pipelines, the
-/// compacted variants one-level pipelines — bit-identical to the
-/// pre-pipeline `SimulatedAnnealing`/`Compacted` wiring.
+/// compacted variants one-level pipelines.
 pub struct Suite {
     /// Simulated annealing (Figure 1).
     pub sa: Pipeline,

@@ -23,7 +23,10 @@ pub(crate) struct GainBuckets {
 
 impl GainBuckets {
     /// A structure for elements `0..num_elements` with gains in
-    /// `[-max_gain_abs, max_gain_abs]`.
+    /// `[-max_gain_abs, max_gain_abs]`. Production paths reuse a
+    /// workspace-resident instance via [`GainBuckets::reset`]; the
+    /// standalone constructor remains for unit tests.
+    #[cfg(test)]
     pub(crate) fn new(num_elements: usize, max_gain_abs: i64) -> GainBuckets {
         let width = (2 * max_gain_abs + 1).max(1) as usize;
         GainBuckets {
@@ -108,6 +111,7 @@ impl GainBuckets {
         self.insert(v, new_gain);
     }
 
+    #[cfg(test)]
     pub(crate) fn adjust(&mut self, v: VertexId, delta: i64) {
         if delta != 0 {
             let cur = self.gain_of(v);

@@ -68,16 +68,15 @@
 //! Fallible configurations surface a typed [`error::BisectError`]
 //! through [`pipeline::Pipeline::try_bisect`] instead of panicking.
 //!
-//! The pre-pipeline wrappers [`compaction::Compacted`],
-//! [`multilevel::Multilevel`], and [`recursive::RecursiveBisection`]
-//! remain as deprecated shims that delegate to the pipeline engine and
-//! produce bit-identical results.
+//! The pre-pipeline wrappers (`Compacted`, `Multilevel`,
+//! `RecursiveBisection`) have been removed; their behavior lives on
+//! bit-identically in the [`pipeline`] descriptors, pinned by the
+//! golden values in `tests/pipeline_equivalence.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bisector;
-pub mod compaction;
 pub mod degree2;
 pub mod error;
 pub mod exact;
@@ -87,12 +86,10 @@ pub mod gain_cache;
 pub mod greedy;
 pub mod kl;
 pub mod metrics;
-pub mod multilevel;
 pub mod netlist;
 pub mod par_fm;
 pub mod partition;
 pub mod pipeline;
-pub mod recursive;
 pub mod sa;
 pub mod seed;
 pub mod spectral;

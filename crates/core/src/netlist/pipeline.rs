@@ -1,0 +1,441 @@
+//! The coarsen → partition → refine engine on netlists — the
+//! hypergraph counterpart of [`crate::pipeline`]'s graph engine, sharing
+//! its [`CoarsenDepth`] vocabulary and its projected-cache protocol.
+//!
+//! Coarsening contracts random cell matchings along nets (hMETIS-style
+//! pin-connectivity scores, see
+//! [`bisect_graph::hypergraph::random_cell_matching`]); the coarsest
+//! netlist gets a weight-balanced random bisection; refinement walks
+//! the ladder back up, projecting sides — and, for refiners that opt
+//! in, the [`super::NetlistGainCache`] — level by level.
+//!
+//! The engine additionally supports *fixed cells*: cells pinned to a
+//! side that never match, never move, and survive every coarsening
+//! level as singletons. [`super::recursive_placement`] uses this for
+//! terminal propagation, fixing one anchor cell per side whose nets
+//! bias the gains of cells connected outside the current subproblem.
+
+use std::sync::Arc;
+
+use bisect_graph::hypergraph::{
+    contract_cells, random_cell_matching_with_skip, Netlist, NetlistContraction,
+};
+use bisect_graph::VertexId;
+use rand::RngCore;
+
+use crate::error::BisectError;
+use crate::partition::Side;
+use crate::pipeline::{CoarsenDepth, DEFAULT_COARSEST_SIZE};
+use crate::workspace::Workspace;
+
+use super::{
+    rebalance_fixed, rebalance_with_cache, weight_balanced_random_fixed, NetlistBisection,
+    NetlistFm, NetlistRefiner,
+};
+
+/// A named, reusable netlist bisection pipeline: a [`CoarsenDepth`]
+/// plus a [`NetlistRefiner`], mirroring the graph-side
+/// [`crate::pipeline::Pipeline`] descriptor.
+///
+/// # Example
+///
+/// ```
+/// use bisect_core::netlist::NetlistPipeline;
+/// use bisect_graph::hypergraph::NetlistBuilder;
+/// use rand::SeedableRng;
+///
+/// let mut b = NetlistBuilder::new(8);
+/// for pins in [[0u32, 1, 2, 3].as_slice(), &[4, 5, 6, 7], &[3, 4]] {
+///     b.add_net(pins).unwrap();
+/// }
+/// let nl = b.build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = NetlistPipeline::multilevel_fm().bisect(&nl, &mut rng);
+/// assert!(p.is_balanced(&nl));
+/// ```
+#[derive(Clone)]
+pub struct NetlistPipeline {
+    depth: CoarsenDepth,
+    refiner: Arc<dyn NetlistRefiner + Send + Sync>,
+    name: String,
+}
+
+impl std::fmt::Debug for NetlistPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetlistPipeline")
+            .field("name", &self.name)
+            .field("depth", &self.depth)
+            .field("refiner", &self.refiner.name())
+            .finish()
+    }
+}
+
+impl NetlistPipeline {
+    /// A pipeline from a coarsening depth, a refiner, and a display
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BisectError::InvalidConfig`] for
+    /// [`CoarsenDepth::ToSize`] targets below 2.
+    pub fn new<R: NetlistRefiner + Send + Sync + 'static>(
+        depth: CoarsenDepth,
+        refiner: R,
+        name: impl Into<String>,
+    ) -> Result<NetlistPipeline, BisectError> {
+        Ok(NetlistPipeline {
+            depth: depth.validate()?,
+            refiner: Arc::new(refiner),
+            name: name.into(),
+        })
+    }
+
+    /// [`NetlistFm`] directly on the input netlist (no coarsening).
+    pub fn flat_fm() -> NetlistPipeline {
+        NetlistPipeline::new(CoarsenDepth::Flat, NetlistFm::new(), "NetFM")
+            // lint: allow(no-panic) — Flat always validates
+            .expect("Flat is a valid depth")
+    }
+
+    /// One compaction level around [`NetlistFm`] (the paper's §V on the
+    /// hypergraph objective).
+    pub fn compacted_fm() -> NetlistPipeline {
+        NetlistPipeline::new(CoarsenDepth::Levels(1), NetlistFm::new(), "NetCFM")
+            // lint: allow(no-panic) — Levels(1) always validates
+            .expect("Levels(1) is a valid depth")
+    }
+
+    /// A full multilevel V-cycle around [`NetlistFm`], coarsening to
+    /// [`DEFAULT_COARSEST_SIZE`] cells.
+    pub fn multilevel_fm() -> NetlistPipeline {
+        NetlistPipeline::multilevel_fm_to(DEFAULT_COARSEST_SIZE)
+            // lint: allow(no-panic) — the default coarsest size is ≥ 2
+            .expect("default coarsest size is valid")
+    }
+
+    /// As [`NetlistPipeline::multilevel_fm`] with an explicit coarsest
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BisectError::InvalidConfig`] if `coarsest_size < 2`.
+    pub fn multilevel_fm_to(coarsest_size: usize) -> Result<NetlistPipeline, BisectError> {
+        NetlistPipeline::new(
+            CoarsenDepth::ToSize(coarsest_size),
+            NetlistFm::new(),
+            "NetMLFM",
+        )
+    }
+
+    /// The pipeline's display name (benchmark tables, reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bisects `nl` with a throwaway workspace.
+    pub fn bisect(&self, nl: &Netlist, rng: &mut dyn RngCore) -> NetlistBisection {
+        self.bisect_counted(nl, rng, &mut Workspace::new()).0
+    }
+
+    /// Bisects `nl`, drawing scratch memory from `ws`; returns the
+    /// bisection and the summed productive-pass count of every
+    /// refinement stage.
+    pub fn bisect_counted(
+        &self,
+        nl: &Netlist,
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (NetlistBisection, u64) {
+        self.bisect_fixed_counted(nl, &[], rng, ws)
+    }
+
+    /// As [`NetlistPipeline::bisect_counted`], with cells pinned to
+    /// sides: each `(cell, side)` pair is excluded from matching and
+    /// movement at every level, so the returned bisection honors every
+    /// assignment. Duplicate pairs must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed cell is out of range or assigned both sides.
+    pub fn bisect_fixed_counted(
+        &self,
+        nl: &Netlist,
+        fixed: &[(VertexId, Side)],
+        rng: &mut dyn RngCore,
+        ws: &mut Workspace,
+    ) -> (NetlistBisection, u64) {
+        run(self.depth, self.refiner.as_ref(), nl, fixed, rng, ws)
+    }
+}
+
+/// The engine. Mirrors the graph-side `pipeline::engine::run` step for
+/// step: (1) one matching per coarsening level, finest first, with
+/// fixed cells skipped; (2) a weight-balanced random bisection of the
+/// coarsest netlist honoring fixed sides (or, in `Levels` mode with no
+/// coarsening progress and nothing fixed, the legacy fallback of a
+/// plain random start); (3) one refinement per level, coarsest first,
+/// each from the projected and rebalanced bisection of the level below,
+/// with the gain cache projected alongside for refiners that opt in.
+fn run(
+    depth: CoarsenDepth,
+    refiner: &(dyn NetlistRefiner + Send + Sync),
+    nl: &Netlist,
+    fixed_pairs: &[(VertexId, Side)],
+    rng: &mut dyn RngCore,
+    ws: &mut Workspace,
+) -> (NetlistBisection, u64) {
+    let n = nl.num_cells();
+    let has_fixed = !fixed_pairs.is_empty();
+    let mut fixed0: Vec<Option<Side>> = vec![None; if has_fixed { n } else { 0 }];
+    for &(c, s) in fixed_pairs {
+        assert!(
+            (c as usize) < n,
+            "fixed cell {c} out of range for {n} cells"
+        );
+        let slot = &mut fixed0[c as usize];
+        assert!(
+            slot.is_none() || *slot == Some(s),
+            "cell {c} fixed to both sides"
+        );
+        *slot = Some(s);
+    }
+
+    // Coarsening ladder, finest first; `fixed_ladder[i]` holds the
+    // per-cell side pins of level `i`'s netlist (level 0 = input).
+    // Fixed cells are skipped by the matcher, so each survives as a
+    // singleton coarse cell and its pin maps through unambiguously.
+    let mut ladder: Vec<NetlistContraction> = Vec::new();
+    let mut fixed_ladder: Vec<Vec<Option<Side>>> = vec![fixed0];
+    let mut skip: Vec<bool> = Vec::new();
+    loop {
+        let contraction = {
+            let cur: &Netlist = ladder.last().map_or(nl, |c| c.coarse());
+            if !depth.wants_more(ladder.len(), cur.num_cells()) {
+                break;
+            }
+            if has_fixed {
+                // lint: allow(no-panic) — fixed_ladder has one entry per level by construction
+                let cur_fixed = fixed_ladder.last().expect("one entry per level");
+                skip.clear();
+                skip.extend(cur_fixed.iter().map(Option::is_some));
+            }
+            let skip_slice: &[bool] = if has_fixed { &skip } else { &[] };
+            let pairs = random_cell_matching_with_skip(cur, skip_slice, rng);
+            if pairs.is_empty() {
+                break;
+            }
+            contract_cells(cur, &pairs)
+        };
+        let next_fixed = if has_fixed {
+            // lint: allow(no-panic) — fixed_ladder has one entry per level by construction
+            let cur_fixed = fixed_ladder.last().expect("one entry per level");
+            let mut next: Vec<Option<Side>> = vec![None; contraction.coarse().num_cells()];
+            for (c, s) in cur_fixed.iter().enumerate() {
+                if let Some(side) = s {
+                    next[contraction.map(c as VertexId) as usize] = Some(*side);
+                }
+            }
+            next
+        } else {
+            Vec::new()
+        };
+        fixed_ladder.push(next_fixed);
+        ladder.push(contraction);
+    }
+
+    // Initial bisection of the coarsest netlist.
+    let mut flags: Vec<bool> = Vec::new();
+    let coarsest_idx = ladder.len();
+    let (mut current, mut work) =
+        if ladder.is_empty() && matches!(depth, CoarsenDepth::Levels(_)) && !has_fixed {
+            // Legacy §V fallback: the matcher made no progress on the
+            // input itself, so compaction degenerates to the plain
+            // heuristic from its own random start.
+            let init = NetlistBisection::random_balanced(nl, rng);
+            refiner.refine_counted(nl, &[], init, rng, ws)
+        } else {
+            let coarsest: &Netlist = ladder.last().map_or(nl, |c| c.coarse());
+            let init = weight_balanced_random_fixed(coarsest, &fixed_ladder[coarsest_idx], rng);
+            flags.clear();
+            flags.extend(fixed_ladder[coarsest_idx].iter().map(Option::is_some));
+            refiner.refine_counted(coarsest, &flags, init, rng, ws)
+        };
+
+    // Uncoarsening: project and refine level by level. Boundary-seeded
+    // refiners opt into the projected-cache protocol — the cache is
+    // built once on the (small) coarsest netlist and projected through
+    // each step, so no level pays an O(cells + pins) rebuild;
+    // rebalancing rides the same cache.
+    let coarsest_cells = ladder.last().map_or(nl, |c| c.coarse()).num_cells();
+    let projected_cache =
+        refiner.wants_projected_cache() && !ladder.is_empty() && coarsest_cells >= 2;
+    if projected_cache {
+        // lint: allow(no-panic) — guarded by !ladder.is_empty() above
+        let coarsest: &Netlist = ladder.last().map(|c| c.coarse()).expect("nonempty ladder");
+        ws.netlist_cache.init(coarsest, &current);
+    }
+    for i in (0..ladder.len()).rev() {
+        let fine: &Netlist = if i == 0 { nl } else { ladder[i - 1].coarse() };
+        let sides = ladder[i].project_sides(current.sides());
+        let mut projected = NetlistBisection::from_sides(fine, sides)
+            // lint: allow(no-panic) — project_sides returns one entry per fine cell
+            .expect("projection covers every fine cell");
+        flags.clear();
+        flags.extend(fixed_ladder[i].iter().map(Option::is_some));
+        let (refined, stage) = if projected_cache {
+            ws.netlist_cache
+                .project(fine, &projected, ladder[i].fine_to_coarse());
+            rebalance_with_cache(fine, &mut projected, &flags, &mut ws.netlist_cache);
+            refiner.refine_projected_counted(fine, &flags, projected, rng, ws)
+        } else {
+            rebalance_fixed(fine, &mut projected, &flags);
+            refiner.refine_counted(fine, &flags, projected, rng, ws)
+        };
+        current = refined;
+        work += stage;
+    }
+    if !current.is_balanced(nl) {
+        flags.clear();
+        flags.extend(fixed_ladder[0].iter().map(Option::is_some));
+        rebalance_fixed(nl, &mut current, &flags);
+    }
+    (current, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::two_clusters;
+    use super::*;
+    use bisect_graph::hypergraph::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn random_netlist(cells: usize, nets: usize, seed: u64) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetlistBuilder::new(cells);
+        for _ in 0..nets {
+            let size = rng.gen_range(2..=5usize);
+            let mut pins: Vec<u32> = (0..cells as u32).collect();
+            pins.shuffle(&mut rng);
+            b.add_net(&pins[..size]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn all_depths_produce_balanced_bisections() {
+        let nl = random_netlist(48, 64, 2);
+        for p in [
+            NetlistPipeline::flat_fm(),
+            NetlistPipeline::compacted_fm(),
+            NetlistPipeline::multilevel_fm_to(8).unwrap(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let b = p.bisect(&nl, &mut rng);
+            assert!(b.is_balanced(&nl), "{}", p.name());
+            assert_eq!(b.cut(), b.recompute_cut(&nl), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn multilevel_finds_the_bridge() {
+        let nl = two_clusters();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = NetlistPipeline::multilevel_fm_to(3)
+            .unwrap()
+            .bisect(&nl, &mut rng);
+        assert_eq!(p.cut(), 1);
+    }
+
+    #[test]
+    fn rejects_tiny_coarsest() {
+        assert!(NetlistPipeline::multilevel_fm_to(1).is_err());
+        assert!(NetlistPipeline::multilevel_fm_to(2).is_ok());
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_workspace_reuse() {
+        let nl = random_netlist(60, 80, 9);
+        let pipeline = NetlistPipeline::multilevel_fm_to(8).unwrap();
+        let mut ws = Workspace::new();
+        let run = |ws: &mut Workspace| {
+            let mut rng = StdRng::seed_from_u64(17);
+            pipeline.bisect_counted(&nl, &mut rng, ws)
+        };
+        let (a, wa) = run(&mut ws);
+        // Warm (differently sized) workspace must not change anything.
+        let small = two_clusters();
+        let mut srng = StdRng::seed_from_u64(1);
+        let _ = pipeline.bisect_counted(&small, &mut srng, &mut ws);
+        let (b, wb) = run(&mut ws);
+        let (c, wc) = run(&mut Workspace::new());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(wa, wb);
+        assert_eq!(wa, wc);
+    }
+
+    #[test]
+    fn fixed_cells_stay_put_through_every_depth() {
+        let nl = random_netlist(40, 50, 4);
+        let fixed = [(0u32, Side::A), (7u32, Side::B), (13u32, Side::B)];
+        for p in [
+            NetlistPipeline::flat_fm(),
+            NetlistPipeline::compacted_fm(),
+            NetlistPipeline::multilevel_fm_to(6).unwrap(),
+        ] {
+            for seed in 0..6 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut ws = Workspace::new();
+                let (b, _) = p.bisect_fixed_counted(&nl, &fixed, &mut rng, &mut ws);
+                for &(c, s) in &fixed {
+                    assert_eq!(b.side(c), s, "{} seed {seed} cell {c}", p.name());
+                }
+                assert_eq!(b.cut(), b.recompute_cut(&nl), "{} seed {seed}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_out_of_range_rejected() {
+        let nl = two_clusters();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = NetlistPipeline::flat_fm().bisect_fixed_counted(
+            &nl,
+            &[(99, Side::A)],
+            &mut rng,
+            &mut Workspace::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "both sides")]
+    fn conflicting_fixed_sides_rejected() {
+        let nl = two_clusters();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = NetlistPipeline::flat_fm().bisect_fixed_counted(
+            &nl,
+            &[(2, Side::A), (2, Side::B)],
+            &mut rng,
+            &mut Workspace::new(),
+        );
+    }
+
+    #[test]
+    fn tiny_netlists_across_depths() {
+        for n in 0..4usize {
+            let nl = NetlistBuilder::new(n).build();
+            for p in [
+                NetlistPipeline::flat_fm(),
+                NetlistPipeline::compacted_fm(),
+                NetlistPipeline::multilevel_fm(),
+            ] {
+                let mut rng = StdRng::seed_from_u64(1);
+                let b = p.bisect(&nl, &mut rng);
+                assert_eq!(b.cut(), 0, "{} on {n} cells", p.name());
+            }
+        }
+    }
+}

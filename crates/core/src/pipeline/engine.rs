@@ -8,10 +8,11 @@
 //! * multilevel (V-cycle) bisection is [`CoarsenDepth::ToSize`], and
 //! * a plain heuristic from a random start is [`CoarsenDepth::Flat`].
 //!
-//! The deprecated `Compacted` and `Multilevel` wrappers delegate here,
-//! and [`Pipeline`](super::Pipeline) is a thin descriptor around the
-//! same call — which is what makes the pipeline *bit-identical* to the
-//! legacy paths: both sides execute this exact sequence of rng draws.
+//! [`Pipeline`](super::Pipeline) is a thin descriptor around this one
+//! call — which is what made the pipeline *bit-identical* to the
+//! bespoke drivers it replaced: both sides executed this exact
+//! sequence of rng draws (pinned today by the golden values in
+//! `tests/pipeline_equivalence.rs`).
 //!
 //! The rng-draw order is part of the contract and must not be
 //! reordered: (1) one matching per coarsening level, finest first;

@@ -17,15 +17,16 @@
 //!
 //! A [`Pipeline`] composes the three behind the ordinary
 //! [`Bisector`] interface. Descriptors reproduce the paper's
-//! algorithms *bit-for-bit* relative to the legacy wrappers they
-//! replace:
+//! algorithms *bit-for-bit* relative to the bespoke pre-pipeline
+//! wrappers they replaced (pinned by the golden values in
+//! `tests/pipeline_equivalence.rs`):
 //!
-//! | descriptor | legacy equivalent | table name |
+//! | descriptor | algorithm | table name |
 //! |---|---|---|
-//! | [`Pipeline::ckl`] | `Compacted::new(KernighanLin::new())` | `CKL` |
-//! | [`Pipeline::csa`] | `Compacted::new(SimulatedAnnealing::new())` | `CSA` |
-//! | [`Pipeline::compacted`] | `Compacted::new(r)` | `C{r}` |
-//! | [`Pipeline::multilevel`] | `Multilevel::new(r)` | `ML-{r}` |
+//! | [`Pipeline::ckl`] | compaction around Kernighan-Lin (§V) | `CKL` |
+//! | [`Pipeline::csa`] | compaction around simulated annealing (§V) | `CSA` |
+//! | [`Pipeline::compacted`] | compaction around any refiner | `C{r}` |
+//! | [`Pipeline::multilevel`] | multilevel V-cycle around any refiner | `ML-{r}` |
 //! | [`Pipeline::flat`] | the bare refiner | `{r}` |
 //!
 //! # Example
@@ -75,8 +76,7 @@ pub use initial::{
 };
 pub use kway::{recursive_partition, KWayPartition};
 
-/// Default coarsest size of [`Pipeline::multilevel`], matching the
-/// legacy `Multilevel` wrapper.
+/// Default coarsest size of [`Pipeline::multilevel`].
 pub const DEFAULT_COARSEST_SIZE: usize = 32;
 
 /// A composed coarsen → partition → refine bisection algorithm.
@@ -107,16 +107,13 @@ impl std::fmt::Debug for Pipeline {
 
 impl Pipeline {
     /// The paper's **CKL**: one level of random-matching compaction
-    /// around Kernighan-Lin. Bit-identical to the deprecated
-    /// `Compacted::new(KernighanLin::new())`.
+    /// around Kernighan-Lin.
     pub fn ckl() -> Pipeline {
         Pipeline::compacted(KernighanLin::new())
     }
 
     /// The paper's **CSA**: one level of random-matching compaction
     /// around simulated annealing with the paper's schedule.
-    /// Bit-identical to the deprecated
-    /// `Compacted::new(SimulatedAnnealing::new())`.
     pub fn csa() -> Pipeline {
         Pipeline::compacted(SimulatedAnnealing::new())
     }
@@ -147,8 +144,7 @@ impl Pipeline {
     }
 
     /// Multilevel (V-cycle) bisection around any refiner, coarsening to
-    /// at most [`DEFAULT_COARSEST_SIZE`] vertices. Bit-identical to the
-    /// deprecated `Multilevel::new(refiner)`. Named `ML-{refiner}`.
+    /// at most [`DEFAULT_COARSEST_SIZE`] vertices. Named `ML-{refiner}`.
     pub fn multilevel<R: Refiner + Send + Sync + 'static>(refiner: R) -> Pipeline {
         Pipeline::multilevel_to(refiner, DEFAULT_COARSEST_SIZE)
             // lint: allow(no-panic) — DEFAULT_COARSEST_SIZE satisfies multilevel_to's check

@@ -23,6 +23,7 @@ use bisect_graph::{Graph, VertexId};
 
 use crate::gain::{GainBuckets, SortedBuckets};
 use crate::gain_cache::GainCache;
+use crate::netlist::{NetlistBisection, NetlistGainCache};
 use crate::partition::Bisection;
 
 /// Scratch arenas shared by the KL, FM, and SA hot paths. See the
@@ -53,6 +54,12 @@ pub struct Workspace {
     /// Vertices whose bucket/locked state the current boundary-FM pass
     /// touched, so cleanup is O(touched) instead of O(V).
     pub(crate) fm_touched: Vec<VertexId>,
+    /// Per-cell netlist gain cache: maintained incrementally across
+    /// moves and projected through uncoarsening by the netlist
+    /// pipeline, used as the per-pass gain arena by netlist FM.
+    pub(crate) netlist_cache: NetlistGainCache,
+    /// Netlist FM's virtually-moved working bisection.
+    pub(crate) netlist_work: Option<NetlistBisection>,
     /// Per-side member lists for SA's unbalanced-swap fallback.
     pub(crate) sa_members: [Vec<VertexId>; 2],
     /// SA's best-so-far bisection, recycled between runs.

@@ -14,8 +14,10 @@
 //!
 //! plus the special families used in Table 1 and the appendix
 //! ([`special`]: grids, ladders, binary trees, …), a random regular
-//! graph sampler ([`regular`]), and the deterministic
-//! [lagged-Fibonacci RNG](rng) matching the paper's choice of generator.
+//! graph sampler ([`regular`]), a Rent's-rule-style random netlist
+//! sampler for the hypergraph pipeline ([`netlist`]), and the
+//! deterministic [lagged-Fibonacci RNG](rng) matching the paper's
+//! choice of generator.
 //!
 //! All samplers take `&mut impl rand::Rng` and are deterministic given
 //! the generator state, so every experiment is reproducible from a seed.
@@ -41,6 +43,7 @@ pub mod g2set;
 pub mod gbreg;
 pub mod geometric;
 pub mod gnp;
+pub mod netlist;
 pub mod regular;
 pub mod rng;
 pub mod special;

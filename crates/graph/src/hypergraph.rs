@@ -192,6 +192,14 @@ impl NetlistContraction {
         self.fine_to_coarse[c as usize]
     }
 
+    /// The full fine-to-coarse cell map, indexed by fine cell id — the
+    /// netlist analogue of
+    /// [`crate::contraction::Contraction::fine_to_coarse`], consumed by
+    /// gain-cache projection across uncoarsening steps.
+    pub fn fine_to_coarse(&self) -> &[VertexId] {
+        &self.fine_to_coarse
+    }
+
     /// Projects a coarse side assignment to the fine cells.
     ///
     /// # Panics
@@ -300,8 +308,23 @@ pub fn random_cell_matching<R: rand::Rng + ?Sized>(
     nl: &Netlist,
     rng: &mut R,
 ) -> Vec<(VertexId, VertexId)> {
+    random_cell_matching_with_skip(nl, &[], rng)
+}
+
+/// As [`random_cell_matching`], but cells flagged in `skip` are never
+/// matched — neither visited nor offered as partners. An empty `skip`
+/// slice skips nothing; a shorter-than-`num_cells` slice treats missing
+/// entries as `false`. Multilevel pipelines use this to keep *fixed*
+/// cells (terminal-propagation anchors) as singleton coarse cells so
+/// their side constraint survives every coarsening level.
+pub fn random_cell_matching_with_skip<R: rand::Rng + ?Sized>(
+    nl: &Netlist,
+    skip: &[bool],
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
     use rand::seq::SliceRandom;
     let n = nl.num_cells();
+    let skipped = |c: VertexId| skip.get(c as usize).copied().unwrap_or(false);
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.shuffle(rng);
     let mut matched = vec![false; n];
@@ -310,7 +333,7 @@ pub fn random_cell_matching<R: rand::Rng + ?Sized>(
     // and tie-breaking below — never depends on hasher state.
     let mut score: std::collections::BTreeMap<VertexId, f64> = std::collections::BTreeMap::new();
     for &c in &order {
-        if matched[c as usize] {
+        if matched[c as usize] || skipped(c) {
             continue;
         }
         score.clear();
@@ -321,7 +344,7 @@ pub fn random_cell_matching<R: rand::Rng + ?Sized>(
             }
             let contribution = nl.net_weight(net) as f64 / (pins.len() - 1) as f64;
             for &p in pins {
-                if p != c && !matched[p as usize] {
+                if p != c && !matched[p as usize] && !skipped(p) {
                     *score.entry(p).or_insert(0.0) += contribution;
                 }
             }
@@ -660,6 +683,45 @@ mod tests {
         let a = random_cell_matching(&nl, &mut rand::rngs::StdRng::seed_from_u64(5));
         let b = random_cell_matching(&nl, &mut rand::rngs::StdRng::seed_from_u64(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skip_matching_never_touches_skipped_cells() {
+        use rand::SeedableRng;
+        let nl = wide_netlist();
+        let mut skip = vec![false; nl.num_cells()];
+        for c in [0usize, 7, 13, 30, 59] {
+            skip[c] = true;
+        }
+        for seed in 0..8 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pairs = random_cell_matching_with_skip(&nl, &skip, &mut rng);
+            assert!(!pairs.is_empty());
+            for &(a, b) in &pairs {
+                assert!(!skip[a as usize], "skipped cell {a} was matched");
+                assert!(!skip[b as usize], "skipped cell {b} was matched");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_skip_matches_plain_matching() {
+        use rand::SeedableRng;
+        let nl = wide_netlist();
+        let a = random_cell_matching(&nl, &mut rand::rngs::StdRng::seed_from_u64(3));
+        let b = random_cell_matching_with_skip(&nl, &[], &mut rand::rngs::StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fine_to_coarse_agrees_with_map() {
+        let nl = sample();
+        let c = contract_cells(&nl, &[(0, 1), (3, 4)]);
+        let full = c.fine_to_coarse();
+        assert_eq!(full.len(), nl.num_cells());
+        for cell in nl.cells() {
+            assert_eq!(full[cell as usize], c.map(cell));
+        }
     }
 
     #[test]
