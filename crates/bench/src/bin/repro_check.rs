@@ -98,9 +98,9 @@ fn load(path: &std::path::Path) -> Result<Vec<BenchReport>, BenchError> {
     Ok(runs)
 }
 
-/// Prints advisory wall-time warnings: latest-vs-previous entry of the
-/// current trajectory, plus per-record growth against the baseline.
-/// Never affects the exit code.
+/// Prints advisory wall-time and peak-RSS warnings: latest-vs-previous
+/// entry of the current trajectory, plus per-record growth against the
+/// baseline. Never affects the exit code.
 fn warn_on_time(trajectory: &[BenchReport], baseline: &BenchReport) {
     if let [.., prev, latest] = trajectory {
         if prev.wall_time_s > 0.0 && latest.wall_time_s > prev.wall_time_s * (1.0 + TIME_WARN_FRAC)
@@ -112,6 +112,9 @@ fn warn_on_time(trajectory: &[BenchReport], baseline: &BenchReport) {
                 latest.wall_time_s,
                 (latest.wall_time_s / prev.wall_time_s - 1.0) * 100.0
             );
+        }
+        if let Some(w) = check::rss_warning(prev, latest, TIME_WARN_FRAC) {
+            println!("WARN: {w} (advisory only; memory does not gate the check)");
         }
     }
     let latest = trajectory

@@ -127,6 +127,30 @@ pub fn time_warnings(current: &BenchReport, baseline: &BenchReport, frac: f64) -
     out
 }
 
+/// Advisory peak-RSS growth line for the trajectory's latest entry
+/// against the previous one, or `None` when there is nothing to warn
+/// about. Either entry recording `peak_rss_bytes: 0` means the run had
+/// no measurement (no readable `/proc/self/status`), not a zero-byte
+/// footprint, so the comparison is skipped rather than warning
+/// spuriously about growth from nothing.
+pub fn rss_warning(prev: &BenchReport, latest: &BenchReport, frac: f64) -> Option<String> {
+    if prev.peak_rss_bytes == 0 || latest.peak_rss_bytes == 0 {
+        return None;
+    }
+    let prev_b = prev.peak_rss_bytes as f64;
+    let latest_b = latest.peak_rss_bytes as f64;
+    if latest_b <= prev_b * (1.0 + frac) {
+        return None;
+    }
+    const MIB: f64 = 1024.0 * 1024.0;
+    Some(format!(
+        "peak RSS grew {:.1} MiB -> {:.1} MiB (+{:.0}%) vs previous trajectory entry",
+        prev_b / MIB,
+        latest_b / MIB,
+        (latest_b / prev_b - 1.0) * 100.0
+    ))
+}
+
 /// Structurally validates the `placement` experiment's records in a
 /// report: every setting must carry both the native (`NetFM-ML`) and
 /// clique-expansion (`CliqueKL-ML`) rows, both with a positive HPWL,
@@ -275,6 +299,36 @@ mod tests {
         assert!(c.is_ok());
         assert_eq!(c.compared, 2);
         assert!(c.improvements.is_empty());
+    }
+
+    #[test]
+    fn rss_warning_skips_unmeasured_entries() {
+        let mut prev = report(vec![]);
+        let mut latest = report(vec![]);
+        // The container recorded no measurement for the previous run:
+        // growth "from zero" must not warn.
+        prev.peak_rss_bytes = 0;
+        latest.peak_rss_bytes = 512 << 20;
+        assert_eq!(rss_warning(&prev, &latest, 0.25), None);
+        // Nor the other way around.
+        prev.peak_rss_bytes = 512 << 20;
+        latest.peak_rss_bytes = 0;
+        assert_eq!(rss_warning(&prev, &latest, 0.25), None);
+    }
+
+    #[test]
+    fn rss_warning_fires_only_beyond_the_fraction() {
+        let mut prev = report(vec![]);
+        let mut latest = report(vec![]);
+        prev.peak_rss_bytes = 100 << 20;
+        latest.peak_rss_bytes = 110 << 20;
+        assert_eq!(rss_warning(&prev, &latest, 0.25), None);
+        latest.peak_rss_bytes = 200 << 20;
+        let w = rss_warning(&prev, &latest, 0.25).expect("2x growth warns");
+        assert!(
+            w.contains("100.0 MiB -> 200.0 MiB") && w.contains("+100%"),
+            "{w}"
+        );
     }
 
     #[test]

@@ -80,7 +80,6 @@ fn run_native(
         NETLIST_WORKSPACE.with(|ws| {
             let mut ws = ws.borrow_mut();
             let mut rng = seq.rng(i as u64);
-            // lint: allow(determinism-time) — measurement only, never feeds results
             let begin = Instant::now();
             let result = recursive_placement_counted(&pipeline, nl, parts, &mut rng, &mut ws);
             result.map(|(p, work)| (p, work, begin.elapsed()))
@@ -103,7 +102,6 @@ fn run_clique(
     let seq = SeedSequence::new(seed);
     let trials = bisect_par::par_map_with(threads, starts.max(1), |i| {
         let mut rng = seq.rng(i as u64);
-        // lint: allow(determinism-time) — measurement only, never feeds results
         let begin = Instant::now();
         let kway = recursive_partition(&pipeline, &clique, parts, &mut rng)?;
         let placement = NetlistPlacement::from_labels(nl, kway.labels().to_vec(), parts)?;

@@ -33,6 +33,8 @@ pub fn is_degree_at_most_two(g: &Graph) -> bool {
 /// The returned bisection is balanced and its cut is the true bisection
 /// width (0, 1, or 2 — it cannot exceed 2 for such graphs when at least
 /// one component must be split).
+// lint: allow(no-panic) — subset-sum expects: the empty subset reaches
+// 0 <= target, and a maximal j* leaves an unused component exceeding r.
 pub fn bisect_degree2(g: &Graph) -> Option<Bisection> {
     if !is_degree_at_most_two(g) || !g.is_unit_weighted() {
         return None;
@@ -63,14 +65,12 @@ pub fn bisect_degree2(g: &Graph) -> Option<Bisection> {
     // Cut 2: whole components plus an arc of any excluded component.
     // The maximal reachable sum j* leaves every unused component larger
     // than the remainder, so this always completes.
-    // lint: allow(no-panic) — the empty subset reaches 0 <= target
     let (chosen, j) = subset_sum_below(&sizes, None, target).expect("0 is always reachable");
     let r = target - j;
     let split = chosen
         .iter()
         .enumerate()
         .position(|(i, &used)| !used && sizes[i] > r)
-        // lint: allow(no-panic) — j* maximal means some unused component exceeds r
         .expect("maximality of j* guarantees an oversized unused component");
     Some(build(g, &components, &chosen, Some((split, r))))
 }

@@ -47,13 +47,15 @@ impl std::error::Error for TooLargeError {}
 ///
 /// Returns [`TooLargeError`] if the graph has more than
 /// [`MAX_VERTICES`] vertices.
+// lint: allow(no-panic) — branch-and-bound expects: the empty assignment
+// is balanced for n = 0, exactly ⌊n/2⌋ vertices are sent to side B, and
+// the search only stores full balanced assignments.
 pub fn minimum_bisection(g: &Graph) -> Result<Bisection, TooLargeError> {
     let n = g.num_vertices();
     if n > MAX_VERTICES {
         return Err(TooLargeError { num_vertices: n });
     }
     if n == 0 {
-        // lint: allow(no-panic) — the empty assignment is balanced for n = 0
         return Ok(Bisection::from_sides(g, Vec::new()).expect("empty sides fit"));
     }
 
@@ -71,7 +73,6 @@ pub fn minimum_bisection(g: &Graph) -> Result<Bisection, TooLargeError> {
         best_sides[v as usize] = true;
     }
     let mut best_cut = Bisection::from_sides(g, best_sides.clone())
-        // lint: allow(no-panic) — exactly ⌊n/2⌋ vertices were sent to side B
         .expect("initial incumbent valid")
         .cut();
 
@@ -101,7 +102,6 @@ pub fn minimum_bisection(g: &Graph) -> Result<Bisection, TooLargeError> {
         search.recurse(&mut sides, 0, 0, 0, 0);
     }
 
-    // lint: allow(no-panic) — the search only stores full balanced assignments
     Ok(Bisection::from_sides(g, best_sides).expect("search produced full assignment"))
 }
 

@@ -86,6 +86,9 @@ impl FiducciaMattheyses {
     /// As [`FiducciaMattheyses::pass`], drawing the gain buckets, the
     /// working bisection, and every per-move array from `ws` — no heap
     /// allocations once the workspace is warm.
+    // lint: allow(no-panic) — pass-loop expects: both prepare branches leave
+    // fm_work populated, and `choice` is Some only when that bucket had a
+    // peek.
     pub fn pass_in(&self, g: &Graph, p: &mut Bisection, ws: &mut Workspace) -> u64 {
         let n = g.num_vertices();
         if n < 2 {
@@ -126,7 +129,6 @@ impl FiducciaMattheyses {
             // lint: allow(zero-alloc) — one-time workspace warm-up, recycled afterwards
             ws.fm_work = Some(p.clone());
         }
-        // lint: allow(no-panic) — both branches above leave fm_work populated
         let work = ws.fm_work.as_mut().expect("just populated");
         ws.locked.clear();
         ws.locked.resize(n, false);
@@ -172,7 +174,6 @@ impl FiducciaMattheyses {
                 }
             }
             let Some((gain, side)) = choice else { break };
-            // lint: allow(no-panic) — choice is Some only when that bucket had a peek
             let (_, v) = buckets[side.index()].pop_best().expect("peeked nonempty");
             locked[v as usize] = true;
             work.move_vertex(g, v);
@@ -345,7 +346,6 @@ impl BoundaryFm {
         if let Some(w) = ws.fm_work.as_mut() {
             w.copy_from(p);
         } else {
-            // lint: allow(zero-alloc) — one-time workspace warm-up, recycled afterwards
             ws.fm_work = Some(p.clone());
         }
         ws.locked.clear();
@@ -365,6 +365,9 @@ impl BoundaryFm {
     /// One boundary-seeded pass. On entry and exit: `ws.gain_cache` is
     /// exact for `(g, p)`, `ws.fm_work` mirrors `p`, `ws.fm_buckets`
     /// are empty, `ws.locked` is all-false, `ws.fm_touched` is empty.
+    // lint: allow(no-panic) — pass-loop expects: refine_with_cache populated
+    // fm_work before any pass, and `choice` is Some only when that bucket
+    // had a peek.
     fn pass_with_cache(
         &self,
         g: &Graph,
@@ -384,7 +387,6 @@ impl BoundaryFm {
             buckets[p.side(v).index()].insert(v, cache.gain(v));
             touched.push(v);
         }
-        // lint: allow(no-panic) — refine_with_cache populated fm_work before any pass
         let work = ws.fm_work.as_mut().expect("fm_work prepared");
         let locked = &mut ws.locked;
         ws.fm_moves.clear();
@@ -427,7 +429,6 @@ impl BoundaryFm {
                 }
             }
             let Some((gain, side)) = choice else { break };
-            // lint: allow(no-panic) — choice is Some only when that bucket had a peek
             let (_, v) = buckets[side.index()].pop_best().expect("peeked nonempty");
             locked[v as usize] = true;
             // Bucket gains are exact virtual gains for `work` (seeded

@@ -31,11 +31,8 @@ impl GainBuckets {
         let width = (2 * max_gain_abs + 1).max(1) as usize;
         GainBuckets {
             offset: max_gain_abs,
-            // lint: allow(zero-alloc) — constructor warm-up; reset() reuses these
             buckets: vec![Vec::new(); width],
-            // lint: allow(zero-alloc) — constructor warm-up; reset() reuses these
             pos: vec![u32::MAX; num_elements],
-            // lint: allow(zero-alloc) — constructor warm-up; reset() reuses these
             gain: vec![0; num_elements],
             max_idx: 0,
             len: 0,

@@ -131,6 +131,9 @@ impl NetlistFm {
     /// is exact for `(nl, p)`, `ws.netlist_work` mirrors `p`,
     /// `ws.fm_buckets` are empty, `ws.locked` is all-false,
     /// `ws.fm_touched` is empty.
+    // lint: allow(no-panic) — pass-loop expects: prepare() populated
+    // netlist_work before any pass, `choice` is Some only when that bucket
+    // had a peek, and the same Option is re-unwrapped at rollback.
     fn pass_with_cache(
         &self,
         nl: &Netlist,
@@ -154,7 +157,6 @@ impl NetlistFm {
             buckets[p.side(c).index()].insert(c, cache.gain(c));
             touched.push(c);
         }
-        // lint: allow(no-panic) — prepare() populated netlist_work before any pass
         let work = ws.netlist_work.as_mut().expect("netlist_work prepared");
         let locked = &mut ws.locked;
         ws.fm_moves.clear();
@@ -197,7 +199,6 @@ impl NetlistFm {
                 }
             }
             let Some((gain, side)) = choice else { break };
-            // lint: allow(no-panic) — choice is Some only when that bucket had a peek
             let (_, c) = buckets[side.index()].pop_best().expect("peeked nonempty");
             locked[c as usize] = true;
 
@@ -265,7 +266,6 @@ impl NetlistFm {
         // Rewind the uncommitted virtual tail so netlist_work mirrors
         // `p` again. Each cell moved at most once per pass, so moving
         // it back restores its side regardless of order.
-        // lint: allow(no-panic) — the same Option was unwrapped at pass start
         let work = ws.netlist_work.as_mut().expect("netlist_work prepared");
         for &c in &moves[committed..] {
             work.move_cell(nl, c);
@@ -322,7 +322,6 @@ fn prepare(nl: &Netlist, p: &NetlistBisection, ws: &mut Workspace) -> (u64, u64)
     if let Some(w) = ws.netlist_work.as_mut() {
         w.copy_from(p);
     } else {
-        // lint: allow(zero-alloc) — one-time workspace warm-up, recycled afterwards
         ws.netlist_work = Some(p.clone());
     }
     ws.locked.clear();

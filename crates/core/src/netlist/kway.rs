@@ -249,6 +249,8 @@ pub fn recursive_placement(
 ///
 /// [`BisectError::InvalidPartCount`] unless `parts` is a positive
 /// power of two.
+// lint: allow(no-panic) — indexing stays in range: i < m, local pins are
+// < m + 2, and netlist cell weights are ≥ 1.
 pub fn recursive_placement_counted(
     pipeline: &NetlistPipeline,
     nl: &Netlist,
@@ -298,7 +300,6 @@ pub fn recursive_placement_counted(
         for (i, &c) in cells.iter().enumerate() {
             builder
                 .set_cell_weight(i as u32, nl.cell_weight(c))
-                // lint: allow(no-panic) — i < m and netlist cell weights are ≥ 1
                 .expect("local id in range, weight positive");
         }
         let (c0x, c0y) = r0.center();
@@ -340,7 +341,6 @@ pub fn recursive_placement_counted(
                 if pins_local.len() >= 2 {
                     builder
                         .add_weighted_net(&pins_local, nl.net_weight(net))
-                        // lint: allow(no-panic) — local pins are < m + 2, weights ≥ 1
                         .expect("local pins in range, weight positive");
                 }
             }

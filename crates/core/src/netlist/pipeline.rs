@@ -176,6 +176,9 @@ impl NetlistPipeline {
 /// plain random start); (3) one refinement per level, coarsest first,
 /// each from the projected and rebalanced bisection of the level below,
 /// with the gain cache projected alongside for refiners that opt in.
+// lint: allow(no-panic) — V-cycle shape invariants: fixed_ladder has one
+// entry per level, the ladder is non-empty when indexed, and
+// project_sides returns one entry per fine cell.
 fn run(
     depth: CoarsenDepth,
     refiner: &(dyn NetlistRefiner + Send + Sync),
@@ -214,7 +217,6 @@ fn run(
                 break;
             }
             if has_fixed {
-                // lint: allow(no-panic) — fixed_ladder has one entry per level by construction
                 let cur_fixed = fixed_ladder.last().expect("one entry per level");
                 skip.clear();
                 skip.extend(cur_fixed.iter().map(Option::is_some));
@@ -227,7 +229,6 @@ fn run(
             contract_cells(cur, &pairs)
         };
         let next_fixed = if has_fixed {
-            // lint: allow(no-panic) — fixed_ladder has one entry per level by construction
             let cur_fixed = fixed_ladder.last().expect("one entry per level");
             let mut next: Vec<Option<Side>> = vec![None; contraction.coarse().num_cells()];
             for (c, s) in cur_fixed.iter().enumerate() {
@@ -270,16 +271,14 @@ fn run(
     let projected_cache =
         refiner.wants_projected_cache() && !ladder.is_empty() && coarsest_cells >= 2;
     if projected_cache {
-        // lint: allow(no-panic) — guarded by !ladder.is_empty() above
         let coarsest: &Netlist = ladder.last().map(|c| c.coarse()).expect("nonempty ladder");
         ws.netlist_cache.init(coarsest, &current);
     }
     for i in (0..ladder.len()).rev() {
         let fine: &Netlist = if i == 0 { nl } else { ladder[i - 1].coarse() };
         let sides = ladder[i].project_sides(current.sides());
-        let mut projected = NetlistBisection::from_sides(fine, sides)
-            // lint: allow(no-panic) — project_sides returns one entry per fine cell
-            .expect("projection covers every fine cell");
+        let mut projected =
+            NetlistBisection::from_sides(fine, sides).expect("projection covers every fine cell");
         flags.clear();
         flags.extend(fixed_ladder[i].iter().map(Option::is_some));
         let (refined, stage) = if projected_cache {

@@ -51,10 +51,10 @@ pub fn weight_balanced_random<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisect
 /// A bisection whose side A is a breadth-first ball around a random
 /// start vertex: the first ⌈n/2⌉ vertices of a BFS order (continuing
 /// from further random roots if the component is exhausted).
+// lint: allow(no-panic) — side has one entry per vertex by construction
 pub fn bfs_balanced<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisection {
     let n = g.num_vertices();
     if n == 0 {
-        // lint: allow(no-panic) — side has one entry per vertex by construction
         return Bisection::from_sides(g, Vec::new()).expect("empty ok");
     }
     let half = n.div_ceil(2);
@@ -79,7 +79,6 @@ pub fn bfs_balanced<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Bisection {
             }
         }
     }
-    // lint: allow(no-panic) — side has one entry per vertex by construction
     Bisection::from_sides(g, side).expect("side vector has correct length")
 }
 

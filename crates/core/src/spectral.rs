@@ -118,10 +118,11 @@ impl Bisector for SpectralBisector {
         "Spectral".into()
     }
 
+    // lint: allow(no-panic) — the empty assignment is balanced for n = 0,
+    // and otherwise side has n entries with exactly ⌈n/2⌉ on side A.
     fn bisect(&self, g: &Graph, rng: &mut dyn RngCore) -> Bisection {
         let n = g.num_vertices();
         if n == 0 {
-            // lint: allow(no-panic) — the empty assignment is balanced for n = 0
             return Bisection::from_sides(g, Vec::new()).expect("empty ok");
         }
         let fiedler = self.fiedler_vector(g, rng);
@@ -137,7 +138,6 @@ impl Bisector for SpectralBisector {
         for &v in order.iter().take(n.div_ceil(2)) {
             side[v as usize] = false;
         }
-        // lint: allow(no-panic) — side has n entries with exactly ⌈n/2⌉ on side A
         let mut p = Bisection::from_sides(g, side).expect("side vector correct length");
         rebalance(g, &mut p);
         p

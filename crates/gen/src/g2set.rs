@@ -117,6 +117,7 @@ impl G2setParams {
 
 /// Samples a `G2set` graph. Side A is vertices `0..n`, side B is
 /// `n..2n`.
+// lint: allow(no-panic) — side/cross ids are < 2n by construction
 pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
     let n = params.side_size();
     let mut builder = GraphBuilder::new(params.num_vertices);
@@ -135,7 +136,6 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
         },
     );
     for (u, v, _) in side_a.edges() {
-        // lint: allow(no-panic) — side/cross ids are < 2n by construction
         builder.add_edge(u, v).expect("side A edges valid");
     }
     let side_b = gnp::sample(
@@ -148,7 +148,6 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
     for (u, v, _) in side_b.edges() {
         builder
             .add_edge(u + n as VertexId, v + n as VertexId)
-            // lint: allow(no-panic) — side/cross ids are < 2n by construction
             .expect("side B edges valid");
     }
 
@@ -165,7 +164,6 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
             let j = rng.gen_range(i..pairs.len());
             pairs.swap(i, j);
             let (a, b) = pairs[i];
-            // lint: allow(no-panic) — side/cross ids are < 2n by construction
             builder.add_edge(a, b).expect("cross edges valid");
         }
     } else {
@@ -176,7 +174,6 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &G2setParams) -> Graph {
             let a = rng.gen_range(0..n) as VertexId;
             let b = (n + rng.gen_range(0..n)) as VertexId;
             if chosen.insert((a, b)) {
-                // lint: allow(no-panic) — side/cross ids are < 2n by construction
                 builder.add_edge(a, b).expect("cross edges valid");
             }
         }

@@ -67,6 +67,8 @@ impl GnpParams {
 }
 
 /// Samples a `Gnp` graph.
+// lint: allow(no-panic) — u < v < n by the loop bounds, and unrank_pair
+// yields a < b < n for positions < C(n,2).
 pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GnpParams) -> Graph {
     let n = params.num_vertices;
     let p = params.p;
@@ -77,7 +79,6 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GnpParams) -> Graph {
     if p >= 1.0 {
         for u in 0..n as VertexId {
             for v in (u + 1)..n as VertexId {
-                // lint: allow(no-panic) — u < v < n by the loop bounds
                 builder.add_edge(u, v).expect("complete graph edges valid");
             }
         }
@@ -94,7 +95,6 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &GnpParams) -> Graph {
     while let Some((a, b)) = next_present_pair(rng, &mut position, n as u64, total_pairs, p) {
         builder
             .add_edge(a as VertexId, b as VertexId)
-            // lint: allow(no-panic) — unrank_pair yields a < b < n for positions < C(n,2)
             .expect("unranked pairs are valid distinct vertices");
     }
     builder.build()

@@ -11,11 +11,11 @@ use bisect_graph::{Graph, GraphBuilder, VertexId};
 
 /// The path `P_n` on `n` vertices (`n − 1` edges). Bisection width 1
 /// for even `n ≥ 2`.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn path(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
         b.add_edge((i - 1) as VertexId, i as VertexId)
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("path edges valid");
     }
     b.build()
@@ -26,12 +26,12 @@ pub fn path(n: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `n < 3` (smaller cycles are not simple graphs).
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least 3 vertices, got {n}");
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
         b.add_edge(i as VertexId, ((i + 1) % n) as VertexId)
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("cycle edges valid");
     }
     b.build()
@@ -45,6 +45,7 @@ pub fn cycle(n: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `len < 3`.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn cycle_collection(count: usize, len: usize) -> Graph {
     assert!(len >= 3, "cycle length must be at least 3, got {len}");
     let mut b = GraphBuilder::new(count * len);
@@ -52,7 +53,6 @@ pub fn cycle_collection(count: usize, len: usize) -> Graph {
         let base = c * len;
         for i in 0..len {
             b.add_edge((base + i) as VertexId, (base + (i + 1) % len) as VertexId)
-                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("cycle edges valid");
         }
     }
@@ -62,6 +62,7 @@ pub fn cycle_collection(count: usize, len: usize) -> Graph {
 /// The `rows × cols` grid graph. For an `N × N` grid the bisection
 /// width is `N` (cut down the middle), the value the appendix's grid
 /// table compares against.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn grid(rows: usize, cols: usize) -> Graph {
     let mut b = GraphBuilder::new(rows * cols);
     let id = |r: usize, c: usize| (r * cols + c) as VertexId;
@@ -69,12 +70,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
         for c in 0..cols {
             if c + 1 < cols {
                 b.add_edge(id(r, c), id(r, c + 1))
-                    // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                     .expect("grid edges valid");
             }
             if r + 1 < rows {
                 b.add_edge(id(r, c), id(r + 1, c))
-                    // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                     .expect("grid edges valid");
             }
         }
@@ -89,6 +88,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if either dimension is `< 3` (wraparound would create
 /// parallel edges or self loops).
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn torus(rows: usize, cols: usize) -> Graph {
     assert!(
         rows >= 3 && cols >= 3,
@@ -99,10 +99,8 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             b.add_edge(id(r, c), id(r, (c + 1) % cols))
-                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("torus edges valid");
             b.add_edge(id(r, c), id((r + 1) % rows, c))
-                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("torus edges valid");
         }
     }
@@ -114,17 +112,15 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 /// plain KL "is known to fail badly" while SA does well). Bisection
 /// width 2 for even `k` (cut between two rungs), and the family of the
 /// appendix's ladder table.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn ladder(k: usize) -> Graph {
     let mut b = GraphBuilder::new(2 * k);
     for i in 0..k {
         let top = i as VertexId;
         let bottom = (k + i) as VertexId;
-        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(top, bottom).expect("rung valid");
         if i + 1 < k {
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             b.add_edge(top, top + 1).expect("rail valid");
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             b.add_edge(bottom, bottom + 1).expect("rail valid");
         }
     }
@@ -137,6 +133,7 @@ pub fn ladder(k: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `k < 3`.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn circular_ladder(k: usize) -> Graph {
     assert!(k >= 3, "circular ladder needs k >= 3, got {k}");
     let mut b = GraphBuilder::new(2 * k);
@@ -144,12 +141,9 @@ pub fn circular_ladder(k: usize) -> Graph {
         let top = i as VertexId;
         let bottom = (k + i) as VertexId;
         let next = (i + 1) % k;
-        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(top, bottom).expect("rung valid");
-        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(top, next as VertexId).expect("rail valid");
         b.add_edge(bottom, (k + next) as VertexId)
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("rail valid");
     }
     b.build()
@@ -159,11 +153,11 @@ pub fn circular_ladder(k: usize) -> Graph {
 /// has children `2i+1`, `2i+2` when in range). The appendix's binary
 /// tree table uses this family; trees are the worst case for plain KL
 /// in the paper's tests (56% improvement from compaction).
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn binary_tree(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for i in 1..n {
         b.add_edge(i as VertexId, ((i - 1) / 2) as VertexId)
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("tree edges valid");
     }
     b.build()
@@ -175,6 +169,7 @@ pub fn binary_tree(n: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `dim >= 31` (vertex ids would overflow).
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn hypercube(dim: u32) -> Graph {
     assert!(dim < 31, "hypercube dimension too large: {dim}");
     let n = 1usize << dim;
@@ -184,7 +179,6 @@ pub fn hypercube(dim: u32) -> Graph {
             let u = v ^ (1 << bit);
             if u > v {
                 b.add_edge(v as VertexId, u as VertexId)
-                    // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                     .expect("hypercube edges valid");
             }
         }
@@ -193,12 +187,12 @@ pub fn hypercube(dim: u32) -> Graph {
 }
 
 /// The complete graph `K_n`. Bisection width `⌊n/2⌋·⌈n/2⌉`.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn complete(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
             b.add_edge(u as VertexId, v as VertexId)
-                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("complete edges valid");
         }
     }
@@ -211,11 +205,11 @@ pub fn complete(n: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `n == 0`.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn star(n: usize) -> Graph {
     assert!(n >= 1, "star needs at least one vertex");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
         b.add_edge(0, v as VertexId).expect("star edges valid");
     }
     b.build()
@@ -227,16 +221,15 @@ pub fn star(n: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `n < 4`.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn wheel(n: usize) -> Graph {
     assert!(n >= 4, "wheel needs at least 4 vertices, got {n}");
     let rim = n - 1;
     let mut b = GraphBuilder::new(n);
     for i in 0..rim {
         b.add_edge(i as VertexId, ((i + 1) % rim) as VertexId)
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("rim valid");
         b.add_edge(i as VertexId, rim as VertexId)
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("spoke valid");
     }
     b.build()
@@ -250,20 +243,19 @@ pub fn wheel(n: usize) -> Graph {
 /// # Panics
 ///
 /// Panics if `spine == 0`.
+// lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine >= 1, "caterpillar needs a nonempty spine");
     let n = spine * (1 + legs);
     let mut b = GraphBuilder::new(n);
     for i in 1..spine {
         b.add_edge((i - 1) as VertexId, i as VertexId)
-            // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
             .expect("spine valid");
     }
     let mut next = spine;
     for i in 0..spine {
         for _ in 0..legs {
             b.add_edge(i as VertexId, next as VertexId)
-                // lint: allow(no-panic) — endpoints are in range by the constructor arithmetic
                 .expect("leg valid");
             next += 1;
         }

@@ -95,6 +95,8 @@ impl Contraction {
 /// # Panics
 ///
 /// Panics if the matching was built for a different vertex count.
+// lint: allow(no-panic) — sums of positive fine weights stay positive,
+// cu != cv is checked before add_edge, and ids are in range.
 pub fn contract_matching(g: &Graph, m: &Matching) -> Contraction {
     let n = g.num_vertices();
     // Assign coarse ids.
@@ -127,7 +129,6 @@ pub fn contract_matching(g: &Graph, m: &Matching) -> Contraction {
     for (c, &w) in weights.iter().enumerate() {
         builder
             .set_vertex_weight(c as VertexId, w)
-            // lint: allow(no-panic) — sums of positive fine weights stay positive
             .expect("coarse weights are positive sums of positive weights");
     }
     for (u, v, w) in g.edges() {
@@ -135,7 +136,6 @@ pub fn contract_matching(g: &Graph, m: &Matching) -> Contraction {
         if cu != cv {
             builder
                 .add_weighted_edge(cu, cv, w)
-                // lint: allow(no-panic) — cu != cv was just checked and ids are in range
                 .expect("coarse endpoints are in range and distinct");
         }
     }

@@ -128,11 +128,12 @@ impl Netlist {
     /// This is the standard graph approximation of a netlist — it
     /// over-counts multi-pin nets in the cut, which is what the
     /// hypergraph-native FM avoids.
+    // lint: allow(no-panic) — netlist cell weights are positive by
+    // construction, and pins are deduped in-range cells with u < v.
     pub fn to_clique_graph(&self) -> Graph {
         let mut b = GraphBuilder::new(self.num_cells());
         for (c, &w) in self.cell_weights.iter().enumerate() {
             b.set_vertex_weight(c as VertexId, w)
-                // lint: allow(no-panic) — netlist cell weights are positive by construction
                 .expect("cell weights positive");
         }
         for n in self.net_ids() {
@@ -140,7 +141,6 @@ impl Netlist {
             let w = self.net_weight(n);
             for (i, &u) in pins.iter().enumerate() {
                 for &v in &pins[i + 1..] {
-                    // lint: allow(no-panic) — pins are deduped in-range cells, u < v here
                     b.add_weighted_edge(u, v, w).expect("pins valid, distinct");
                 }
             }
@@ -151,16 +151,16 @@ impl Netlist {
     /// Views a graph as a netlist of two-pin nets (the inverse of
     /// [`to_clique_graph`](Netlist::to_clique_graph) for ordinary
     /// graphs).
+    // lint: allow(no-panic) — graph vertex weights are positive by
+    // construction, and edges have in-range endpoints and positive weight.
     pub fn from_graph(g: &Graph) -> Netlist {
         let mut b = NetlistBuilder::new(g.num_vertices());
         for v in g.vertices() {
             b.set_cell_weight(v, g.vertex_weight(v))
-                // lint: allow(no-panic) — graph vertex weights are positive by construction
                 .expect("weights valid");
         }
         for (u, v, w) in g.edges() {
             b.add_weighted_net(&[u, v], w)
-                // lint: allow(no-panic) — graph edges have in-range endpoints and positive weight
                 .expect("edges are valid 2-pin nets");
         }
         b.build()
@@ -229,6 +229,8 @@ impl NetlistContraction {
 ///
 /// Panics if a cell appears in two pairs, a pair repeats a cell, or a
 /// cell id is out of range.
+// lint: allow(no-panic) — sums of positive fine weights stay positive,
+// and merged pin sets are in-range coarse cells.
 pub fn contract_cells(nl: &Netlist, pairs: &[(VertexId, VertexId)]) -> NetlistContraction {
     let n = nl.num_cells();
     let mut fine_to_coarse = vec![VertexId::MAX; n];
@@ -265,7 +267,6 @@ pub fn contract_cells(nl: &Netlist, pairs: &[(VertexId, VertexId)]) -> NetlistCo
     for (c, &w) in weights.iter().enumerate() {
         builder
             .set_cell_weight(c as VertexId, w)
-            // lint: allow(no-panic) — sums of positive fine weights stay positive
             .expect("coarse weights are positive sums");
     }
     // Coarse nets, merged by identical pin sets. A BTreeMap keeps the
@@ -290,7 +291,6 @@ pub fn contract_cells(nl: &Netlist, pairs: &[(VertexId, VertexId)]) -> NetlistCo
     for (pins, w) in merged {
         builder
             .add_weighted_net(&pins, w)
-            // lint: allow(no-panic) — merged pin sets are in-range coarse cells, weights summed positive
             .expect("coarse pins valid");
     }
     NetlistContraction {

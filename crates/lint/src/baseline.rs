@@ -1,0 +1,242 @@
+//! Baseline/diff mode: `bisect-lint --baseline lint_baseline.json`
+//! fails only on findings that are *new* relative to a committed
+//! snapshot, so a rule can tighten before every legacy violation is
+//! paid off. The snapshot is a previous `lint.json` (written by
+//! `--update-baseline`); findings are keyed by (rule, file, message)
+//! with multiplicity — line numbers are deliberately excluded so
+//! unrelated edits shifting a file do not resurrect baselined
+//! findings. The committed baseline is expected to stay empty in CI
+//! (the repo is at zero findings); the mechanism exists for rule
+//! rollout and for downstream forks.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::engine::Report;
+use crate::error::LintError;
+
+/// A parsed baseline: finding multiplicities keyed by
+/// (rule, file, message).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses a baseline from a previous report's JSON text.
+    ///
+    /// The reader understands exactly the format [`Report::to_json`]
+    /// writes (the workspace has no serde): it locates the
+    /// `"diagnostics"` array and extracts the `rule`/`file`/`message`
+    /// string fields of each record.
+    ///
+    /// # Errors
+    ///
+    /// [`LintError::Config`] when the text has no `"diagnostics"`
+    /// array or a record is missing one of the key fields.
+    pub fn from_json(text: &str) -> Result<Baseline, LintError> {
+        let bad = |message: String| LintError::Config { line: 0, message };
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for (idx, obj) in diagnostic_objects(text)
+            .ok_or_else(|| bad("baseline has no \"diagnostics\" array".into()))?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| {
+                string_field(obj, key)
+                    .ok_or_else(|| bad(format!("baseline diagnostic #{idx} is missing \"{key}\"")))
+            };
+            let key = (field("rule")?, field("file")?, field("message")?);
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline from a live report.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for d in &report.diagnostics {
+            let key = (d.rule.to_string(), d.file.clone(), d.message.clone());
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total findings the baseline waives.
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether the baseline waives nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The diagnostics of `report` not covered by this baseline, in
+    /// report order. Each baselined (rule, file, message) key absorbs
+    /// at most its recorded multiplicity.
+    pub fn new_findings(&self, report: &Report) -> Vec<Diagnostic> {
+        let mut remaining = self.counts.clone();
+        let mut new = Vec::new();
+        for d in &report.diagnostics {
+            let key = (d.rule.to_string(), d.file.clone(), d.message.clone());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => new.push(d.clone()),
+            }
+        }
+        new
+    }
+}
+
+/// The `{…}` record substrings of the `"diagnostics"` array in `text`,
+/// or `None` when the array is absent. String- and escape-aware, so
+/// braces inside messages cannot derail the scan.
+fn diagnostic_objects(text: &str) -> Option<Vec<&str>> {
+    let at = text.find("\"diagnostics\"")?;
+    let rest = &text[at..];
+    let open = rest.find('[')?;
+    let body = &rest[open + 1..];
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    objects.push(&body[start?..=i]);
+                    start = None;
+                }
+            }
+            ']' if depth == 0 => return Some(objects),
+            _ => {}
+        }
+    }
+    // Unterminated array: treat what was collected as the content.
+    Some(objects)
+}
+
+/// Extracts and unescapes the string value of `"key": "…"` in `obj`.
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\"");
+    let at = obj.find(&marker)?;
+    let rest = obj[at + marker.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn diag(rule: &'static str, file: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.into(),
+            line,
+            col: 1,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    fn report_with(diags: Vec<Diagnostic>) -> Report {
+        Report {
+            diagnostics: diags,
+            suppressed: 0,
+            files_scanned: 1,
+            unused_suppressions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_report_json() {
+        let report = report_with(vec![
+            diag("no-panic", "a.rs", 3, "`.unwrap()` in non-test code"),
+            diag(
+                "zero-alloc",
+                "b.rs",
+                9,
+                "a \"quoted\" message with \\ and {braces}",
+            ),
+        ]);
+        let parsed = Baseline::from_json(&report.to_json()).expect("parses own output");
+        assert_eq!(parsed, Baseline::from_report(&report));
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.new_findings(&report).is_empty());
+    }
+
+    #[test]
+    fn new_findings_respect_multiplicity_not_lines() {
+        let old = report_with(vec![diag("no-panic", "a.rs", 3, "m")]);
+        let base = Baseline::from_report(&old);
+        // Same finding moved to another line: still baselined.
+        let moved = report_with(vec![diag("no-panic", "a.rs", 30, "m")]);
+        assert!(base.new_findings(&moved).is_empty());
+        // A second instance of the same key is new.
+        let doubled = report_with(vec![
+            diag("no-panic", "a.rs", 3, "m"),
+            diag("no-panic", "a.rs", 4, "m"),
+        ]);
+        let new = base.new_findings(&doubled);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 4);
+    }
+
+    #[test]
+    fn empty_baseline_passes_everything_through() {
+        let base = Baseline::from_json(&report_with(vec![]).to_json()).expect("empty");
+        assert!(base.is_empty());
+        let report = report_with(vec![diag("no-panic", "a.rs", 1, "m")]);
+        assert_eq!(base.new_findings(&report).len(), 1);
+    }
+
+    #[test]
+    fn rejects_json_without_a_diagnostics_array() {
+        assert!(Baseline::from_json("{}").is_err());
+        assert!(Baseline::from_json("").is_err());
+    }
+}

@@ -36,6 +36,28 @@ pub struct Config {
     pub crate_roots: Vec<String>,
     /// Where public items must be documented (`api-docs`).
     pub api_docs_paths: Vec<String>,
+    /// Hot-path entry points (`fn` or `Type::fn`) that seed the
+    /// zero-alloc reachability analysis. Empty ⇒ every function in
+    /// `hot_paths` files is a root (the per-file PR-3 semantics).
+    pub alloc_roots: Vec<String>,
+    /// Files whose allocations are sanctioned even when reachable
+    /// (the `Workspace` arena boundary).
+    pub alloc_allow: Vec<String>,
+    /// Whether `x[i]` indexing counts as a panic site for the
+    /// no-panic analysis (off by default: the partitioners index
+    /// invariant-backed adjacency arrays everywhere).
+    pub index_panics: bool,
+    /// The only paths allowed to own parallelism primitives
+    /// (`par-safety-thread`) and shared-state types.
+    pub par_sanctioned: Vec<String>,
+    /// Paths held to the parallel-consumer discipline: no interior
+    /// mutability, parallelism only via the sanctioned entry points
+    /// (`par-safety-sync`).
+    pub par_consumers: Vec<String>,
+    /// The sanctioned parallel entry-point names (`par_map`, …);
+    /// calling one makes a consumer's reachable set subject to the
+    /// shared-state check.
+    pub par_entry_points: Vec<String>,
 }
 
 /// Whether `path` equals one of `prefixes` or sits beneath one.
@@ -85,8 +107,7 @@ impl Config {
                 value.push(' ');
                 value.push_str(strip_comment(next).trim());
             }
-            let strings = parse_value(&value, line_no)?;
-            cfg.assign(&section, key, strings, line_no)?;
+            cfg.assign(&section, key, &value, line_no)?;
         }
         Ok(cfg)
     }
@@ -95,9 +116,24 @@ impl Config {
         &mut self,
         section: &str,
         key: &str,
-        value: Vec<String>,
+        raw: &str,
         line: usize,
     ) -> Result<(), LintError> {
+        // Boolean keys take bare `true`/`false`.
+        if (section, key) == ("reachability", "index_panics") {
+            self.index_panics = match raw {
+                "true" => true,
+                "false" => false,
+                other => {
+                    return Err(LintError::Config {
+                        line,
+                        message: format!("expected `true` or `false` for `{key}`, got `{other}`"),
+                    })
+                }
+            };
+            return Ok(());
+        }
+        let value = parse_value(raw, line)?;
         let slot = match (section, key) {
             ("scan", "include") => &mut self.include,
             ("scan", "exclude") => &mut self.exclude,
@@ -109,6 +145,11 @@ impl Config {
             ("zero_alloc", "hot_paths") => &mut self.hot_paths,
             ("unsafe_hygiene", "crate_roots") => &mut self.crate_roots,
             ("api_docs", "paths") => &mut self.api_docs_paths,
+            ("reachability", "alloc_roots") => &mut self.alloc_roots,
+            ("reachability", "alloc_allow") => &mut self.alloc_allow,
+            ("par_safety", "sanctioned") => &mut self.par_sanctioned,
+            ("par_safety", "consumer_paths") => &mut self.par_consumers,
+            ("par_safety", "entry_points") => &mut self.par_entry_points,
             _ => {
                 return Err(LintError::Config {
                     line,

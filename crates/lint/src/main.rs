@@ -1,23 +1,36 @@
 //! The `bisect-lint` binary: lint the workspace against `lint.toml`,
-//! print human-readable findings, optionally write a JSON report, and
-//! exit nonzero when any non-suppressed diagnostic remains.
+//! print human-readable findings, optionally write JSON reports, diff
+//! against a committed baseline, and exit nonzero when anything
+//! actionable remains.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use bisect_lint::{Config, LintError, Report};
+use bisect_lint::{Baseline, Config, LintError, Report};
 
 const HELP: &str = "bisect-lint — workspace invariant enforcement
 
 USAGE:
     bisect-lint [--root DIR] [--config FILE] [--json [FILE]]
+                [--baseline FILE] [--update-baseline [FILE]]
+                [--suppressions [FILE]]
 
 OPTIONS:
-    --root DIR      Workspace root to lint (default: .)
-    --config FILE   Configuration file, relative to the root
-                    (default: lint.toml)
-    --json [FILE]   Also write a JSON report (default path: lint.json)
-    -h, --help      Show this help
+    --root DIR        Workspace root to lint (default: .)
+    --config FILE     Configuration file, relative to the root
+                      (default: lint.toml)
+    --json [FILE]     Also write a JSON report (default path: lint.json)
+    --baseline FILE   Fail only on findings not present in a committed
+                      baseline report (keyed by rule/file/message)
+    --update-baseline [FILE]
+                      Write the current findings as the new baseline
+                      (default path: lint_baseline.json)
+    --suppressions [FILE]
+                      Write the suppression audit (default path:
+                      suppressions.json) and fail on unused
+                      suppressions
+    -h, --help        Show this help
 
 EXIT STATUS:
     0  no findings        1  findings reported        2  usage/io error
@@ -27,6 +40,9 @@ struct Options {
     root: PathBuf,
     config: PathBuf,
     json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: Option<PathBuf>,
+    suppressions: Option<PathBuf>,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Option<Options>, LintError> {
@@ -35,6 +51,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Option<Options>,
         root: PathBuf::from("."),
         config: PathBuf::from("lint.toml"),
         json: None,
+        baseline: None,
+        update_baseline: None,
+        suppressions: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,14 +70,17 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Option<Options>,
                         LintError::InvalidArgument("--config needs a value".into())
                     })?);
             }
-            "--json" => {
-                // The path operand is optional, like repro's --json.
-                opts.json = Some(match args.peek() {
-                    Some(next) if !next.starts_with('-') => {
-                        PathBuf::from(args.next().unwrap_or_default())
-                    }
-                    _ => PathBuf::from("lint.json"),
-                });
+            "--json" => opts.json = Some(optional_path(&mut args, "lint.json")),
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or_else(|| {
+                    LintError::InvalidArgument("--baseline needs a value".into())
+                })?));
+            }
+            "--update-baseline" => {
+                opts.update_baseline = Some(optional_path(&mut args, "lint_baseline.json"));
+            }
+            "--suppressions" => {
+                opts.suppressions = Some(optional_path(&mut args, "suppressions.json"));
             }
             other => {
                 return Err(LintError::InvalidArgument(format!(
@@ -70,7 +92,25 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Option<Options>,
     Ok(Some(opts))
 }
 
-fn run(opts: &Options) -> Result<Report, LintError> {
+/// `--flag [PATH]` with the operand optional, like repro's --json.
+fn optional_path<I: Iterator<Item = String>>(
+    args: &mut std::iter::Peekable<I>,
+    default: &str,
+) -> PathBuf {
+    match args.peek() {
+        Some(next) if !next.starts_with('-') => PathBuf::from(args.next().unwrap_or_default()),
+        _ => PathBuf::from(default),
+    }
+}
+
+fn write(path: &PathBuf, text: String) -> Result<(), LintError> {
+    std::fs::write(path, text).map_err(|e| LintError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn run(opts: &Options) -> Result<(Report, Option<Baseline>), LintError> {
     let config_path = opts.root.join(&opts.config);
     let text = std::fs::read_to_string(&config_path).map_err(|e| LintError::Io {
         path: config_path.display().to_string(),
@@ -79,12 +119,25 @@ fn run(opts: &Options) -> Result<Report, LintError> {
     let cfg = Config::from_toml(&text)?;
     let report = bisect_lint::lint_workspace(&opts.root, &cfg)?;
     if let Some(json_path) = &opts.json {
-        std::fs::write(json_path, report.to_json()).map_err(|e| LintError::Io {
-            path: json_path.display().to_string(),
-            message: e.to_string(),
-        })?;
+        write(json_path, report.to_json())?;
     }
-    Ok(report)
+    if let Some(path) = &opts.update_baseline {
+        write(path, report.to_json())?;
+    }
+    if let Some(path) = &opts.suppressions {
+        write(path, report.suppressions_json())?;
+    }
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| LintError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            Some(Baseline::from_json(&text)?)
+        }
+        None => None,
+    };
+    Ok((report, baseline))
 }
 
 fn main() -> ExitCode {
@@ -99,9 +152,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let started = Instant::now();
     match run(&opts) {
-        Ok(report) => {
-            for d in &report.diagnostics {
+        Ok((report, baseline)) => {
+            let actionable = match &baseline {
+                Some(base) => base.new_findings(&report),
+                None => report.diagnostics.clone(),
+            };
+            for d in &actionable {
                 println!("{d}");
             }
             let (errors, warnings) = report.counts();
@@ -115,10 +173,39 @@ fn main() -> ExitCode {
                 report.suppressed,
                 report.files_scanned,
             );
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
+            if let Some(base) = &baseline {
+                println!(
+                    "bisect-lint: baseline waives {} finding{}, {} new",
+                    base.len(),
+                    plural(base.len()),
+                    actionable.len(),
+                );
+            }
+            let mut failed = !actionable.is_empty();
+            if opts.suppressions.is_some() && !report.unused_suppressions.is_empty() {
+                for u in &report.unused_suppressions {
+                    println!(
+                        "{}:{}: unused suppression: allow({})",
+                        u.file,
+                        u.line,
+                        u.rules.join(", "),
+                    );
+                }
+                println!(
+                    "bisect-lint: {} unused suppression{} (delete the stale allows)",
+                    report.unused_suppressions.len(),
+                    plural(report.unused_suppressions.len()),
+                );
+                failed = true;
+            }
+            println!(
+                "bisect-lint: wall time {:.2}s",
+                started.elapsed().as_secs_f64()
+            );
+            if failed {
                 ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
             }
         }
         Err(e) => {

@@ -1,11 +1,13 @@
-//! Machine-readable output: `lint.json`, hand-rolled in the same
-//! flat-record style as `bisect_bench::json` writes
-//! `BENCH_results.json` (the workspace has no serde).
+//! Machine-readable output: `lint.json` and the suppressions report,
+//! hand-rolled in the same flat-record style as `bisect_bench::json`
+//! writes `BENCH_results.json` (the workspace has no serde).
 
 use crate::engine::Report;
 
 impl Report {
-    /// Serializes the report as pretty-printed JSON.
+    /// Serializes the report as pretty-printed JSON. This is also the
+    /// baseline format ([`crate::baseline::Baseline::from_json`] reads
+    /// the `diagnostics` array back).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"tool\": \"bisect-lint\",\n");
@@ -32,8 +34,44 @@ impl Report {
         if !self.diagnostics.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n");
+        out.push_str("  \"unused_suppressions\": [");
+        push_unused(&mut out, self);
         out.push_str("]\n}\n");
         out
+    }
+
+    /// Serializes the suppression audit: how many findings inline
+    /// suppressions absorbed and which comments never fired.
+    pub fn suppressions_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"bisect-lint-suppressions\",\n");
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str(&format!(
+            "  \"unused_count\": {},\n",
+            self.unused_suppressions.len()
+        ));
+        out.push_str("  \"unused\": [");
+        push_unused(&mut out, self);
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn push_unused(out: &mut String, report: &Report) {
+    for (i, u) in report.unused_suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": {}, ", escape(&u.file)));
+        out.push_str(&format!("\"line\": {}, ", u.line));
+        let rules: Vec<String> = u.rules.iter().map(|r| escape(r)).collect();
+        out.push_str(&format!("\"rules\": [{}]", rules.join(", ")));
+        out.push('}');
+    }
+    if !report.unused_suppressions.is_empty() {
+        out.push_str("\n  ");
     }
 }
 
@@ -60,6 +98,7 @@ fn escape(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::diag::{Diagnostic, Severity};
+    use crate::suppress::UnusedSuppression;
 
     #[test]
     fn empty_report_serializes_cleanly() {
@@ -67,12 +106,14 @@ mod tests {
             diagnostics: vec![],
             suppressed: 3,
             files_scanned: 12,
+            unused_suppressions: vec![],
         };
         let json = report.to_json();
         assert!(json.contains("\"tool\": \"bisect-lint\""));
         assert!(json.contains("\"files_scanned\": 12"));
         assert!(json.contains("\"suppressed\": 3"));
         assert!(json.contains("\"diagnostics\": []"));
+        assert!(json.contains("\"unused_suppressions\": []"));
     }
 
     #[test]
@@ -89,6 +130,7 @@ mod tests {
             }],
             suppressed: 0,
             files_scanned: 1,
+            unused_suppressions: vec![],
         };
         let json = report.to_json();
         assert!(json.contains("\"rule\": \"no-panic\""));
@@ -96,5 +138,27 @@ mod tests {
         assert!(json.contains("\"line\": 9"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"suggestion\": null"));
+    }
+
+    #[test]
+    fn suppressions_report_lists_unused_entries() {
+        let report = Report {
+            diagnostics: vec![],
+            suppressed: 7,
+            files_scanned: 2,
+            unused_suppressions: vec![UnusedSuppression {
+                file: "crates/core/src/kl.rs".into(),
+                line: 41,
+                rules: vec!["no-panic".into(), "zero-alloc".into()],
+            }],
+        };
+        let json = report.suppressions_json();
+        assert!(json.contains("\"tool\": \"bisect-lint-suppressions\""));
+        assert!(json.contains("\"suppressed\": 7"));
+        assert!(json.contains("\"unused_count\": 1"));
+        assert!(json.contains("\"line\": 41"));
+        assert!(json.contains("[\"no-panic\", \"zero-alloc\"]"));
+        let full = report.to_json();
+        assert!(full.contains("\"unused_suppressions\": [\n    {\"file\""));
     }
 }

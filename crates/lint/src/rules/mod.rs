@@ -1,30 +1,31 @@
-//! The rule set. Each rule decides which files it governs from the
-//! [`Config`] and walks the token stream of a [`SourceFile`], pushing
-//! [`Diagnostic`]s for violations in non-test code.
+//! The per-file rule set. Each rule decides which files it governs
+//! from the [`Config`] and walks the token stream of a [`SourceFile`],
+//! pushing [`Diagnostic`]s for violations in non-test code.
 //!
-//! To add a rule: implement [`Rule`], give it a unique kebab-case id
-//! (share a family prefix — `determinism-*` — when it belongs to an
-//! existing family so family-wide suppressions cover it), register it
-//! in [`all_rules`], scope it in `lint.toml`, and add a failing
-//! fixture under `crates/lint/tests/fixtures/`.
+//! This module holds only the *local* rules — the ones a single file
+//! decides. The interprocedural rules (`no-panic`, `zero-alloc`,
+//! `determinism-taint`, `par-safety-*`) live in [`crate::taint`] and
+//! run over the workspace call graph instead.
+//!
+//! To add a local rule: implement [`Rule`], give it a unique
+//! kebab-case id (share a family prefix — `determinism-*` — when it
+//! belongs to an existing family so family-wide suppressions cover
+//! it), register it in [`all_rules`], scope it in `lint.toml`, and add
+//! a failing fixture under `crates/lint/tests/fixtures/`.
 
 mod api_docs;
 mod determinism;
-mod no_panic;
 mod unsafe_hygiene;
-mod zero_alloc;
 
 pub use api_docs::ApiDocs;
 pub use determinism::{DeterminismEntropy, DeterminismHash, DeterminismTime};
-pub use no_panic::NoPanic;
 pub use unsafe_hygiene::UnsafeHygiene;
-pub use zero_alloc::ZeroAlloc;
 
 use crate::config::Config;
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
 
-/// A single static check.
+/// A single per-file static check.
 pub trait Rule {
     /// The rule's stable kebab-case id, used in output and in
     /// `// lint: allow(<id>)` suppressions.
@@ -37,14 +38,12 @@ pub trait Rule {
     fn check(&self, cfg: &Config, file: &SourceFile, out: &mut Vec<Diagnostic>);
 }
 
-/// Every shipped rule, in reporting order.
+/// Every shipped per-file rule, in reporting order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(DeterminismHash),
         Box::new(DeterminismTime),
         Box::new(DeterminismEntropy),
-        Box::new(NoPanic),
-        Box::new(ZeroAlloc),
         Box::new(UnsafeHygiene),
         Box::new(ApiDocs),
     ]

@@ -12,68 +12,198 @@
 //! bar().unwrap();
 //! ```
 //!
+//! A standalone comment sitting directly above a `fn` item (before its
+//! attributes and visibility) covers the whole item instead, so one
+//! comment certifies a function whose body repeats the same justified
+//! pattern many times:
+//!
+//! ```text
+//! // lint: allow(no-panic) — endpoints in range by construction
+//! pub fn ladder(n: usize) -> Graph { /* many add_edge calls */ }
+//! ```
+//!
 //! A rule id matches exactly or by family prefix: `allow(determinism)`
-//! covers `determinism-hash`, `determinism-time`, and
-//! `determinism-entropy`.
+//! covers `determinism-hash`, `determinism-time`, `determinism-taint`,
+//! and `determinism-entropy`.
+//!
+//! Every suppression tracks whether it fired. The engine reports the
+//! ones that never matched a finding ([`Suppressions::unused`]) so
+//! dead waivers are retired instead of rotting — `bisect-lint
+//! --suppressions` fails the build on them. For the call-graph rules a
+//! *fired* suppression is also a certification: a suppressed panic
+//! site does not make its function may-panic for callers (see
+//! DESIGN.md §14).
 
 use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parse::ParsedFile;
 use crate::source::SourceFile;
 
-/// One parsed suppression: the rules it allows and the lines it covers.
+/// One parsed suppression: the rules it allows and where it applies.
 #[derive(Debug)]
-struct Suppression {
+struct Entry {
     rules: Vec<String>,
+    /// Exact lines covered (the comment's own line, and the next code
+    /// line for standalone comments).
     lines: Vec<u32>,
+    /// Inclusive line span covered when the comment sits directly
+    /// above a `fn` item.
+    span: Option<(u32, u32)>,
+    /// The comment's own line, for the unused report.
+    at: u32,
+    used: bool,
 }
 
-/// Partitions `diags` into (kept, suppressed-count) under the
-/// suppression comments of `file`.
-pub fn apply(file: &SourceFile, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize) {
-    let suppressions = collect(file);
-    let mut kept = Vec::with_capacity(diags.len());
-    let mut suppressed = 0usize;
-    for d in diags {
-        let hit = suppressions
-            .iter()
-            .any(|s| s.lines.contains(&d.line) && s.rules.iter().any(|r| rule_matches(r, d.rule)));
-        if hit {
-            suppressed += 1;
-        } else {
-            kept.push(d);
-        }
+impl Entry {
+    fn covers(&self, rule: &str, line: u32) -> bool {
+        let here =
+            self.lines.contains(&line) || self.span.is_some_and(|(s, e)| line >= s && line <= e);
+        here && self.rules.iter().any(|r| rule_matches(r, rule))
     }
-    (kept, suppressed)
 }
 
-/// Whether allowing `allowed` silences rule `rule` (exact id or family
-/// prefix).
-fn rule_matches(allowed: &str, rule: &str) -> bool {
-    rule == allowed
-        || rule
-            .strip_prefix(allowed)
-            .is_some_and(|r| r.starts_with('-'))
+/// The suppressions of one file, with per-entry usage tracking.
+#[derive(Debug, Default)]
+pub struct FileSuppressions {
+    entries: Vec<Entry>,
 }
 
-fn collect(file: &SourceFile) -> Vec<Suppression> {
-    let mut out = Vec::new();
-    for (i, t) in file.tokens.iter().enumerate() {
-        if t.is_trivia() && !matches!(t.kind, crate::lexer::TokenKind::Whitespace) {
+/// A suppression comment that never silenced or certified anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedSuppression {
+    /// Workspace-relative path of the file holding the comment.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rules the comment allows.
+    pub rules: Vec<String>,
+}
+
+impl FileSuppressions {
+    /// Parses the suppression comments of `file`. `parsed` supplies
+    /// item extents for fn-scope coverage.
+    pub fn collect(file: &SourceFile, parsed: &ParsedFile) -> FileSuppressions {
+        let mut entries = Vec::new();
+        for (i, t) in file.tokens.iter().enumerate() {
+            if !t.is_trivia() || matches!(t.kind, TokenKind::Whitespace) {
+                continue;
+            }
             let Some(rules) = parse_allow(file.tok(i)) else {
                 continue;
             };
             let mut lines = vec![t.line];
+            let mut span = None;
             if is_standalone(file, i) {
                 if let Some(next) = file.next_code(i + 1) {
-                    let next_line = file.tokens[next].line;
-                    if !lines.contains(&next_line) {
-                        lines.push(next_line);
+                    // Directly above a fn item → cover the whole item.
+                    span = parsed
+                        .fns
+                        .iter()
+                        .find(|f| f.item_start == next)
+                        .map(|f| f.line_range);
+                    if span.is_none() {
+                        let next_line = file.tokens[next].line;
+                        if !lines.contains(&next_line) {
+                            lines.push(next_line);
+                        }
                     }
                 }
             }
-            out.push(Suppression { rules, lines });
+            entries.push(Entry {
+                rules,
+                lines,
+                span,
+                at: t.line,
+                used: false,
+            });
+        }
+        FileSuppressions { entries }
+    }
+
+    /// Whether a suppression covers (`rule`, `line`), marking it used.
+    fn covers(&mut self, rule: &str, line: u32) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.covers(rule, line) {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// The suppression sets of every scanned file, indexed in parallel
+/// with the engine's file list, plus the total hit count.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    files: Vec<FileSuppressions>,
+    /// How many findings were silenced or certified.
+    pub hits: usize,
+}
+
+impl Suppressions {
+    /// Collects the suppressions of every file.
+    pub fn collect(files: &[SourceFile], parsed: &[ParsedFile]) -> Suppressions {
+        Suppressions {
+            files: files
+                .iter()
+                .zip(parsed)
+                .map(|(f, p)| FileSuppressions::collect(f, p))
+                .collect(),
+            hits: 0,
         }
     }
-    out
+
+    /// Whether a suppression in file `file` covers (`rule`, `line`).
+    /// A hit marks the suppression used and counts toward
+    /// [`Suppressions::hits`] — for the call-graph rules this is the
+    /// certification query.
+    pub fn covers(&mut self, file: usize, rule: &str, line: u32) -> bool {
+        let hit = self.files[file].covers(rule, line);
+        self.hits += hit as usize;
+        hit
+    }
+
+    /// Filters `diags` (all belonging to file `file`) through the
+    /// file's suppressions, keeping the survivors.
+    pub fn apply(&mut self, file: usize, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        let mut kept = Vec::with_capacity(diags.len());
+        for d in diags {
+            if self.files[file].covers(d.rule, d.line) {
+                self.hits += 1;
+            } else {
+                kept.push(d);
+            }
+        }
+        kept
+    }
+
+    /// Every suppression that never fired, in (file, line) order.
+    pub fn unused(&self, files: &[SourceFile]) -> Vec<UnusedSuppression> {
+        let mut out = Vec::new();
+        for (fs, file) in self.files.iter().zip(files) {
+            for e in &fs.entries {
+                if !e.used {
+                    out.push(UnusedSuppression {
+                        file: file.path.clone(),
+                        line: e.at,
+                        rules: e.rules.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether allowing `allowed` silences rule `rule` (exact id or family
+/// prefix).
+pub fn rule_matches(allowed: &str, rule: &str) -> bool {
+    rule == allowed
+        || rule
+            .strip_prefix(allowed)
+            .is_some_and(|r| r.starts_with('-'))
 }
 
 /// Whether only whitespace precedes token `i` on its own line.
@@ -83,13 +213,19 @@ fn is_standalone(file: &SourceFile, i: usize) -> bool {
         .iter()
         .rev()
         .take_while(|t| t.line == line)
-        .all(|t| t.kind == crate::lexer::TokenKind::Whitespace)
+        .all(|t| t.kind == TokenKind::Whitespace)
 }
 
-/// Extracts the rule list from a comment containing `lint: allow(…)`.
+/// Extracts the rule list from a suppression comment. Only plain
+/// `// lint: allow(…)` comments count: doc comments and prose that
+/// merely *mention* the form (as this crate's own documentation does)
+/// are not suppressions.
 fn parse_allow(comment: &str) -> Option<Vec<String>> {
-    let at = comment.find("lint: allow(")?;
-    let rest = &comment[at + "lint: allow(".len()..];
+    let body = comment.strip_prefix("//")?;
+    if body.starts_with('/') || body.starts_with('!') {
+        return None; // doc comment
+    }
+    let rest = body.trim_start().strip_prefix("lint: allow(")?;
     let close = rest.find(')')?;
     let rules: Vec<String> = rest[..close]
         .split(',')
@@ -103,6 +239,7 @@ fn parse_allow(comment: &str) -> Option<Vec<String>> {
 mod tests {
     use super::*;
     use crate::diag::Severity;
+    use crate::parse;
 
     fn diag(rule: &'static str, line: u32) -> Diagnostic {
         Diagnostic {
@@ -116,11 +253,20 @@ mod tests {
         }
     }
 
+    fn set_for(src: &str) -> (Suppressions, SourceFile) {
+        let file = SourceFile::new("x.rs", src);
+        let parsed = parse::parse(&file);
+        let files = [file];
+        let sup = Suppressions::collect(&files, std::slice::from_ref(&parsed));
+        let [file] = files;
+        (sup, file)
+    }
+
     #[test]
     fn trailing_comment_covers_its_line_only() {
-        let file = SourceFile::new("x.rs", "a(); // lint: allow(no-panic) — reason\nb();\n");
-        let (kept, n) = apply(&file, vec![diag("no-panic", 1), diag("no-panic", 2)]);
-        assert_eq!(n, 1);
+        let (mut sup, _) = set_for("a(); // lint: allow(no-panic) — reason\nb();\n");
+        let kept = sup.apply(0, vec![diag("no-panic", 1), diag("no-panic", 2)]);
+        assert_eq!(sup.hits, 1);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].line, 2);
     }
@@ -128,37 +274,100 @@ mod tests {
     #[test]
     fn standalone_comment_covers_the_next_code_line() {
         let src = "// lint: allow(no-panic) — reason\n\nc();\nd();\n";
-        let file = SourceFile::new("x.rs", src);
-        let (kept, n) = apply(&file, vec![diag("no-panic", 3), diag("no-panic", 4)]);
-        assert_eq!(n, 1);
+        let (mut sup, _) = set_for(src);
+        let kept = sup.apply(0, vec![diag("no-panic", 3), diag("no-panic", 4)]);
+        assert_eq!(sup.hits, 1);
         assert_eq!(kept[0].line, 4);
+    }
+
+    #[test]
+    fn standalone_comment_above_a_fn_covers_the_whole_item() {
+        let src = "\
+// lint: allow(no-panic) — all endpoints validated by construction
+pub fn build(xs: &[u32]) -> u32 {
+    let a = xs.first().unwrap();
+    let b = xs.last().unwrap();
+    a + b
+}
+
+fn outside(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let (mut sup, _) = set_for(src);
+        let kept = sup.apply(
+            0,
+            vec![
+                diag("no-panic", 3),
+                diag("no-panic", 4),
+                diag("no-panic", 8),
+            ],
+        );
+        assert_eq!(sup.hits, 2, "both body lines covered by the fn-scope allow");
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 8, "the next item is not covered");
+    }
+
+    #[test]
+    fn fn_scope_comment_covers_attributes_and_signature() {
+        let src = "\
+// lint: allow(zero-alloc) — warm-up only
+#[inline]
+pub fn warm() -> Vec<u32> {
+    Vec::new()
+}
+";
+        let (mut sup, _) = set_for(src);
+        assert!(sup.covers(0, "zero-alloc", 4));
+        assert_eq!(sup.hits, 1);
     }
 
     #[test]
     fn family_prefix_and_lists_match() {
         assert!(rule_matches("determinism", "determinism-hash"));
+        assert!(rule_matches("determinism", "determinism-taint"));
+        assert!(rule_matches("par-safety", "par-safety-sync"));
         assert!(rule_matches("determinism-hash", "determinism-hash"));
         assert!(!rule_matches("determinism-hash", "determinism"));
         assert!(!rule_matches("det", "determinism-hash"));
-        let file = SourceFile::new("x.rs", "x(); // lint: allow(determinism, zero-alloc)\n");
-        let (kept, n) = apply(
-            &file,
+        let (mut sup, _) = set_for("x(); // lint: allow(determinism, zero-alloc)\n");
+        let kept = sup.apply(
+            0,
             vec![
                 diag("determinism-time", 1),
                 diag("zero-alloc", 1),
                 diag("no-panic", 1),
             ],
         );
-        assert_eq!(n, 2);
+        assert_eq!(sup.hits, 2);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].rule, "no-panic");
     }
 
     #[test]
     fn unrelated_comments_do_not_suppress() {
-        let file = SourceFile::new("x.rs", "e(); // mentions allow but not the magic form\n");
-        let (kept, n) = apply(&file, vec![diag("no-panic", 1)]);
-        assert_eq!(n, 0);
+        let (mut sup, file) = set_for("e(); // mentions allow but not the magic form\n");
+        let kept = sup.apply(0, vec![diag("no-panic", 1)]);
+        assert_eq!(sup.hits, 0);
         assert_eq!(kept.len(), 1);
+        assert!(sup.unused(std::slice::from_ref(&file)).is_empty());
+    }
+
+    #[test]
+    fn unused_suppressions_are_reported_used_ones_are_not() {
+        let src = "a(); // lint: allow(no-panic) — live\nb(); // lint: allow(zero-alloc) — dead\n";
+        let (mut sup, file) = set_for(src);
+        let _ = sup.apply(0, vec![diag("no-panic", 1)]);
+        let unused = sup.unused(std::slice::from_ref(&file));
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].line, 2);
+        assert_eq!(unused[0].rules, vec!["zero-alloc".to_string()]);
+    }
+
+    #[test]
+    fn certification_queries_mark_suppressions_used() {
+        let src =
+            "// lint: allow(no-panic) — contract\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let (mut sup, file) = set_for(src);
+        assert!(sup.covers(0, "no-panic", 2));
+        assert!(sup.unused(std::slice::from_ref(&file)).is_empty());
     }
 }

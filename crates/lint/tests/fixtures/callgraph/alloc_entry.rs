@@ -1,0 +1,6 @@
+//! Hot entry point: must stay allocation-free transitively.
+
+/// The steady-state entry point named in `alloc_roots`.
+pub fn hot_entry(n: usize) -> usize {
+    step(n)
+}

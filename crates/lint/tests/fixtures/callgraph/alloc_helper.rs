@@ -1,0 +1,14 @@
+//! Helpers the hot entry reaches — the allocation hides two calls
+//! down, in a file the per-file hot-path rule never scans.
+
+/// One call deep from the hot entry.
+pub fn step(n: usize) -> usize {
+    build(n).len()
+}
+
+/// Two calls deep: allocates.
+pub fn build(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    out.resize(n, 0);
+    out
+}

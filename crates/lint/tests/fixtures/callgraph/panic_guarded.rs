@@ -1,0 +1,6 @@
+//! Guarded algorithm code calling across the crate boundary.
+
+/// The helper it calls can panic two frames down.
+pub fn run(v: &[u64]) -> u64 {
+    summarize(v)
+}

@@ -1,0 +1,12 @@
+//! Unguarded support crate: panics are legal here, but they make the
+//! functions may-panic for guarded callers.
+
+/// Folds the values; delegates to a panicking helper.
+pub fn summarize(v: &[u64]) -> u64 {
+    risky(v)
+}
+
+/// Panics on empty input.
+pub fn risky(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,13 @@
+//! Parallel consumer: fans out via the sanctioned entry point, then
+//! tallies through shared state defined in another crate.
+
+/// Fans work out and then tallies through a lock.
+pub fn drive(n: usize) -> usize {
+    let parts = par_map(n, work);
+    tally(parts)
+}
+
+/// Disjoint-range worker.
+pub fn work(i: usize) -> usize {
+    i * 2
+}

@@ -1,0 +1,10 @@
+//! Aggregation helpers outside the consumer discipline — fine alone,
+//! racy when reached from a parallel fan-out.
+
+/// Accumulates through a lock.
+pub fn tally(parts: usize) -> usize {
+    let total = std::sync::Mutex::new(0usize);
+    *total.lock().expect("poisoned") += parts;
+    let v = *total.lock().expect("poisoned");
+    v
+}

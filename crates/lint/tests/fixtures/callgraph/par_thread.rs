@@ -1,0 +1,7 @@
+//! Ad-hoc threading outside the sanctioned runtime.
+
+/// Spawns directly instead of going through bisect-par.
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1u64);
+    drop(h);
+}

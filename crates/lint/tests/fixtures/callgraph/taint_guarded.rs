@@ -1,0 +1,6 @@
+//! Guarded code pulling data from an unguarded table.
+
+/// The call below leaks iteration order into guarded code.
+pub fn ordered_ids() -> Vec<u64> {
+    lookup()
+}

@@ -1,0 +1,15 @@
+//! Unguarded cache keyed by HashMap — legal where it sits, but the
+//! iteration order is laundered through a plain `Vec` return type.
+
+use std::collections::HashMap;
+
+/// Returns values in `HashMap` iteration order.
+pub fn lookup() -> Vec<u64> {
+    let mut m = HashMap::new();
+    m.insert(1u64, 2u64);
+    let mut out = Vec::new();
+    for (k, v) in &m {
+        out.push(k + v);
+    }
+    out
+}

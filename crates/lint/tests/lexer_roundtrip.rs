@@ -8,7 +8,7 @@ use proptest::prelude::*;
 /// Rust-ish fragments, including every literal form the lexer special-
 /// cases and several deliberately malformed ones (unterminated string,
 /// lone quote, unclosed block comment).
-const FRAGMENTS: [&str; 24] = [
+const FRAGMENTS: [&str; 28] = [
     "fn f() {",
     "}",
     "let x = 1_000u64;",
@@ -33,6 +33,10 @@ const FRAGMENTS: [&str; 24] = [
     "\u{1F980}",
     "\n",
     "    ",
+    "/* outer /* r##\"text\"## */ tail */",
+    "/* a /* r#\" */ \"# */",
+    "'static",
+    "<'a>",
 ];
 
 /// Asserts the partition invariant: tokens are contiguous, start at 0,
@@ -92,5 +96,94 @@ proptest! {
         let tokens = lex(&src);
         prop_assert_eq!(tokens.len(), 1);
         prop_assert_eq!(tokens[0].kind, TokenKind::Str);
+    }
+}
+
+/// The non-comment, non-whitespace kinds of `src`, with their text.
+fn code_tokens(src: &str) -> Vec<(TokenKind, &str)> {
+    lex(src)
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|t| (t.kind, t.text(src)))
+        .collect()
+}
+
+#[test]
+fn raw_string_hashes_inside_nested_block_comments_are_plain_text() {
+    // Comment nesting does not understand string syntax (rustc
+    // semantics): the `r##"…"##` is inert text, and the comment closes
+    // on the second `*/` because the first closed the inner `/*`.
+    let src = "/* outer /* r##\"text\"## */ tail */ fn f() {}";
+    check_partition(src).expect("partition holds");
+    let tokens = lex(src);
+    assert_eq!(tokens[0].kind, TokenKind::BlockComment);
+    assert_eq!(tokens[0].text(src), "/* outer /* r##\"text\"## */ tail */");
+    assert_eq!(
+        code_tokens(src),
+        [
+            (TokenKind::Ident, "fn"),
+            (TokenKind::Ident, "f"),
+            (TokenKind::Punct, "("),
+            (TokenKind::Punct, ")"),
+            (TokenKind::Punct, "{"),
+            (TokenKind::Punct, "}"),
+        ]
+    );
+}
+
+#[test]
+fn raw_string_containing_comment_close_still_closes_the_comment() {
+    // A `*/` inside raw-string-looking text counts against the
+    // nesting depth, exactly as rustc lexes it: the comment ends at
+    // the `*/` after `"#`, leaving `rest */` as code.
+    let src = "/* a /* r#\" */ \"# */ rest */";
+    check_partition(src).expect("partition holds");
+    let tokens = lex(src);
+    assert_eq!(tokens[0].kind, TokenKind::BlockComment);
+    assert_eq!(tokens[0].text(src), "/* a /* r#\" */ \"# */");
+    assert_eq!(
+        code_tokens(src),
+        [
+            (TokenKind::Ident, "rest"),
+            (TokenKind::Punct, "*"),
+            (TokenKind::Punct, "/"),
+        ]
+    );
+}
+
+#[test]
+fn char_literals_and_lifetimes_disambiguate_and_round_trip() {
+    let src = "fn f<'a>(x: &'a u8) -> u8 { let c = 'a'; *x }";
+    check_partition(src).expect("partition holds");
+    let quoted: Vec<(TokenKind, &str)> = code_tokens(src)
+        .into_iter()
+        .filter(|(k, _)| matches!(k, TokenKind::Lifetime | TokenKind::Char))
+        .collect();
+    // The same two characters `'a` lex as a lifetime in type position
+    // and as part of the char literal `'a'` in expression position.
+    assert_eq!(
+        quoted,
+        [
+            (TokenKind::Lifetime, "'a"),
+            (TokenKind::Lifetime, "'a"),
+            (TokenKind::Char, "'a'"),
+        ]
+    );
+    // Bare forms round-trip to a single token of the right kind.
+    for (src, kind) in [
+        ("'a'", TokenKind::Char),
+        ("b'a'", TokenKind::Char),
+        ("'a", TokenKind::Lifetime),
+        ("'static", TokenKind::Lifetime),
+    ] {
+        check_partition(src).expect("partition holds");
+        let tokens = lex(src);
+        assert_eq!(tokens.len(), 1, "{src:?} must be one token");
+        assert_eq!(tokens[0].kind, kind, "{src:?}");
     }
 }

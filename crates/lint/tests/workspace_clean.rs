@@ -32,4 +32,11 @@ fn workspace_is_lint_clean_under_its_own_config() {
         "only {} suppressions hit — suppression matching looks broken",
         report.suppressed
     );
+    // Every `lint: allow(...)` in the tree must certify at least one
+    // finding: stale waivers hide regressions and rot the audit trail.
+    assert!(
+        report.unused_suppressions.is_empty(),
+        "unused suppressions at HEAD (delete the stale allows):\n{:#?}",
+        report.unused_suppressions
+    );
 }
