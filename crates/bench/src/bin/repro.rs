@@ -137,6 +137,9 @@ EXPERIMENTS (default: all)
   winrate  KL vs SA head-to-head win rate at degree 2.5-3.5 (§VI claim)
   huge     Million-vertex feasibility: streaming build, BFS reorder,
            parallel multilevel refinement (extension)
+  huge-netlist
+           Million-cell netlist feasibility: streaming pin-CSR build,
+           BFS cell reorder, parallel multilevel netlist FM (extension)
 
 OPTIONS
   --profile <smoke|quick|paper|huge|huge-smoke>
@@ -145,6 +148,10 @@ OPTIONS
   --huge, --huge-smoke            feasibility scales: 10^6 (10^5) vertex
                                   instances; default experiment set is
                                   just `huge`
+  --huge-netlist, --huge-netlist-smoke
+                                  the same scales with the default
+                                  experiment set `huge-netlist` (10^6
+                                  and 10^5 cells)
   --seed <N>                      base seed (default 1989)
   --starts <N>                    random starts per run (default 2)
   --replicates <N>                graphs per random setting

@@ -72,6 +72,7 @@ where
     let mut csv_dir = None;
     let mut json_path = Some(PathBuf::from(DEFAULT_JSON_PATH));
     let mut experiments = Vec::new();
+    let mut netlist_default = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => return Ok(Invocation::Help),
@@ -85,6 +86,16 @@ where
             "--paper" => scale = Scale::Paper,
             "--huge" => scale = Scale::Huge,
             "--huge-smoke" => scale = Scale::HugeSmoke,
+            // The netlist spellings pick the same scales but default to
+            // the hypergraph feasibility experiment instead.
+            "--huge-netlist" => {
+                scale = Scale::Huge;
+                netlist_default = true;
+            }
+            "--huge-netlist-smoke" => {
+                scale = Scale::HugeSmoke;
+                netlist_default = true;
+            }
             "--seed" => seed = parse_number("--seed", &value_of("--seed", &mut args)?)?,
             "--starts" => {
                 starts = Some(parse_number("--starts", &value_of("--starts", &mut args)?)?);
@@ -144,6 +155,9 @@ where
         // The huge scales exist for the feasibility experiment; running
         // the whole paper grid there would just repeat the quick grid.
         experiments = match scale {
+            Scale::Huge | Scale::HugeSmoke if netlist_default => {
+                vec!["huge-netlist".to_string()]
+            }
             Scale::Huge | Scale::HugeSmoke => vec!["huge".to_string()],
             _ => experiments::ALL_IDS.iter().map(|s| s.to_string()).collect(),
         };
@@ -256,6 +270,21 @@ mod tests {
             parse_run(&["--profile", "huge-smoke"]).profile.scale,
             Scale::HugeSmoke
         );
+    }
+
+    #[test]
+    fn huge_netlist_flags_default_to_the_netlist_experiment() {
+        let o = parse_run(&["--huge-netlist"]);
+        assert_eq!(o.profile, Profile::huge());
+        assert_eq!(o.experiments, vec!["huge-netlist"]);
+        let o = parse_run(&["--huge-netlist-smoke"]);
+        assert_eq!(o.profile.scale, Scale::HugeSmoke);
+        assert_eq!(o.experiments, vec!["huge-netlist"]);
+        // An explicit experiment list overrides the default.
+        let o = parse_run(&["--huge-netlist-smoke", "huge"]);
+        assert_eq!(o.experiments, vec!["huge"]);
+        // The plain huge flags still default to the graph experiment.
+        assert_eq!(parse_run(&["--huge-smoke"]).experiments, vec!["huge"]);
     }
 
     #[test]

@@ -297,8 +297,9 @@ pub fn peak_rss() -> (u64, Option<&'static str>) {
     )
 }
 
-/// Formats a byte count as MiB for the table.
-fn fmt_bytes(bytes: u64) -> String {
+/// Formats a byte count as MiB for the table (shared with the
+/// `huge-netlist` twin experiment).
+pub(crate) fn fmt_bytes(bytes: u64) -> String {
     if bytes == 0 {
         "n/a".into()
     } else {

@@ -11,6 +11,7 @@ use crate::table::{fmt_cut, fmt_duration, fmt_percent, Table};
 
 pub mod analysis;
 pub mod huge;
+pub mod huge_netlist;
 pub mod observations;
 pub mod placement;
 pub mod random;
@@ -52,6 +53,7 @@ pub const ALL_IDS: &[&str] = &[
     "satune",
     "winrate",
     "huge",
+    "huge-netlist",
 ];
 
 /// Whether `id` names a known experiment.
@@ -84,6 +86,7 @@ pub fn run(id: &str, profile: &Profile) -> Result<ExperimentResult, BenchError> 
         "placement" => placement::run(profile),
         "satune" => analysis::satune(profile),
         "huge" => huge::run(profile),
+        "huge-netlist" => huge_netlist::run(profile),
         other => Err(BenchError::UnknownExperiment { id: other.into() }),
     }
 }

@@ -26,8 +26,9 @@ pub struct BenchRecord {
     /// Mean total work count across starts: productive passes for
     /// KL/FM, temperature steps for SA, both stages summed for C*.
     pub mean_passes: f64,
-    /// Mean total SA proposals evaluated across starts (0 for the
-    /// KL-family algorithms, which propose nothing).
+    /// Mean total move evaluations across starts: swap proposals for
+    /// the SA family, candidate-pair gain evaluations for the KL
+    /// family.
     pub proposals: f64,
     /// Proposal throughput: `proposals / total_time_s` (0 when either
     /// is zero). Timing-bearing — ignored by the regression checker.
@@ -559,7 +560,7 @@ mod tests {
             cuts: [10.0, 8.5, 12.0, 9.0],
             times: [Duration::from_millis(1500); 4],
             passes: [100.0, 110.0, 4.0, 6.0],
-            proposals: [3000.0, 4500.0, 0.0, 0.0],
+            proposals: [3000.0, 4500.0, 600.0, 0.0],
             count: 3,
         }
     }
@@ -575,12 +576,15 @@ mod tests {
         assert_eq!(records[2].mean_cut, 12.0);
         assert_eq!(records[0].total_time_s, 1.5);
         assert_eq!(records[3].graphs, 3);
-        // Throughput derives from proposals / time; KL-family rows
-        // propose nothing and report zero.
+        // Throughput derives from proposals / time, for the KL family
+        // (pair-gain evaluations) just like the SA family (swap
+        // proposals); a zero count still reports zero throughput.
         assert_eq!(records[0].proposals, 3000.0);
         assert_eq!(records[0].proposals_per_sec, 2000.0);
-        assert_eq!(records[2].proposals, 0.0);
-        assert_eq!(records[2].proposals_per_sec, 0.0);
+        assert_eq!(records[2].proposals, 600.0);
+        assert_eq!(records[2].proposals_per_sec, 400.0);
+        assert_eq!(records[3].proposals, 0.0);
+        assert_eq!(records[3].proposals_per_sec, 0.0);
     }
 
     #[test]

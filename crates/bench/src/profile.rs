@@ -223,6 +223,19 @@ impl Profile {
         2 * self.replicates + 1
     }
 
+    /// Shape of the `huge-netlist` experiment's Rent-style netlists:
+    /// `(cells, nets)` — the hypergraph analogue of
+    /// [`Profile::huge_vertices`], with ~1.4 nets per cell as in real
+    /// standard-cell designs.
+    pub fn huge_netlist_shape(&self) -> (usize, usize) {
+        match self.scale {
+            Scale::Smoke => (2_000, 2_800),
+            Scale::Quick => (10_000, 14_000),
+            Scale::Paper | Scale::Huge => (1_000_000, 1_400_000),
+            Scale::HugeSmoke => (100_000, 140_000),
+        }
+    }
+
     /// Shape of the `placement` experiment's Rent-style netlists:
     /// `(cells, nets, parts, instances)`.
     pub fn placement_shape(&self) -> (usize, usize, usize, usize) {

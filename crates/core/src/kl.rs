@@ -171,12 +171,18 @@ impl KernighanLin {
         ws.sequence.clear();
         ws.cumulative.clear();
         let mut running = 0i64;
+        // Candidate-pair gain evaluations of this pass, reported
+        // through the workspace like SA's proposal count so the
+        // benchmark records show KL's selection throughput too.
+        let mut evals = 0u64;
 
         for _ in 0..k_max {
             let chosen = match self.pair_selection {
-                PairSelection::Incremental => best_pair_buckets(g, &ws.kl_sides),
-                PairSelection::SortedPruning => best_pair_sorted(g, &sets),
-                PairSelection::Exhaustive => best_pair_exhaustive(g, p, gains, &ws.locked),
+                PairSelection::Incremental => best_pair_buckets(g, &ws.kl_sides, &mut evals),
+                PairSelection::SortedPruning => best_pair_sorted(g, &sets, &mut evals),
+                PairSelection::Exhaustive => {
+                    best_pair_exhaustive(g, p, gains, &ws.locked, &mut evals)
+                }
             };
             let Some((gain_ab, a, b)) = chosen else { break };
 
@@ -232,6 +238,8 @@ impl KernighanLin {
             }
         }
 
+        ws.add_proposals(evals);
+
         // Best prefix.
         let Some((best_idx, &best_gain)) = ws
             .cumulative
@@ -259,7 +267,11 @@ impl KernighanLin {
 /// candidates in the same descending `(gain, vertex)` order as the
 /// `BTreeSet` scan, so this selects bit-identically to
 /// [`best_pair_sorted`] (and hence to [`best_pair_exhaustive`]).
-fn best_pair_buckets(g: &Graph, sides: &[SortedBuckets; 2]) -> Option<(i64, VertexId, VertexId)> {
+fn best_pair_buckets(
+    g: &Graph,
+    sides: &[SortedBuckets; 2],
+    evals: &mut u64,
+) -> Option<(i64, VertexId, VertexId)> {
     let (set_a, set_b) = (&sides[0], &sides[1]);
     let (gb_max, _) = set_b.iter_desc().next()?;
     let mut best: Option<(i64, VertexId, VertexId)> = None;
@@ -275,6 +287,7 @@ fn best_pair_buckets(g: &Graph, sides: &[SortedBuckets; 2]) -> Option<(i64, Vert
                     break;
                 }
             }
+            *evals += 1;
             let actual = ga + gb - 2 * g.edge_weight(a, b).unwrap_or(0) as i64;
             if best.is_none_or(|(bg, _, _)| actual > bg) {
                 best = Some((actual, a, b));
@@ -288,6 +301,7 @@ fn best_pair_buckets(g: &Graph, sides: &[SortedBuckets; 2]) -> Option<(i64, Vert
 fn best_pair_sorted(
     g: &Graph,
     sets: &[BTreeSet<(i64, VertexId)>; 2],
+    evals: &mut u64,
 ) -> Option<(i64, VertexId, VertexId)> {
     let (set_a, set_b) = (&sets[0], &sets[1]);
     let &(gb_max, _) = set_b.iter().next_back()?;
@@ -304,6 +318,7 @@ fn best_pair_sorted(
                     break;
                 }
             }
+            *evals += 1;
             let actual = ga + gb - 2 * g.edge_weight(a, b).unwrap_or(0) as i64;
             if best.is_none_or(|(bg, _, _)| actual > bg) {
                 best = Some((actual, a, b));
@@ -322,6 +337,7 @@ fn best_pair_exhaustive(
     p: &Bisection,
     gains: &[i64],
     locked: &[bool],
+    evals: &mut u64,
 ) -> Option<(i64, VertexId, VertexId)> {
     let mut best: Option<(i64, i64, VertexId, i64, VertexId)> = None;
     for a in g
@@ -332,6 +348,7 @@ fn best_pair_exhaustive(
             .vertices()
             .filter(|&v| !locked[v as usize] && p.side(v) == Side::B)
         {
+            *evals += 1;
             let (ga, gb) = (gains[a as usize], gains[b as usize]);
             let actual = ga + gb - 2 * g.edge_weight(a, b).unwrap_or(0) as i64;
             let key = (actual, ga, a, gb, b);
@@ -634,6 +651,39 @@ mod tests {
             total[0],
             total[1]
         );
+    }
+
+    #[test]
+    fn pass_reports_pair_evaluations_through_the_workspace() {
+        let g = bisect_gen::special::grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let init = seed::random_balanced(&g, &mut rng);
+        let mut counts = Vec::new();
+        for strategy in [
+            PairSelection::Incremental,
+            PairSelection::SortedPruning,
+            PairSelection::Exhaustive,
+        ] {
+            let kl = KernighanLin::new().with_pair_selection(strategy);
+            let mut ws = Workspace::new();
+            let mut p = init.clone();
+            kl.pass_in(&g, &mut p, &mut ws);
+            let evals = ws.take_proposals();
+            assert!(evals > 0, "{strategy:?} evaluated no pairs");
+            counts.push(evals);
+        }
+        // The bucket and BTreeSet scans prune identically, and neither
+        // can evaluate more pairs than the exhaustive reference.
+        assert_eq!(counts[0], counts[1]);
+        assert!(counts[0] <= counts[2]);
+        // A second pass from the refined state accumulates on top of
+        // the drained counter.
+        let kl = KernighanLin::new();
+        let mut ws = Workspace::new();
+        let mut p = init.clone();
+        kl.pass_in(&g, &mut p, &mut ws);
+        kl.pass_in(&g, &mut p, &mut ws);
+        assert!(ws.take_proposals() >= counts[0]);
     }
 
     #[test]

@@ -88,6 +88,16 @@ impl NetlistGainCache {
         &self.boundary
     }
 
+    /// The position of cell `c` in [`NetlistGainCache::boundary`], or
+    /// `None` if `c` is interior — an O(1) membership-and-index lookup
+    /// for consumers that partition the boundary list (the
+    /// boundary-seeded parallel refiner chunks it by position).
+    #[inline]
+    pub fn boundary_index(&self, c: VertexId) -> Option<usize> {
+        let p = self.bpos[c as usize];
+        (p != u32::MAX).then_some(p as usize)
+    }
+
     fn boundary_insert(&mut self, c: VertexId) {
         debug_assert_eq!(self.bpos[c as usize], u32::MAX);
         self.bpos[c as usize] = self.boundary.len() as u32;

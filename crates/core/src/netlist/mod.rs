@@ -35,16 +35,20 @@ use rand::{Rng, RngCore};
 use crate::partition::{Side, SideLengthError};
 use crate::workspace::Workspace;
 
+mod coarsen;
 mod fm;
 mod gain_cache;
 mod kway;
+mod par_fm;
 mod pipeline;
 
+pub use coarsen::ParallelCellMatching;
 pub use fm::{CompactedNetlistFm, MultilevelNetlistFm, NetlistFm};
 pub use gain_cache::NetlistGainCache;
 pub use kway::{
     part_regions, recursive_placement, recursive_placement_counted, NetlistPlacement, Rect,
 };
+pub use par_fm::ParallelNetlistFm;
 pub use pipeline::NetlistPipeline;
 
 /// A net's contribution to the FM gain of one of its pins, given the

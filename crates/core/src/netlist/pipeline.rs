@@ -376,6 +376,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_refiner_rides_the_projected_cache_protocol() {
+        // ParallelNetlistFm opts into the projected cache, so the
+        // engine initializes it once at the coarsest level and projects
+        // it down the ladder; the result must be valid, balanced, and
+        // deterministic at a fixed thread count.
+        let nl = random_netlist(64, 90, 12);
+        let pipeline = NetlistPipeline::new(
+            CoarsenDepth::ToSize(8),
+            crate::netlist::ParallelNetlistFm::new().with_threads(2),
+            "PNetMLFM",
+        )
+        .unwrap();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            pipeline.bisect(&nl, &mut rng)
+        };
+        let a = run();
+        assert!(a.is_balanced(&nl));
+        assert_eq!(a.cut(), a.recompute_cut(&nl));
+        assert_eq!(a, run());
+        // And it never loses to the projected start it was handed: the
+        // serial-FM pipeline at the same seed is a sanity yardstick.
+        let serial = NetlistPipeline::multilevel_fm_to(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = serial.bisect(&nl, &mut rng);
+        assert!(a.cut() <= 2 * s.cut().max(4), "parallel cut far off serial");
+    }
+
+    #[test]
     fn fixed_cells_stay_put_through_every_depth() {
         let nl = random_netlist(40, 50, 4);
         let fixed = [(0u32, Side::A), (7u32, Side::B), (13u32, Side::B)];

@@ -123,6 +123,50 @@ impl Workspace {
         &mut self.gain_cache
     }
 
+    /// (Re)initializes the workspace *netlist* gain cache for
+    /// `(nl, p)` in O(cells + pins) — the hypergraph analogue of
+    /// [`Workspace::prepare_gain_cache`], used by drivers that manage a
+    /// netlist refinement ladder by hand (the `huge-netlist`
+    /// experiment): call once at the coarsest level, then keep the
+    /// cache current with [`Workspace::project_netlist_cache`] and the
+    /// refiners' projected-cache entry points.
+    pub fn prepare_netlist_cache(
+        &mut self,
+        nl: &bisect_graph::hypergraph::Netlist,
+        p: &NetlistBisection,
+    ) {
+        self.netlist_cache.init(nl, p);
+    }
+
+    /// Projects the workspace netlist gain cache through one
+    /// uncoarsening step; see [`NetlistGainCache::project`] for the
+    /// contract.
+    pub fn project_netlist_cache(
+        &mut self,
+        nl: &bisect_graph::hypergraph::Netlist,
+        p: &NetlistBisection,
+        fine_to_coarse: &[VertexId],
+    ) {
+        self.netlist_cache.project(nl, p, fine_to_coarse);
+    }
+
+    /// Read access to the workspace netlist gain cache, valid after
+    /// [`Workspace::prepare_netlist_cache`] /
+    /// [`Workspace::project_netlist_cache`] or a netlist refiner's
+    /// projected-cache run (which leave it exact for the bisection they
+    /// returned).
+    pub fn netlist_cache(&self) -> &NetlistGainCache {
+        &self.netlist_cache
+    }
+
+    /// Mutable access to the workspace netlist gain cache, for drivers
+    /// that apply moves outside a refiner
+    /// ([`crate::netlist::rebalance_with_cache`]) and must keep the
+    /// cache exact.
+    pub fn netlist_cache_mut(&mut self) -> &mut NetlistGainCache {
+        &mut self.netlist_cache
+    }
+
     /// Checks out the SA best-so-far buffer seeded as a copy of
     /// `current`: recycles the previous run's buffer when present
     /// (allocation-free steady state) and clones only on first use.

@@ -88,10 +88,9 @@ impl RentNetlistParams {
     }
 }
 
-/// Samples a Rent-style random netlist; see the [module docs](self)
-/// for the model.
-pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &RentNetlistParams) -> Netlist {
-    let n = params.num_cells;
+/// Size CDF and pin window derived from the parameters; shared by the
+/// buffered and streaming samplers so they draw identically.
+fn net_model(params: &RentNetlistParams) -> (Vec<f64>, f64, usize) {
     // Cumulative size distribution over [2, max_net_size]: sizes are
     // few (≤ n), so CDF inversion by linear scan is exact and cheap.
     let weights: Vec<f64> = (2..=params.max_net_size)
@@ -100,54 +99,118 @@ pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &RentNetlistParams) -> Netli
     let total: f64 = weights.iter().sum();
     // Pin window: at least max_net_size wide so every size fits, and
     // never wider than the netlist.
-    let window = ((params.locality * n as f64).ceil() as usize)
+    let window = ((params.locality * params.num_cells as f64).ceil() as usize)
         .max(params.max_net_size)
-        .min(n);
+        .min(params.num_cells);
+    (weights, total, window)
+}
 
+/// Draws one net's distinct pins into `pins`, consuming exactly the
+/// randomness the net needs (size draw, anchor, rejection attempts).
+fn draw_net<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    weights: &[f64],
+    total: f64,
+    window: usize,
+    max_net_size: usize,
+    pins: &mut Vec<u32>,
+) {
+    // Net size by CDF inversion.
+    let mut draw = rng.gen::<f64>() * total;
+    let mut size = max_net_size;
+    for (i, &w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw < 0.0 {
+            size = i + 2;
+            break;
+        }
+    }
+    // Window of `window` consecutive cells around a random anchor,
+    // clamped inside [0, n).
+    let anchor = rng.gen_range(0..n);
+    let lo = anchor.saturating_sub(window / 2).min(n - window);
+    // Distinct pins by rejection; windows are much larger than nets
+    // in practice, so collisions are rare. A deterministic sweep
+    // from the anchor finishes off pathological cases (tiny window,
+    // near-full net) without risking an unbounded loop.
+    pins.clear();
+    let mut attempts = 0usize;
+    while pins.len() < size && attempts < 16 * size {
+        attempts += 1;
+        let c = (lo + rng.gen_range(0..window)) as u32;
+        if !pins.contains(&c) {
+            pins.push(c);
+        }
+    }
+    let mut sweep = 0usize;
+    while pins.len() < size {
+        let c = (lo + sweep) as u32;
+        sweep += 1;
+        if !pins.contains(&c) {
+            pins.push(c);
+        }
+    }
+}
+
+/// Samples a Rent-style random netlist; see the [module docs](self)
+/// for the model.
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, params: &RentNetlistParams) -> Netlist {
+    let n = params.num_cells;
+    let (weights, total, window) = net_model(params);
     let mut builder = NetlistBuilder::new(n);
     let mut pins: Vec<u32> = Vec::with_capacity(params.max_net_size);
     for _ in 0..params.num_nets {
-        // Net size by CDF inversion.
-        let mut draw = rng.gen::<f64>() * total;
-        let mut size = params.max_net_size;
-        for (i, &w) in weights.iter().enumerate() {
-            draw -= w;
-            if draw < 0.0 {
-                size = i + 2;
-                break;
-            }
-        }
-        // Window of `window` consecutive cells around a random anchor,
-        // clamped inside [0, n).
-        let anchor = rng.gen_range(0..n);
-        let lo = anchor.saturating_sub(window / 2).min(n - window);
-        // Distinct pins by rejection; windows are much larger than nets
-        // in practice, so collisions are rare. A deterministic sweep
-        // from the anchor finishes off pathological cases (tiny window,
-        // near-full net) without risking an unbounded loop.
-        pins.clear();
-        let mut attempts = 0usize;
-        while pins.len() < size && attempts < 16 * size {
-            attempts += 1;
-            let c = (lo + rng.gen_range(0..window)) as u32;
-            if !pins.contains(&c) {
-                pins.push(c);
-            }
-        }
-        let mut sweep = 0usize;
-        while pins.len() < size {
-            let c = (lo + sweep) as u32;
-            sweep += 1;
-            if !pins.contains(&c) {
-                pins.push(c);
-            }
-        }
+        draw_net(
+            rng,
+            n,
+            &weights,
+            total,
+            window,
+            params.max_net_size,
+            &mut pins,
+        );
         builder
             .add_net(&pins)
             // lint: allow(no-panic) — pins are distinct in-range cells and size ≥ 2
             .expect("distinct in-range pins");
     }
     builder.build()
+}
+
+/// Samples the same distribution as [`sample`] but feeds nets through
+/// [`NetlistBuilder::stream`], so peak memory beyond the finished CSR
+/// is O(max net size) instead of the builder's per-net `Vec` of pin
+/// lists. Bit-identical to [`sample`] for the same RNG state.
+///
+/// The counting pass replays a clone of the generator, so the caller's
+/// generator advances exactly as far as [`sample`] would.
+pub fn sample_streamed<R: Rng + Clone>(rng: &mut R, params: &RentNetlistParams) -> Netlist {
+    let n = params.num_cells;
+    let (weights, total, window) = net_model(params);
+    let mut replay = rng.clone();
+    let mut pass = 0usize;
+    let mut pins: Vec<u32> = Vec::with_capacity(params.max_net_size);
+    NetlistBuilder::stream(n, |sink| {
+        pass += 1;
+        let r: &mut R = if pass == 1 { &mut replay } else { &mut *rng };
+        for _ in 0..params.num_nets {
+            draw_net(
+                r,
+                n,
+                &weights,
+                total,
+                window,
+                params.max_net_size,
+                &mut pins,
+            );
+            sink.net(&pins)?;
+        }
+        Ok(())
+    })
+    // lint: allow(no-panic) — both passes replay identical RNG state, so
+    // the pin stream cannot mismatch and every net is valid
+    .expect("replayed passes emit identical valid nets")
 }
 
 #[cfg(test)]
@@ -234,6 +297,42 @@ mod tests {
             let span = pins.iter().max().unwrap() - pins.iter().min().unwrap();
             assert!(span < window, "span {span} exceeds window {window}");
         }
+    }
+
+    #[test]
+    fn streamed_sample_is_byte_identical_to_buffered() {
+        // Grid over γ and locality, including the degenerate corners
+        // that exercise the rejection sweep.
+        for &(cells, nets, max, gamma, locality) in &[
+            (100usize, 150usize, 6usize, 2.5f64, 0.2f64),
+            (80, 120, 5, 2.0, 0.3),
+            (200, 400, 8, 0.0, 1.0),
+            (1000, 300, 4, 3.0, 0.05),
+            (8, 20, 8, 0.0, 0.1),
+            (2, 3, 2, 2.0, 1.0),
+        ] {
+            let p = params(cells, nets, max, gamma, locality);
+            for seed in 0..4u64 {
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                let a = sample(&mut rng_a, &p);
+                let b = sample_streamed(&mut rng_b, &p);
+                assert_eq!(a, b, "netlists diverge at seed {seed}");
+                // The caller's generator must advance identically too.
+                assert_eq!(
+                    rng_a.gen::<u64>(),
+                    rng_b.gen::<u64>(),
+                    "rng state diverges at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_sample_uses_compact_offsets() {
+        let p = params(500, 800, 6, 2.5, 0.1);
+        let nl = sample_streamed(&mut StdRng::seed_from_u64(11), &p);
+        assert!(nl.uses_compact_offsets());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! A [`Netlist`] stores both incidence directions in CSR form: net →
 //! pins and cell → nets.
 
+use crate::csr::Offsets;
 use crate::{EdgeWeight, Graph, GraphBuilder, GraphError, VertexId, VertexWeight};
 
 /// Identifier of a net; nets of a netlist are `0..num_nets as NetId`.
@@ -36,9 +37,9 @@ pub type NetId = u32;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Netlist {
-    xpins: Vec<usize>,
+    xpins: Offsets,
     pins: Vec<VertexId>,
-    xnets: Vec<usize>,
+    xnets: Offsets,
     nets: Vec<NetId>,
     cell_weights: Vec<VertexWeight>,
     net_weights: Vec<EdgeWeight>,
@@ -60,6 +61,13 @@ impl Netlist {
         self.pins.len()
     }
 
+    /// Whether *both* incidence-offset arrays use the `u32` narrow form
+    /// (see [`Graph::uses_compact_offsets`]); true for every netlist
+    /// under 2^32 pins, i.e. all realistic instances.
+    pub fn uses_compact_offsets(&self) -> bool {
+        self.xpins.is_narrow() && self.xnets.is_narrow()
+    }
+
     /// The cells of net `n`, sorted, without duplicates.
     ///
     /// # Panics
@@ -67,7 +75,7 @@ impl Netlist {
     /// Panics if `n` is out of range.
     pub fn pins(&self, n: NetId) -> &[VertexId] {
         let n = n as usize;
-        &self.pins[self.xpins[n]..self.xpins[n + 1]]
+        &self.pins[self.xpins.get(n)..self.xpins.get(n + 1)]
     }
 
     /// The nets incident to cell `c`, sorted.
@@ -77,7 +85,7 @@ impl Netlist {
     /// Panics if `c` is out of range.
     pub fn nets_of(&self, c: VertexId) -> &[NetId] {
         let c = c as usize;
-        &self.nets[self.xnets[c]..self.xnets[c + 1]]
+        &self.nets[self.xnets.get(c)..self.xnets.get(c + 1)]
     }
 
     /// The weight of cell `c` (default 1).
@@ -299,6 +307,255 @@ pub fn contract_cells(nl: &Netlist, pairs: &[(VertexId, VertexId)]) -> NetlistCo
     }
 }
 
+/// Reusable scratch for [`contract_cells_into`]: the per-net merge
+/// buffers that [`contract_cells`] would otherwise reallocate at every
+/// coarsening level. One instance serves a whole ladder — each level
+/// clears and refills the buffers, whose capacity stays warm at the
+/// finest level's size.
+#[derive(Debug, Default)]
+pub struct NetlistContractionScratch {
+    /// Per-fine-cell matched partner (`VertexId::MAX` = unmatched).
+    mate: Vec<VertexId>,
+    /// Mapped, per-net sorted and deduped pins of surviving nets,
+    /// concatenated.
+    pin_buf: Vec<VertexId>,
+    /// `(start, end, weight)` spans into `pin_buf`, one per surviving
+    /// net.
+    spans: Vec<(usize, usize, EdgeWeight)>,
+    /// Net permutation used to sort spans into lexicographic pin order.
+    order: Vec<u32>,
+}
+
+impl NetlistContractionScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> NetlistContractionScratch {
+        NetlistContractionScratch::default()
+    }
+}
+
+/// As [`contract_cells`], drawing every intermediate buffer from
+/// `scratch` instead of allocating per level: pins are mapped into one
+/// shared buffer, nets are sorted by pin-set order through an index
+/// permutation, and equal pin sets merge by walking adjacent runs. The
+/// output is **identical** to [`contract_cells`] — the merge emits nets
+/// in the same lexicographic pin-set order with the same summed weights
+/// (tested) — so callers can pick either path without changing results.
+///
+/// # Panics
+///
+/// As [`contract_cells`].
+pub fn contract_cells_into(
+    nl: &Netlist,
+    pairs: &[(VertexId, VertexId)],
+    scratch: &mut NetlistContractionScratch,
+) -> NetlistContraction {
+    let n = nl.num_cells();
+    let mut fine_to_coarse = vec![VertexId::MAX; n];
+    scratch.mate.clear();
+    scratch.mate.resize(n, VertexId::MAX);
+    let mate = &mut scratch.mate;
+    for &(a, b) in pairs {
+        assert_ne!(a, b, "a cell cannot be matched with itself");
+        assert!((a as usize) < n && (b as usize) < n, "pair out of range");
+        assert!(
+            mate[a as usize] == VertexId::MAX && mate[b as usize] == VertexId::MAX,
+            "matching must be vertex-disjoint"
+        );
+        mate[a as usize] = b;
+        mate[b as usize] = a;
+    }
+    let mut next: VertexId = 0;
+    for c in 0..n as VertexId {
+        if fine_to_coarse[c as usize] != VertexId::MAX {
+            continue;
+        }
+        fine_to_coarse[c as usize] = next;
+        let m = mate[c as usize];
+        if m != VertexId::MAX {
+            fine_to_coarse[m as usize] = next;
+        }
+        next += 1;
+    }
+    let num_coarse = next as usize;
+    let mut cell_weights = vec![0u64; num_coarse];
+    for c in 0..n as VertexId {
+        cell_weights[fine_to_coarse[c as usize] as usize] += nl.cell_weight(c);
+    }
+
+    // Map, sort, and dedup every net's pins into the shared buffer;
+    // record spans of nets that keep at least two distinct pins.
+    scratch.pin_buf.clear();
+    scratch.spans.clear();
+    for net in nl.net_ids() {
+        let start = scratch.pin_buf.len();
+        scratch
+            .pin_buf
+            .extend(nl.pins(net).iter().map(|&p| fine_to_coarse[p as usize]));
+        let slice = &mut scratch.pin_buf[start..];
+        slice.sort_unstable();
+        let mut keep = start;
+        for i in start..scratch.pin_buf.len() {
+            if keep == start || scratch.pin_buf[keep - 1] != scratch.pin_buf[i] {
+                scratch.pin_buf[keep] = scratch.pin_buf[i];
+                keep += 1;
+            }
+        }
+        scratch.pin_buf.truncate(keep);
+        if keep - start < 2 {
+            scratch.pin_buf.truncate(start);
+            continue;
+        }
+        scratch.spans.push((start, keep, nl.net_weight(net)));
+    }
+    // Lexicographic pin-set order — the order the BTreeMap merge of
+    // [`contract_cells`] emits. Equal sets land adjacent; their summed
+    // weight is order-independent, so unstable sorting is safe.
+    scratch.order.clear();
+    scratch.order.extend(0..scratch.spans.len() as u32);
+    let (pin_buf, spans) = (&scratch.pin_buf, &scratch.spans);
+    let key = |i: u32| {
+        let (s, e, _) = spans[i as usize];
+        &pin_buf[s..e]
+    };
+    scratch.order.sort_unstable_by(|&a, &b| key(a).cmp(key(b)));
+
+    // Merge adjacent equal pin sets and emit the coarse CSR directly.
+    let mut xpins: Vec<usize> = Vec::with_capacity(scratch.spans.len() + 1);
+    xpins.push(0);
+    let mut pins: Vec<VertexId> = Vec::new();
+    let mut net_weights: Vec<EdgeWeight> = Vec::new();
+    let mut cell_degree = vec![0usize; num_coarse];
+    for &i in &scratch.order {
+        let set = key(i);
+        let w = spans[i as usize].2;
+        if net_weights.is_empty() || &pins[xpins[xpins.len() - 2]..] != set {
+            pins.extend_from_slice(set);
+            xpins.push(pins.len());
+            net_weights.push(w);
+            for &p in set {
+                cell_degree[p as usize] += 1;
+            }
+        } else {
+            let last = net_weights.len() - 1;
+            net_weights[last] += w;
+        }
+    }
+    let mut xnets = vec![0usize; num_coarse + 1];
+    for c in 0..num_coarse {
+        xnets[c + 1] = xnets[c] + cell_degree[c];
+    }
+    let mut cursor: Vec<usize> = xnets[..num_coarse].to_vec();
+    let mut nets = vec![0 as NetId; xnets[num_coarse]];
+    for net in 0..net_weights.len() {
+        for &p in &pins[xpins[net]..xpins[net + 1]] {
+            nets[cursor[p as usize]] = net as NetId;
+            cursor[p as usize] += 1;
+        }
+    }
+    NetlistContraction {
+        coarse: Netlist {
+            xpins: Offsets::from_wide(xpins),
+            pins,
+            xnets: Offsets::from_wide(xnets),
+            nets,
+            cell_weights,
+            net_weights,
+        },
+        fine_to_coarse,
+    }
+}
+
+/// Breadth-first cell visitation order (`new -> old`): cells are
+/// numbered in BFS order over the net incidence structure, entering
+/// components in increasing order of their smallest cell and expanding
+/// each cell's nets (and each net's pins) in increasing id order. The
+/// netlist analogue of [`crate::reorder::bfs`] — cells sharing nets get
+/// nearby ids, so refinement sweeps stride through the CSR arrays
+/// instead of hopping randomly.
+pub fn bfs_cell_order(nl: &Netlist) -> Vec<VertexId> {
+    let n = nl.num_cells();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n as VertexId {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        queue.push_back(root);
+        while let Some(c) = queue.pop_front() {
+            order.push(c);
+            for &net in nl.nets_of(c) {
+                for &p in nl.pins(net) {
+                    if !seen[p as usize] {
+                        seen[p as usize] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// The relabeled netlist: cell `new` of the result is cell
+/// `new_to_old[new]` of `nl`, with nets, pins, and weights carried
+/// over (net ids and order are unchanged). Relabeling is an
+/// isomorphism, so every bisection of the result maps to a bisection
+/// of `nl` with the same net cut.
+///
+/// # Panics
+///
+/// Panics if `new_to_old` is not a permutation of `0..nl.num_cells()`.
+pub fn permute_cells(nl: &Netlist, new_to_old: &[VertexId]) -> Netlist {
+    let n = nl.num_cells();
+    assert_eq!(new_to_old.len(), n, "permutation length must match cells");
+    let mut old_to_new = vec![VertexId::MAX; n];
+    for (new, &old) in new_to_old.iter().enumerate() {
+        assert!((old as usize) < n, "cell id out of range");
+        assert_eq!(
+            old_to_new[old as usize],
+            VertexId::MAX,
+            "cell id repeats — not a permutation"
+        );
+        old_to_new[old as usize] = new as VertexId;
+    }
+    // Net sizes are untouched by relabeling, so xpins carries over;
+    // each net's pins are remapped and re-sorted in place.
+    let mut xpins: Vec<usize> = Vec::with_capacity(nl.num_nets() + 1);
+    xpins.push(0);
+    let mut pins: Vec<VertexId> = Vec::with_capacity(nl.num_pins());
+    for net in nl.net_ids() {
+        let start = pins.len();
+        pins.extend(nl.pins(net).iter().map(|&p| old_to_new[p as usize]));
+        pins[start..].sort_unstable();
+        xpins.push(pins.len());
+    }
+    let mut xnets = vec![0usize; n + 1];
+    for new in 0..n {
+        let old = new_to_old[new];
+        xnets[new + 1] = xnets[new] + nl.nets_of(old).len();
+    }
+    let mut cursor: Vec<usize> = xnets[..n].to_vec();
+    let mut nets = vec![0 as NetId; xnets[n]];
+    for net in nl.net_ids() {
+        for &p in &pins[xpins[net as usize]..xpins[net as usize + 1]] {
+            nets[cursor[p as usize]] = net;
+            cursor[p as usize] += 1;
+        }
+    }
+    let cell_weights = new_to_old.iter().map(|&old| nl.cell_weight(old)).collect();
+    let net_weights = nl.net_ids().map(|net| nl.net_weight(net)).collect();
+    Netlist {
+        xpins: Offsets::from_wide(xpins),
+        pins,
+        xnets: Offsets::from_wide(xnets),
+        nets,
+        cell_weights,
+        net_weights,
+    }
+}
+
 /// Forms a random maximal cell matching along nets: visits cells in a
 /// random order and matches each unmatched cell to an unmatched cell
 /// sharing a net, preferring partners connected through *small* nets
@@ -499,13 +756,227 @@ impl NetlistBuilder {
         // Nets were appended in increasing id order per cell, so the
         // per-cell lists are already sorted.
         Netlist {
-            xpins,
+            xpins: Offsets::from_wide(xpins),
             pins,
-            xnets,
+            xnets: Offsets::from_wide(xnets),
             nets,
             cell_weights: self.cell_weights,
             net_weights,
         }
+    }
+
+    /// Builds a unit-cell-weight netlist without materializing the full
+    /// pin list: `emit` is invoked twice with a [`PinStream`] sink and
+    /// must produce the *identical* net sequence both times (re-run a
+    /// cloned RNG, or re-scan the same staged arrays). The first pass
+    /// counts per-net pin slots and per-cell net degrees, the second
+    /// writes both CSR directions straight into their final arrays — a
+    /// counting sort, the netlist analogue of [`GraphBuilder::stream`].
+    ///
+    /// Peak memory is the final CSR arrays plus `O(cells + nets)`
+    /// counters; the edge-list path holds every net's pin `Vec`
+    /// alongside the CSR arrays. Each net's pins are sorted and deduped
+    /// in a small per-net scratch buffer exactly as
+    /// [`add_net`](NetlistBuilder::add_net) does, so the result is
+    /// byte-identical to adding the same nets to a [`NetlistBuilder`]
+    /// and calling [`build`](NetlistBuilder::build) (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-net errors from the sink
+    /// ([`GraphError::VertexOutOfRange`], [`GraphError::ZeroWeight`])
+    /// and returns [`GraphError::StreamMismatch`] if the two passes
+    /// disagree.
+    pub fn stream<F>(num_cells: usize, mut emit: F) -> Result<Netlist, GraphError>
+    where
+        F: FnMut(&mut PinStream<'_>) -> Result<(), GraphError>,
+    {
+        let mut cell_degree = vec![0usize; num_cells];
+        let mut net_sizes: Vec<u32> = Vec::new();
+        let counted = {
+            let mut sink = PinStream {
+                num_cells,
+                records: 0,
+                scratch: Vec::new(),
+                mode: PinStreamMode::Count {
+                    cell_degree: &mut cell_degree,
+                    net_sizes: &mut net_sizes,
+                },
+            };
+            emit(&mut sink)?;
+            sink.records
+        };
+        let num_nets = net_sizes.len();
+        let mut xpins = vec![0usize; num_nets + 1];
+        for n in 0..num_nets {
+            xpins[n + 1] = xpins[n] + net_sizes[n] as usize;
+        }
+        let mut xnets = vec![0usize; num_cells + 1];
+        for c in 0..num_cells {
+            xnets[c + 1] = xnets[c] + cell_degree[c];
+        }
+        let mut pins = vec![0 as VertexId; xpins[num_nets]];
+        let mut nets = vec![0 as NetId; xnets[num_cells]];
+        let mut net_weights = vec![0 as EdgeWeight; num_nets];
+        let mut cell_cursor: Vec<usize> = xnets[..num_cells].to_vec();
+        let emitted = {
+            let mut sink = PinStream {
+                num_cells,
+                records: 0,
+                scratch: Vec::new(),
+                mode: PinStreamMode::Fill {
+                    xpins: &xpins,
+                    xnets: &xnets,
+                    cell_cursor: &mut cell_cursor,
+                    pins: &mut pins,
+                    nets: &mut nets,
+                    net_weights: &mut net_weights,
+                },
+            };
+            emit(&mut sink)?;
+            sink.records
+        };
+        if emitted != counted
+            || cell_cursor
+                .iter()
+                .zip(&xnets[1..])
+                .any(|(&c, &end)| c != end)
+        {
+            return Err(GraphError::StreamMismatch { counted, emitted });
+        }
+        // Both pass-2 write orders match the builder's: pins in net
+        // order (each net sorted and deduped by the sink), per-cell net
+        // lists in increasing net id because nets arrive in id order.
+        Ok(Netlist {
+            xpins: Offsets::from_wide(xpins),
+            pins,
+            xnets: Offsets::from_wide(xnets),
+            nets,
+            cell_weights: vec![1; num_cells],
+            net_weights,
+        })
+    }
+}
+
+/// The net sink handed to the closure of [`NetlistBuilder::stream`].
+/// Validates each net exactly as [`NetlistBuilder::add_weighted_net`]
+/// does, so both passes fail identically on bad input.
+#[derive(Debug)]
+pub struct PinStream<'a> {
+    num_cells: usize,
+    records: usize,
+    /// Per-net sort/dedup buffer, reused across nets — the only pin
+    /// storage besides the final CSR arrays.
+    scratch: Vec<VertexId>,
+    mode: PinStreamMode<'a>,
+}
+
+#[derive(Debug)]
+enum PinStreamMode<'a> {
+    Count {
+        cell_degree: &'a mut [usize],
+        net_sizes: &'a mut Vec<u32>,
+    },
+    Fill {
+        xpins: &'a [usize],
+        xnets: &'a [usize],
+        cell_cursor: &'a mut [usize],
+        pins: &'a mut [VertexId],
+        nets: &'a mut [NetId],
+        net_weights: &'a mut [EdgeWeight],
+    },
+}
+
+impl PinStream<'_> {
+    /// Emits a net with weight 1 over the given pins. As in
+    /// [`NetlistBuilder::add_net`], duplicate pins merge and degenerate
+    /// (< 2 pin) nets are accepted.
+    ///
+    /// # Errors
+    ///
+    /// As [`PinStream::weighted_net`].
+    pub fn net(&mut self, pins: &[VertexId]) -> Result<(), GraphError> {
+        self.weighted_net(pins, 1)
+    }
+
+    /// Emits a net with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] / [`GraphError::ZeroWeight`] as
+    /// for [`NetlistBuilder::add_weighted_net`];
+    /// [`GraphError::StreamMismatch`] if the filling pass diverges from
+    /// the counting pass (more nets, or different pins for some net or
+    /// cell).
+    pub fn weighted_net(
+        &mut self,
+        pins: &[VertexId],
+        weight: EdgeWeight,
+    ) -> Result<(), GraphError> {
+        if weight == 0 {
+            return Err(GraphError::ZeroWeight);
+        }
+        for &p in pins {
+            if p as usize >= self.num_cells {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: p as u64,
+                    num_vertices: self.num_cells,
+                });
+            }
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(pins);
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let net = self.records;
+        self.records += 1;
+        match &mut self.mode {
+            PinStreamMode::Count {
+                cell_degree,
+                net_sizes,
+            } => {
+                net_sizes.push(self.scratch.len() as u32);
+                for &p in &self.scratch {
+                    cell_degree[p as usize] += 1;
+                }
+            }
+            PinStreamMode::Fill {
+                xpins,
+                xnets,
+                cell_cursor,
+                pins,
+                nets,
+                net_weights,
+            } => {
+                if net + 1 >= xpins.len() {
+                    return Err(GraphError::StreamMismatch {
+                        counted: xpins.len() - 1,
+                        emitted: net + 1,
+                    });
+                }
+                let (lo, hi) = (xpins[net], xpins[net + 1]);
+                if self.scratch.len() != hi - lo {
+                    return Err(GraphError::StreamMismatch {
+                        counted: hi - lo,
+                        emitted: self.scratch.len(),
+                    });
+                }
+                pins[lo..hi].copy_from_slice(&self.scratch);
+                net_weights[net] = weight;
+                for &p in &self.scratch {
+                    let slot = cell_cursor[p as usize];
+                    if slot >= xnets[p as usize + 1] {
+                        return Err(GraphError::StreamMismatch {
+                            counted: xnets[p as usize + 1] - xnets[p as usize],
+                            emitted: slot + 1 - xnets[p as usize],
+                        });
+                    }
+                    nets[slot] = net as NetId;
+                    cell_cursor[p as usize] = slot + 1;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -757,6 +1228,199 @@ mod tests {
             }
         }
         b.build()
+    }
+
+    #[test]
+    fn stream_matches_builder_build() {
+        let nets: &[(&[VertexId], EdgeWeight)] = &[
+            (&[0, 1, 2], 1),
+            (&[2, 3], 1),
+            (&[0, 3, 4], 3),
+            (&[4, 1, 4, 0], 2), // duplicate pin merges
+            (&[2], 1),          // degenerate single-pin net
+            (&[], 1),           // degenerate empty net
+        ];
+        let mut b = NetlistBuilder::new(5);
+        for &(pins, w) in nets {
+            b.add_weighted_net(pins, w).unwrap();
+        }
+        let via_builder = b.build();
+        let via_stream = NetlistBuilder::stream(5, |sink| {
+            for &(pins, w) in nets {
+                sink.weighted_net(pins, w)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(via_builder, via_stream);
+    }
+
+    #[test]
+    fn stream_empty_and_degenerate() {
+        let nl = NetlistBuilder::stream(3, |_| Ok(())).unwrap();
+        assert_eq!(nl.num_cells(), 3);
+        assert_eq!(nl.num_nets(), 0);
+        assert!(nl.uses_compact_offsets());
+    }
+
+    #[test]
+    fn stream_rejects_bad_nets() {
+        assert!(matches!(
+            NetlistBuilder::stream(3, |sink| sink.net(&[0, 5])),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+        assert_eq!(
+            NetlistBuilder::stream(3, |sink| sink.weighted_net(&[0, 1], 0)),
+            Err(GraphError::ZeroWeight)
+        );
+    }
+
+    #[test]
+    fn stream_detects_mismatched_passes() {
+        // Extra net in pass 2.
+        let mut pass = 0;
+        let err = NetlistBuilder::stream(4, |sink| {
+            pass += 1;
+            sink.net(&[0, 1])?;
+            if pass > 1 {
+                sink.net(&[2, 3])?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, GraphError::StreamMismatch { .. }));
+        // Same net count and sizes but different pins in pass 2.
+        let mut pass = 0;
+        let err = NetlistBuilder::stream(4, |sink| {
+            pass += 1;
+            sink.net(if pass == 1 { &[0, 1] } else { &[0, 2] })?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, GraphError::StreamMismatch { .. }));
+        // Fewer nets in pass 2.
+        let mut pass = 0;
+        let err = NetlistBuilder::stream(4, |sink| {
+            pass += 1;
+            if pass == 1 {
+                sink.net(&[0, 1])?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, GraphError::StreamMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_and_stream_netlists_use_compact_offsets() {
+        assert!(sample().uses_compact_offsets());
+        assert!(wide_netlist().uses_compact_offsets());
+    }
+
+    #[test]
+    fn scratch_contraction_matches_allocating_path() {
+        use rand::SeedableRng;
+        let mut scratch = NetlistContractionScratch::new();
+        for (nl, seeds) in [(sample(), 0..6u64), (wide_netlist(), 0..6u64)] {
+            for seed in seeds {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let pairs = random_cell_matching(&nl, &mut rng);
+                let a = contract_cells(&nl, &pairs);
+                let b = contract_cells_into(&nl, &pairs, &mut scratch);
+                assert_eq!(a.coarse(), b.coarse(), "seed {seed}");
+                assert_eq!(a.fine_to_coarse(), b.fine_to_coarse(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_contraction_survives_a_ladder() {
+        // One scratch reused across every level of a coarsening ladder
+        // must keep matching the allocating path.
+        use rand::SeedableRng;
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(9);
+        let mut scratch = NetlistContractionScratch::new();
+        let mut cur_a = wide_netlist();
+        let mut cur_b = wide_netlist();
+        for _ in 0..4 {
+            let pairs_a = random_cell_matching(&cur_a, &mut rng_a);
+            let pairs_b = random_cell_matching(&cur_b, &mut rng_b);
+            assert_eq!(pairs_a, pairs_b);
+            if pairs_a.is_empty() {
+                break;
+            }
+            cur_a = contract_cells(&cur_a, &pairs_a).coarse().clone();
+            cur_b = contract_cells_into(&cur_b, &pairs_b, &mut scratch)
+                .coarse()
+                .clone();
+            assert_eq!(cur_a, cur_b);
+        }
+    }
+
+    #[test]
+    fn bfs_cell_order_is_a_permutation_and_clusters_components() {
+        let nl = wide_netlist();
+        let order = bfs_cell_order(&nl);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..nl.num_cells() as VertexId).collect::<Vec<_>>());
+        // A netless cell forms its own component and still appears.
+        let mut b = NetlistBuilder::new(4);
+        b.add_net(&[1, 3]).unwrap();
+        let nl = b.build();
+        let order = bfs_cell_order(&nl);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 0);
+        // Cell 1 pulls in its net-mate 3 before isolated cell 2.
+        assert_eq!(&order[1..], &[1, 3, 2]);
+    }
+
+    #[test]
+    fn permute_cells_preserves_structure_and_cut() {
+        let nl = sample();
+        let order: Vec<VertexId> = vec![4, 2, 0, 3, 1];
+        let permuted = permute_cells(&nl, &order);
+        assert_eq!(permuted.num_cells(), nl.num_cells());
+        assert_eq!(permuted.num_nets(), nl.num_nets());
+        assert_eq!(permuted.num_pins(), nl.num_pins());
+        for (new, &old) in order.iter().enumerate() {
+            assert_eq!(permuted.cell_weight(new as VertexId), nl.cell_weight(old));
+            assert_eq!(
+                permuted.nets_of(new as VertexId).len(),
+                nl.nets_of(old).len()
+            );
+        }
+        // Net cut of any side assignment is isomorphism-invariant.
+        let old_sides = [true, false, true, false, true];
+        let new_sides: Vec<bool> = order.iter().map(|&old| old_sides[old as usize]).collect();
+        let cut = |nl: &Netlist, sides: &[bool]| -> u64 {
+            nl.net_ids()
+                .filter(|&n| {
+                    let pins = nl.pins(n);
+                    pins.iter().any(|&p| sides[p as usize])
+                        && pins.iter().any(|&p| !sides[p as usize])
+                })
+                .map(|n| nl.net_weight(n))
+                .sum()
+        };
+        assert_eq!(cut(&nl, &old_sides), cut(&permuted, &new_sides));
+        // Pins stay sorted and per-cell net lists stay sorted.
+        for n in permuted.net_ids() {
+            assert!(permuted.pins(n).windows(2).all(|w| w[0] < w[1]));
+        }
+        for c in permuted.cells() {
+            assert!(permuted.nets_of(c).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn bfs_permute_roundtrip_keeps_identity_cut() {
+        let nl = wide_netlist();
+        let order = bfs_cell_order(&nl);
+        let permuted = permute_cells(&nl, &order);
+        assert_eq!(permuted.total_cell_weight(), nl.total_cell_weight());
+        assert_eq!(permuted.num_pins(), nl.num_pins());
     }
 
     #[test]
